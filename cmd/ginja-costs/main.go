@@ -1,0 +1,90 @@
+// Command ginja-costs explores Ginja's monetary cost model (paper §3 and
+// §7): the $1/month capacity frontier (Figure 1), the cost-vs-workload
+// curves (Figure 4), the real-application comparison (Table 2), the §7.3
+// recovery costs, and arbitrary custom deployments.
+//
+// Usage:
+//
+//	ginja-costs figure1 [-budget 1.0]
+//	ginja-costs figure4
+//	ginja-costs table2
+//	ginja-costs recovery
+//	ginja-costs custom -size 10 -updates 100 -batch 100 [-cr 1.43]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/costmodel"
+	"github.com/ginja-dr/ginja/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ginja-costs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "figure1":
+		fs := flag.NewFlagSet("figure1", flag.ContinueOnError)
+		budget := fs.Float64("budget", 1.0, "monthly budget in dollars")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		experiments.FprintFigure1(os.Stdout, *budget)
+	case "figure4":
+		experiments.FprintFigure4(os.Stdout)
+	case "table2":
+		experiments.FprintTable2(os.Stdout)
+	case "recovery":
+		experiments.FprintRecoveryCosts(os.Stdout)
+	case "custom":
+		fs := flag.NewFlagSet("custom", flag.ContinueOnError)
+		size := fs.Float64("size", 10, "database size in GB")
+		updates := fs.Float64("updates", 100, "updates per minute (W)")
+		batch := fs.Float64("batch", 100, "updates per synchronization (B)")
+		cr := fs.Float64("cr", 1.43, "compression ratio (1 = none)")
+		ckptPeriod := fs.Float64("ckpt-period", 60, "checkpoint period (minutes)")
+		ckptSize := fs.Float64("ckpt-size", 100, "checkpoint size (MB)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		d := costmodel.PaperEvaluationDeployment()
+		d.DBSizeGB = *size
+		d.UpdatesPerMinute = *updates
+		d.Batch = *batch
+		d.CompressionRatio = *cr
+		d.CheckpointPeriodMin = *ckptPeriod
+		d.CheckpointSizeMB = *ckptSize
+		prices := cloud.AmazonS3May2017()
+		c := costmodel.Monthly(d, prices)
+		fmt.Println(c)
+		fmt.Printf("recovery to on-premises: $%.3f (free to an in-region VM)\n",
+			costmodel.RecoveryCost(d, prices, false))
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ginja-costs <subcommand> [flags]
+
+subcommands:
+  figure1    the $1/month capacity frontier (paper Figure 1)
+  figure4    monthly cost vs workload for B ∈ {10,100,1000} (Figure 4)
+  table2     Laboratory/Hospital vs EC2 VM comparison (Table 2)
+  recovery   cost of recovering from a disaster (§7.3)
+  custom     price an arbitrary deployment (see -h)`)
+}

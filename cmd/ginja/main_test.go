@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCLILifecycle drives the real subcommands end to end on temp
+// directories: boot → run → status → verify → recover → pitr list.
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "db")
+	bucket := filepath.Join(dir, "bucket")
+	common := []string{"-data", data, "-cloud", bucket, "-batch", "8", "-safety", "128"}
+
+	if err := run(append([]string{"boot"}, common...)); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if err := run(append([]string{"run"}, append(common, "-duration", "500ms")...)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"status", "-cloud", bucket}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if err := run([]string{"verify", "-cloud", bucket}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	restored := filepath.Join(dir, "restored")
+	if err := run([]string{"recover", "-data", restored, "-cloud", bucket}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := run([]string{"pitr", "-cloud", bucket, "list"}); err != nil {
+		t.Fatalf("pitr list: %v", err)
+	}
+}
+
+func TestCLIRejectsBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"boot", "-engine", "oracle", "-data", t.TempDir(), "-cloud", t.TempDir()}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"pitr", "-cloud", t.TempDir()}); err == nil {
+		t.Fatal("pitr without action accepted")
+	}
+	if err := run([]string{"pitr", "-cloud", t.TempDir(), "restore"}); err == nil {
+		t.Fatal("pitr restore without generation accepted")
+	}
+}
+
+func TestCLIRecoverEmptyCloudFails(t *testing.T) {
+	if err := run([]string{"recover", "-data", t.TempDir(), "-cloud", t.TempDir()}); err == nil {
+		t.Fatal("recover from an empty bucket succeeded")
+	}
+}

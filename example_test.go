@@ -1,0 +1,74 @@
+package ginja_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ginja-dr/ginja"
+)
+
+// Example shows the full protect → disaster → recover loop through the
+// public API.
+func Example() {
+	ctx := context.Background()
+	store := ginja.NewMemStore() // use NewDiskStore / NewS3Client in production
+
+	params := ginja.DefaultParams()
+	params.BatchTimeout = 50 * time.Millisecond // flush single commits quickly
+
+	// Protect a database.
+	g, err := ginja.New(ginja.NewMemFS(), store, ginja.NewPGProcessor(), params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := g.Boot(ctx); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	db, err := ginja.OpenDB(g.FS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := db.Update(func(tx *ginja.Txn) error {
+		return tx.Put("accounts", []byte("alice"), []byte("100"))
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g.Flush(10 * time.Second) // wait for cloud acknowledgement
+	g.Close()
+
+	// Disaster: recover on a fresh machine.
+	g2, err := ginja.New(ginja.NewMemFS(), store, ginja.NewPGProcessor(), params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := g2.Recover(ctx); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer g2.Close()
+	db2, err := ginja.OpenDB(g2.FS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	v, err := db2.Get("accounts", []byte("alice"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("alice = %s\n", v)
+	// Output: alice = 100
+}
+
+// ExampleNoLossParams demonstrates the synchronous-replication setting.
+func ExampleNoLossParams() {
+	p := ginja.NoLossParams()
+	fmt.Printf("B=%d S=%d\n", p.Batch, p.Safety)
+	// Output: B=1 S=1
+}

@@ -1,0 +1,231 @@
+// Package ginja is a disaster-recovery middleware for transactional
+// databases that replicates committed state to cloud object storage —
+// no backup VM required — reproducing the system described in
+// "Ginja: One-dollar Cloud-based Disaster Recovery for Databases"
+// (Alcântara, Oliveira, Bessani — Middleware '17).
+//
+// Ginja sits between a database engine and its files: every write the
+// engine performs goes through an interposed file system (FS), is
+// classified into the events of the paper's Table 1 (update commit,
+// checkpoint begin/data/end), and is replicated to an ObjectStore as WAL
+// objects and DB objects. Two parameters control the cost / performance /
+// durability trade-off:
+//
+//   - Batch (B): how many database updates go into each cloud upload.
+//   - Safety (S): how many updates may be lost in a disaster; the
+//     database blocks once S updates are unacknowledged.
+//
+// # Quick start
+//
+//	store, _ := ginja.NewDiskStore("./bucket")         // or NewS3Client(...)
+//	local, _ := ginja.NewOSFS("./dbdir")
+//	g, _ := ginja.New(local, store, ginja.NewPGProcessor(), ginja.DefaultParams())
+//	_ = g.Boot(ctx)                                    // upload the initial copy
+//	db, _ := ginja.OpenDB(g.FS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+//	// ... use db; commits are replicated automatically ...
+//	_ = g.Close()
+//
+// After a disaster, point a fresh Ginja at the same store and call
+// Recover: the database files are rebuilt from the newest dump, the
+// incremental checkpoints, and the WAL objects with consecutive
+// timestamps; the database engine then completes its own crash recovery.
+//
+// This package is a façade: implementations live under internal/ and are
+// re-exported here as the supported surface.
+package ginja
+
+import (
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/cloud/s3http"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// Core middleware types.
+type (
+	// Ginja is the disaster-recovery middleware instance.
+	Ginja = core.Ginja
+	// Params is the user-facing configuration (Batch, Safety, timeouts,
+	// uploaders, compression, encryption, PITR retention).
+	Params = core.Params
+	// Stats is a snapshot of replication activity counters.
+	Stats = core.Stats
+	// VerifyResult reports a backup-verification run.
+	VerifyResult = core.VerifyResult
+	// CloudView is Ginja's bookkeeping of the objects in the cloud.
+	CloudView = core.CloudView
+	// WALObjectInfo describes one WAL object in the cloud.
+	WALObjectInfo = core.WALObjectInfo
+	// DBObjectInfo describes one DB object (dump or checkpoint).
+	DBObjectInfo = core.DBObjectInfo
+)
+
+// New creates a Ginja instance protecting the database files in localFS,
+// replicating to store, understanding the engine's write pattern via proc.
+// Follow with exactly one of Boot, Reboot or Recover.
+var New = core.New
+
+// DefaultParams returns the paper-flavoured defaults (B=100, S=1000,
+// 5 uploaders, 20 MB object cap, 150 % dump threshold).
+var DefaultParams = core.DefaultParams
+
+// NoLossParams returns the synchronous-replication configuration
+// (S = B = 1): zero data loss, lowest throughput.
+var NoLossParams = core.NoLoss
+
+// ErrNoDump is returned by Recover when the cloud holds no dump.
+var ErrNoDump = core.ErrNoDump
+
+// Object storage.
+type (
+	// ObjectStore is the PUT/GET/LIST/DELETE interface Ginja replicates to.
+	ObjectStore = cloud.ObjectStore
+	// ObjectInfo describes one stored object.
+	ObjectInfo = cloud.ObjectInfo
+	// PriceSheet prices cloud operations for cost accounting.
+	PriceSheet = cloud.PriceSheet
+	// MeteredStore wraps a store with operation metering and billing.
+	MeteredStore = cloud.MeteredStore
+	// SimOptions configures the simulated cloud (latency/fault model).
+	SimOptions = cloudsim.Options
+	// SimProfile is a network behaviour model for the simulated cloud.
+	SimProfile = cloudsim.Profile
+)
+
+// ErrObjectNotFound is returned by Get/Delete for missing objects.
+var ErrObjectNotFound = cloud.ErrNotFound
+
+// NewMemStore returns an in-memory object store (tests, demos).
+var NewMemStore = cloud.NewMemStore
+
+// NewDiskStore returns an object store persisted in a local directory.
+var NewDiskStore = cloud.NewDiskStore
+
+// NewMeteredStore wraps a store with operation counters and a bill.
+var NewMeteredStore = cloud.NewMeteredStore
+
+// AmazonS3Prices returns the May-2017 S3 price sheet the paper uses.
+var AmazonS3Prices = cloud.AmazonS3May2017
+
+// NewS3Client returns an ObjectStore speaking to an s3http server (such
+// as cmd/cloudsim) at baseURL.
+var NewS3Client = s3http.NewClient
+
+// NewS3ClientWithToken is NewS3Client with bearer-token authentication.
+var NewS3ClientWithToken = s3http.NewClientWithToken
+
+// NewS3Handler wraps an ObjectStore in an S3-style HTTP handler.
+var NewS3Handler = s3http.NewHandler
+
+// NewS3HandlerWithToken is NewS3Handler requiring a bearer token.
+var NewS3HandlerWithToken = s3http.NewHandlerWithToken
+
+// NewSimStore wraps a store with the simulated network behaviour
+// (size-dependent latency, jitter, outages, transient failures).
+var NewSimStore = cloudsim.New
+
+// WANProfile models the paper's testbed network (Lisbon → S3 US East).
+var WANProfile = cloudsim.WANProfile
+
+// LANProfile models recovering inside the provider's region.
+var LANProfile = cloudsim.LANProfile
+
+// NewReplicatedStore combines several clouds with majority writes for
+// provider-scale fault tolerance (paper §6).
+var NewReplicatedStore = core.NewReplicatedStore
+
+type (
+	// ReplicatedStore is the multi-cloud store; run Repair after a
+	// provider outage to restore full redundancy.
+	ReplicatedStore = core.ReplicatedStore
+	// RepairReport summarises one anti-entropy pass.
+	RepairReport = core.RepairReport
+)
+
+// File system interposition.
+type (
+	// FS is the file-system surface database engines run on.
+	FS = vfs.FS
+	// File is a positional-I/O file handle.
+	File = vfs.File
+	// Observer receives intercepted file-system events.
+	Observer = vfs.Observer
+)
+
+// NewOSFS returns an FS rooted at a host directory.
+var NewOSFS = vfs.NewOSFS
+
+// NewMemFS returns an in-memory FS (tests, demos, verification targets).
+var NewMemFS = vfs.NewMemFS
+
+// NewInterceptFS wraps an FS so every mutation is reported to an Observer.
+var NewInterceptFS = vfs.NewInterceptFS
+
+// Event processors (the only DBMS-specific part of Ginja).
+type (
+	// Processor classifies a database's writes into Table 1 events.
+	Processor = dbevent.Processor
+	// Event is one classified write.
+	Event = dbevent.Event
+)
+
+// NewPGProcessor detects PostgreSQL's write pattern.
+var NewPGProcessor = dbevent.NewPGProcessor
+
+// NewInnoProcessor detects MySQL/InnoDB's write pattern.
+var NewInnoProcessor = dbevent.NewInnoProcessor
+
+// ProcessorForEngine returns the processor for "postgresql" or "mysql".
+var ProcessorForEngine = dbevent.ForEngine
+
+// Embedded database engine (the DBMS substrate of this reproduction).
+type (
+	// DB is the embedded transactional database.
+	DB = minidb.DB
+	// Txn is a read-your-writes transaction.
+	Txn = minidb.Txn
+	// DBOptions tunes a DB instance.
+	DBOptions = minidb.Options
+	// Engine is a DBMS file-layout personality.
+	Engine = minidb.Engine
+)
+
+// OpenDB opens (or crash-recovers) a database whose files live on fsys.
+// Open it on a Ginja's FS() to protect it.
+var OpenDB = minidb.Open
+
+// NewPostgresEngine returns the PostgreSQL-like personality (8 KiB WAL
+// pages, 16 MiB pg_xlog segments, sharp checkpoints, pg_control).
+func NewPostgresEngine() Engine { return pgengine.New() }
+
+// NewMySQLEngine returns the MySQL/InnoDB-like personality (512-byte log
+// blocks, circular ib_logfiles, fuzzy checkpoints).
+func NewMySQLEngine() Engine { return innoengine.New() }
+
+// EngineFor returns the engine personality for "postgresql" or "mysql",
+// or nil for unknown names.
+func EngineFor(name string) Engine {
+	switch name {
+	case "postgresql":
+		return pgengine.New()
+	case "mysql":
+		return innoengine.New()
+	default:
+		return nil
+	}
+}
+
+// Database errors.
+var (
+	// ErrKeyNotFound is returned by DB.Get / Txn.Get for missing keys.
+	ErrKeyNotFound = minidb.ErrNotFound
+	// ErrNoTable is returned for operations on unknown tables.
+	ErrNoTable = minidb.ErrNoTable
+	// ErrDBClosed is returned after DB.Close.
+	ErrDBClosed = minidb.ErrClosed
+)

@@ -1,0 +1,129 @@
+package ginja_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja"
+)
+
+// TestPublicAPIEndToEnd exercises the README quick-start flow through the
+// façade only: protect, write, disaster, recover.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	store := ginja.NewMemStore()
+
+	params := ginja.DefaultParams()
+	params.Batch = 4
+	params.Safety = 64
+	params.BatchTimeout = 20 * time.Millisecond
+
+	local := ginja.NewMemFS()
+	g, err := ginja.New(local, store, ginja.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ginja.OpenDB(g.FS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := db.Update(func(tx *ginja.Txn) error {
+			return tx.Put("t", []byte(key), []byte(key))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.Flush(10 * time.Second) {
+		t.Fatal("flush")
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := ginja.New(ginja.NewMemFS(), store, ginja.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	db2, err := ginja.OpenDB(g2.FS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if _, err := db2.Get("t", []byte(key)); err != nil {
+			t.Fatalf("%s lost: %v", key, err)
+		}
+	}
+}
+
+func TestPublicAPIEngineSelection(t *testing.T) {
+	if e := ginja.EngineFor("postgresql"); e == nil || e.Name() != "postgresql" {
+		t.Fatalf("EngineFor(postgresql) = %v", e)
+	}
+	if e := ginja.EngineFor("mysql"); e == nil || e.Name() != "mysql" {
+		t.Fatalf("EngineFor(mysql) = %v", e)
+	}
+	if e := ginja.EngineFor("oracle"); e != nil {
+		t.Fatalf("EngineFor(oracle) = %v", e)
+	}
+	if p := ginja.ProcessorForEngine("mysql"); p == nil || p.Name() != "mysql" {
+		t.Fatalf("ProcessorForEngine(mysql) = %v", p)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	g, err := ginja.New(ginja.NewMemFS(), ginja.NewMemStore(), ginja.NewPGProcessor(), ginja.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Recover(context.Background()); !errors.Is(err, ginja.ErrNoDump) {
+		t.Fatalf("Recover on empty cloud = %v, want ErrNoDump", err)
+	}
+	db, err := ginja.OpenDB(ginja.NewMemFS(), ginja.NewPostgresEngine(), ginja.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("t", []byte("missing")); !errors.Is(err, ginja.ErrKeyNotFound) {
+		t.Fatalf("Get = %v, want ErrKeyNotFound", err)
+	}
+	if _, err := db.Get("ghost", []byte("k")); !errors.Is(err, ginja.ErrNoTable) {
+		t.Fatalf("Get = %v, want ErrNoTable", err)
+	}
+}
+
+func TestPublicAPINoLossParams(t *testing.T) {
+	p := ginja.NoLossParams()
+	if p.Batch != 1 || p.Safety != 1 {
+		t.Fatalf("NoLossParams = B=%d S=%d", p.Batch, p.Safety)
+	}
+}
+
+func TestPublicAPIPriceSheet(t *testing.T) {
+	prices := ginja.AmazonS3Prices()
+	if prices.StoragePerGBMonth != 0.023 {
+		t.Fatalf("StoragePerGBMonth = %v", prices.StoragePerGBMonth)
+	}
+	m := ginja.NewMeteredStore(ginja.NewMemStore(), prices)
+	if err := m.Put(context.Background(), "k", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bill().Total() <= 0 {
+		t.Fatal("empty bill")
+	}
+}

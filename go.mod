@@ -1,0 +1,3 @@
+module github.com/ginja-dr/ginja
+
+go 1.22

@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// segPrefix names archived WAL segments: ARCH/<n>_<path>.
+const segPrefix = "ARCH/"
+
+// SegmentArchiver is the Continuous-Archiving strategy (paper §9): it
+// observes the database's writes like Ginja does, but only ships a WAL
+// segment once the database moves on to the *next* segment — exactly the
+// granularity of PostgreSQL's archiver process. Combine it with an
+// initial SnapshotBackup base backup.
+//
+// Use FS() for the database, like Ginja's.
+type SegmentArchiver struct {
+	localFS vfs.FS
+	store   cloud.ObjectStore
+	proc    dbevent.Processor
+
+	mu         sync.Mutex
+	currentSeg string
+	archived   map[string]bool
+	seq        int64
+	errs       []error
+}
+
+var _ vfs.Observer = (*SegmentArchiver)(nil)
+
+// NewSegmentArchiver builds an archiver for the database in localFS.
+func NewSegmentArchiver(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor) *SegmentArchiver {
+	return &SegmentArchiver{
+		localFS:  localFS,
+		store:    store,
+		proc:     proc,
+		archived: make(map[string]bool),
+	}
+}
+
+// FS returns the interposed file system the database must be opened on.
+func (a *SegmentArchiver) FS() vfs.FS { return vfs.NewInterceptFS(a.localFS, a) }
+
+// OnWrite implements vfs.Observer: a write to a WAL file different from
+// the current one means the previous segment completed — archive it.
+func (a *SegmentArchiver) OnWrite(path string, off int64, data []byte) {
+	if a.proc.FileKind(path) != dbevent.KindWAL {
+		return
+	}
+	a.mu.Lock()
+	prev := a.currentSeg
+	a.currentSeg = path
+	shouldArchive := prev != "" && prev != path && !a.archived[prev]
+	if shouldArchive {
+		a.archived[prev] = true
+		a.seq++
+	}
+	seq := a.seq
+	a.mu.Unlock()
+	if !shouldArchive {
+		return
+	}
+	// Synchronous, like archive_command: the segment is fully written
+	// and will not change again (PostgreSQL recycles, it never rewrites
+	// a completed segment in place).
+	if err := a.archiveSegment(context.Background(), prev, seq); err != nil {
+		a.mu.Lock()
+		a.errs = append(a.errs, err)
+		a.mu.Unlock()
+	}
+}
+
+// OnSync implements vfs.Observer.
+func (a *SegmentArchiver) OnSync(string) {}
+
+// OnTruncate implements vfs.Observer.
+func (a *SegmentArchiver) OnTruncate(string, int64) {}
+
+// OnRemove implements vfs.Observer.
+func (a *SegmentArchiver) OnRemove(string) {}
+
+// Err returns the first archiving failure, if any.
+func (a *SegmentArchiver) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return a.errs[0]
+}
+
+// ArchivedSegments returns how many segments were shipped.
+func (a *SegmentArchiver) ArchivedSegments() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+func (a *SegmentArchiver) archiveSegment(ctx context.Context, path string, seq int64) error {
+	content, err := vfs.ReadFile(a.localFS, path)
+	if err != nil {
+		return fmt.Errorf("baselines: archive read %s: %w", path, err)
+	}
+	name := fmt.Sprintf("%s%d_%s", segPrefix, seq, path)
+	payload := core.EncodeWrites([]core.FileWrite{{Path: path, Data: content, Whole: true}})
+	if err := a.store.Put(ctx, name, payload); err != nil {
+		return fmt.Errorf("baselines: archive upload %s: %w", name, err)
+	}
+	return nil
+}
+
+// Restore rebuilds target from the base backup plus every archived
+// segment, in archive order.
+func (a *SegmentArchiver) Restore(ctx context.Context, base *SnapshotBackup, target vfs.FS) error {
+	if err := base.Restore(ctx, target); err != nil {
+		return err
+	}
+	infos, err := a.store.List(ctx, segPrefix)
+	if err != nil {
+		return fmt.Errorf("baselines: restore list: %w", err)
+	}
+	type seg struct {
+		seq  int64
+		name string
+	}
+	var segs []seg
+	for _, info := range infos {
+		rest := strings.TrimPrefix(info.Name, segPrefix)
+		i := strings.IndexByte(rest, '_')
+		if i < 0 {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(rest[:i], "%d", &n); err != nil {
+			continue
+		}
+		segs = append(segs, seg{seq: n, name: info.Name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for _, s := range segs {
+		data, err := a.store.Get(ctx, s.name)
+		if err != nil {
+			return fmt.Errorf("baselines: restore %s: %w", s.name, err)
+		}
+		writes, err := core.DecodeWrites(data)
+		if err != nil {
+			return fmt.Errorf("baselines: %s corrupt: %w", s.name, err)
+		}
+		for _, w := range writes {
+			if err := vfs.WriteFile(target, w.Path, w.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// smallEngine uses tiny WAL segments so the archiver sees completed
+// segments quickly.
+func smallEngine() minidb.Engine { return pgengine.NewWithSizes(512, 4096, 1024) }
+
+func put(t *testing.T, db *minidb.DB, key string) {
+	t.Helper()
+	if err := db.Update(func(tx *minidb.Txn) error {
+		return tx.Put("kv", []byte(key), []byte("value-"+key))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countSurvivors(t *testing.T, fsys vfs.FS, n int) int {
+	t.Helper()
+	db, err := minidb.Open(fsys, smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatalf("restored files failed DBMS recovery: %v", err)
+	}
+	survived := 0
+	for i := 0; i < n; i++ {
+		if _, err := db.Get("kv", []byte(fmt.Sprintf("k%03d", i))); err == nil {
+			survived++
+		}
+	}
+	return survived
+}
+
+func TestSnapshotBackupRestore(t *testing.T) {
+	ctx := context.Background()
+	store := cloud.NewMemStore()
+	localFS := vfs.NewMemFS()
+	db, err := minidb.Open(localFS, smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		put(t, db, fmt.Sprintf("k%03d", i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshotBackup(localFS, store, dbevent.NewPGProcessor())
+	if _, err := snap.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot writes are doomed.
+	for i := 10; i < 20; i++ {
+		put(t, db, fmt.Sprintf("k%03d", i))
+	}
+	target := vfs.NewMemFS()
+	if err := snap.Restore(ctx, target); err != nil {
+		t.Fatal(err)
+	}
+	if got := countSurvivors(t, target, 20); got != 10 {
+		t.Fatalf("survivors = %d, want exactly the 10 snapshotted keys", got)
+	}
+}
+
+func TestSnapshotRotationKeepsOne(t *testing.T) {
+	ctx := context.Background()
+	store := cloud.NewMemStore()
+	localFS := vfs.NewMemFS()
+	db, err := minidb.Open(localFS, smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshotBackup(localFS, store, dbevent.NewPGProcessor())
+	for round := 0; round < 3; round++ {
+		put(t, db, fmt.Sprintf("k%03d", round))
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := snap.Snapshot(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := store.List(ctx, snapPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("rotation left %d snapshots, want 1", len(infos))
+	}
+}
+
+func TestSnapshotRestoreEmptyCloudFails(t *testing.T) {
+	snap := NewSnapshotBackup(vfs.NewMemFS(), cloud.NewMemStore(), dbevent.NewPGProcessor())
+	if err := snap.Restore(context.Background(), vfs.NewMemFS()); err == nil {
+		t.Fatal("restore from empty cloud succeeded")
+	}
+}
+
+func TestSegmentArchiverShipsCompletedSegments(t *testing.T) {
+	ctx := context.Background()
+	store := cloud.NewMemStore()
+	localFS := vfs.NewMemFS()
+	proc := dbevent.NewPGProcessor()
+	arch := NewSegmentArchiver(localFS, store, proc)
+
+	db, err := minidb.Open(arch.FS(), smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	base := NewSnapshotBackup(localFS, store, proc)
+	if _, err := base.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Enough commits to complete several 4 KiB segments.
+	const n = 60
+	for i := 0; i < n; i++ {
+		put(t, db, fmt.Sprintf("k%03d", i))
+	}
+	if err := arch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if arch.ArchivedSegments() == 0 {
+		t.Fatal("no segments archived")
+	}
+
+	// Crash: restore base + archived segments elsewhere.
+	target := vfs.NewMemFS()
+	if err := arch.Restore(ctx, base, target); err != nil {
+		t.Fatal(err)
+	}
+	survived := countSurvivors(t, target, n)
+	if survived == 0 {
+		t.Fatal("nothing survived despite archived segments")
+	}
+	if survived == n {
+		t.Fatal("everything survived — the incomplete tail segment should be lost")
+	}
+	// The survivors must be a prefix (no torn middle).
+	db2, err := minidb.Open(target, smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < survived; i++ {
+		if _, err := db2.Get("kv", []byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatalf("hole at k%03d with %d survivors", i, survived)
+		}
+	}
+}
+
+// TestRPOComparison quantifies the paper's positioning: after the same
+// workload and a crash, Ginja (flushed) loses nothing, continuous
+// archiving loses the incomplete tail segment, and backup-and-restore
+// loses everything since the snapshot.
+func TestRPOComparison(t *testing.T) {
+	ctx := context.Background()
+	// Enough commits (with the ~80 bytes each contributes to the log) to
+	// complete several of the 4 KiB test segments.
+	const n = 120
+	keys := func(i int) string { return fmt.Sprintf("k%03d", i) }
+
+	// --- Ginja ---
+	ginjaStore := cloud.NewMemStore()
+	params := core.DefaultParams()
+	params.Batch = 4
+	params.Safety = 64
+	params.BatchTimeout = 10 * time.Millisecond
+	g, err := core.New(vfs.NewMemFS(), ginjaStore, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dbG, err := minidb.Open(g.FS(), smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbG.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := dbG.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte(keys(i)), []byte("value-"+keys(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.Flush(10 * time.Second) {
+		t.Fatal("flush")
+	}
+	g.Close()
+	gRec, err := core.New(vfs.NewMemFS(), ginjaStore, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetG := vfs.NewMemFS()
+	if err := gRec.RecoverAt(ctx, targetG, -1); err != nil {
+		// RecoverAt(-1) restores the newest state without starting threads.
+		t.Fatal(err)
+	}
+	ginjaSurvived := countSurvivors(t, targetG, n)
+
+	// --- Continuous archiving ---
+	archStore := cloud.NewMemStore()
+	archFS := vfs.NewMemFS()
+	proc := dbevent.NewPGProcessor()
+	arch := NewSegmentArchiver(archFS, archStore, proc)
+	dbA, err := minidb.Open(arch.FS(), smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbA.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	baseA := NewSnapshotBackup(archFS, archStore, proc)
+	if _, err := baseA.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := dbA.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte(keys(i)), []byte("value-"+keys(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targetA := vfs.NewMemFS()
+	if err := arch.Restore(ctx, baseA, targetA); err != nil {
+		t.Fatal(err)
+	}
+	archSurvived := countSurvivors(t, targetA, n)
+
+	// --- Backup and restore ---
+	snapStore := cloud.NewMemStore()
+	snapFS := vfs.NewMemFS()
+	dbS, err := minidb.Open(snapFS, smallEngine(), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbS.CreateTable("kv", 8); err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshotBackup(snapFS, snapStore, proc)
+	if _, err := snap.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := dbS.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte(keys(i)), []byte("value-"+keys(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targetS := vfs.NewMemFS()
+	if err := snap.Restore(ctx, targetS); err != nil {
+		t.Fatal(err)
+	}
+	snapSurvived := countSurvivors(t, targetS, n)
+
+	t.Logf("survivors out of %d: ginja=%d, archiver=%d, snapshot=%d",
+		n, ginjaSurvived, archSurvived, snapSurvived)
+	if ginjaSurvived != n {
+		t.Fatalf("ginja (flushed) lost %d commits", n-ginjaSurvived)
+	}
+	if archSurvived >= ginjaSurvived || archSurvived == 0 {
+		t.Fatalf("archiver survived %d, want strictly between 0 and %d", archSurvived, ginjaSurvived)
+	}
+	if snapSurvived != 0 {
+		t.Fatalf("snapshot baseline survived %d post-snapshot commits", snapSurvived)
+	}
+}

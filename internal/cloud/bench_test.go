@@ -1,0 +1,63 @@
+package cloud
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMemStorePut(b *testing.B) {
+	s := NewMemStore()
+	ctx := context.Background()
+	payload := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(ctx, fmt.Sprintf("WAL/%d_seg_0", i%4096), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStoreGet(b *testing.B) {
+	s := NewMemStore()
+	ctx := context.Background()
+	if err := s.Put(ctx, "k", make([]byte, 8192)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(ctx, "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeteredStorePut(b *testing.B) {
+	s := NewMeteredStore(NewMemStore(), AmazonS3May2017())
+	ctx := context.Background()
+	payload := make([]byte, 8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(ctx, fmt.Sprintf("WAL/%d_seg_0", i%4096), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskStorePut(b *testing.B) {
+	s, err := NewDiskStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	payload := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(ctx, fmt.Sprintf("WAL/%d_seg_0", i%64), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

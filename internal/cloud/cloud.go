@@ -1,0 +1,144 @@
+// Package cloud provides the object-storage abstraction Ginja replicates
+// database state to, together with in-memory and on-disk implementations,
+// operation metering, and the Amazon-S3-style pricing model used by the
+// paper's cost evaluation (§7).
+//
+// The interface mirrors the REST surface the paper assumes from storage
+// clouds: only PUT, GET, LIST and DELETE (§5, "storage clouds provide REST
+// interfaces containing only a few basic operations").
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get and Delete when the named object does not
+// exist in the store.
+var ErrNotFound = errors.New("cloud: object not found")
+
+// ObjectInfo describes one stored object, as returned by List.
+type ObjectInfo struct {
+	// Name is the full object key, e.g. "WAL/42_000000010000000000000003_16384".
+	Name string
+	// Size is the stored payload size in bytes.
+	Size int64
+}
+
+// ObjectStore is the minimal storage-cloud interface Ginja depends on.
+//
+// Implementations must be safe for concurrent use: Ginja uploads WAL
+// objects from several Uploader goroutines while the Checkpointer uploads
+// DB objects and the garbage collector issues deletes.
+type ObjectStore interface {
+	// Put stores data under name, overwriting any previous object.
+	Put(ctx context.Context, name string, data []byte) error
+	// Get returns the payload of the named object, or ErrNotFound.
+	Get(ctx context.Context, name string) ([]byte, error)
+	// List returns the objects whose name starts with prefix, sorted by
+	// name. An empty prefix lists the whole store.
+	List(ctx context.Context, prefix string) ([]ObjectInfo, error)
+	// Delete removes the named object. Deleting a missing object returns
+	// ErrNotFound.
+	Delete(ctx context.Context, name string) error
+}
+
+// MemStore is an in-memory ObjectStore used by tests and by the simulated
+// cloud. The zero value is not usable; call NewMemStore.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+var _ ObjectStore = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory object store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements ObjectStore.
+func (m *MemStore) Put(_ context.Context, name string, data []byte) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[name] = cp
+	return nil
+}
+
+// Get implements ObjectStore.
+func (m *MemStore) Get(_ context.Context, name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", name, ErrNotFound)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// List implements ObjectStore.
+func (m *MemStore) List(_ context.Context, prefix string) ([]ObjectInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var infos []ObjectInfo
+	for name, data := range m.objects {
+		if strings.HasPrefix(name, prefix) {
+			infos = append(infos, ObjectInfo{Name: name, Size: int64(len(data))})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// Delete implements ObjectStore.
+func (m *MemStore) Delete(_ context.Context, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[name]; !ok {
+		return fmt.Errorf("delete %q: %w", name, ErrNotFound)
+	}
+	delete(m.objects, name)
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// TotalSize returns the sum of all stored payload sizes in bytes.
+func (m *MemStore) TotalSize() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, data := range m.objects {
+		total += int64(len(data))
+	}
+	return total
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return errors.New("cloud: empty object name")
+	}
+	if strings.Contains(name, "..") {
+		return fmt.Errorf("cloud: object name %q must not contain %q", name, "..")
+	}
+	if strings.HasPrefix(name, "/") {
+		return fmt.Errorf("cloud: object name %q must not start with /", name)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// storeFactories enumerates every ObjectStore implementation so the whole
+// contract suite runs against each one.
+func storeFactories(t *testing.T) map[string]func(t *testing.T) ObjectStore {
+	return map[string]func(t *testing.T) ObjectStore{
+		"mem": func(t *testing.T) ObjectStore { return NewMemStore() },
+		"disk": func(t *testing.T) ObjectStore {
+			s, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewDiskStore: %v", err)
+			}
+			return s
+		},
+		"metered": func(t *testing.T) ObjectStore {
+			return NewMeteredStore(NewMemStore(), AmazonS3May2017())
+		},
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			want := []byte("hello ginja")
+			if err := s.Put(ctx, "WAL/0_seg1_0", want); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := s.Get(ctx, "WAL/0_seg1_0")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("Get = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if _, err := s.Get(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreDeleteMissing(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if err := s.Delete(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Delete missing = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			if err := s.Put(ctx, "k", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(ctx, "k", []byte("v2-longer")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(ctx, "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "v2-longer" {
+				t.Fatalf("Get = %q, want v2-longer", got)
+			}
+			infos, err := s.List(ctx, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 1 || infos[0].Size != int64(len("v2-longer")) {
+				t.Fatalf("List = %+v, want one object of size 9", infos)
+			}
+		})
+	}
+}
+
+func TestStoreListPrefixAndOrder(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			names := []string{"WAL/2_b_0", "DB/0_dump_100", "WAL/1_a_0", "WAL/10_c_0"}
+			for _, n := range names {
+				if err := s.Put(ctx, n, []byte(n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wal, err := s.List(ctx, "WAL/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"WAL/10_c_0", "WAL/1_a_0", "WAL/2_b_0"} // lexicographic
+			var got []string
+			for _, o := range wal {
+				got = append(got, o.Name)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("List(WAL/) = %v, want %v", got, want)
+			}
+			all, err := s.List(ctx, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) != 4 {
+				t.Fatalf("List(\"\") returned %d objects, want 4", len(all))
+			}
+		})
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			if err := s.Put(ctx, "k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(ctx, "k"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadNames(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			for _, bad := range []string{"", "../escape", "/abs"} {
+				if err := s.Put(ctx, bad, []byte("x")); err == nil {
+					t.Errorf("Put(%q) succeeded, want error", bad)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						key := fmt.Sprintf("obj/%d_%d", g, i)
+						if err := s.Put(ctx, key, []byte(key)); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						if _, err := s.Get(ctx, key); err != nil {
+							t.Errorf("Get: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			infos, err := s.List(ctx, "obj/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 8*50 {
+				t.Fatalf("List returned %d objects, want %d", len(infos), 8*50)
+			}
+		})
+	}
+}
+
+// TestStorePropertyPutGet checks, for arbitrary names and payloads, that
+// what is Put is exactly what Get returns (quick/property-based).
+func TestStorePropertyPutGet(t *testing.T) {
+	s := NewMemStore()
+	ctx := context.Background()
+	prop := func(suffix string, data []byte) bool {
+		name := "p/" + fmt.Sprintf("%x", suffix) // hex keeps the name valid
+		if err := s.Put(ctx, name, data); err != nil {
+			return false
+		}
+		got, err := s.Get(ctx, name)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStorePropertyListIsSorted: after any sequence of puts, List output is
+// sorted and sizes match payloads.
+func TestStorePropertyListIsSorted(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		s := NewMemStore()
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		want := make(map[string]int)
+		for i := 0; i < int(n); i++ {
+			name := fmt.Sprintf("x/%d", rng.Intn(40))
+			size := rng.Intn(100)
+			if err := s.Put(ctx, name, make([]byte, size)); err != nil {
+				return false
+			}
+			want[name] = size
+		}
+		infos, err := s.List(ctx, "x/")
+		if err != nil {
+			return false
+		}
+		if len(infos) != len(want) {
+			return false
+		}
+		for i, o := range infos {
+			if i > 0 && infos[i-1].Name >= o.Name {
+				return false
+			}
+			if want[o.Name] != int(o.Size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(ctx, "DB/0_dump_5", []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ctx, "DB/0_dump_5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state" {
+		t.Fatalf("Get = %q, want state", got)
+	}
+}
+
+func TestMemStoreAccounting(t *testing.T) {
+	s := NewMemStore()
+	ctx := context.Background()
+	if err := s.Put(ctx, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := s.TotalSize(); got != 150 {
+		t.Fatalf("TotalSize = %d, want 150", got)
+	}
+}

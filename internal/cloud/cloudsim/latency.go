@@ -1,0 +1,93 @@
+// Package cloudsim turns a plain ObjectStore into a behavioural model of a
+// remote storage cloud: size-dependent PUT/GET latency, jitter, transient
+// failures and whole-provider outages.
+//
+// The latency model is calibrated from the paper's Table 3 (PostgreSQL,
+// plain objects, Lisbon → S3 US East): 386 kB objects took ≈692 ms and
+// 10 081 kB objects ≈7 707 ms, i.e. a fixed per-request cost of roughly
+// 400 ms plus ≈1.4 MB/s of effective upload bandwidth. A TimeScale factor
+// lets experiments compress simulated wall-clock time while metrics report
+// the full modelled latency.
+package cloudsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile describes the network behaviour between the primary site and the
+// storage cloud.
+type Profile struct {
+	// BaseLatency is the fixed per-operation round-trip cost.
+	BaseLatency time.Duration
+	// UploadBandwidth is the effective PUT throughput in bytes/second.
+	UploadBandwidth float64
+	// DownloadBandwidth is the effective GET throughput in bytes/second.
+	DownloadBandwidth float64
+	// JitterFraction adds ±fraction of uniform noise to each latency.
+	JitterFraction float64
+}
+
+// WANProfile models the paper's testbed: an academic network in Lisbon
+// talking to Amazon S3 in US East (N. Virginia).
+func WANProfile() Profile {
+	return Profile{
+		BaseLatency:       400 * time.Millisecond,
+		UploadBandwidth:   1.4e6, // ≈1.4 MB/s effective, fitted from Table 3
+		DownloadBandwidth: 6.0e6, // downloads are a few× faster than uploads
+		JitterFraction:    0.10,
+	}
+}
+
+// LANProfile models recovering inside the provider's region (an EC2 VM in
+// the same region as the bucket), as used by Figure 7's second series.
+func LANProfile() Profile {
+	return Profile{
+		BaseLatency:       8 * time.Millisecond,
+		UploadBandwidth:   80e6,
+		DownloadBandwidth: 120e6,
+		JitterFraction:    0.05,
+	}
+}
+
+// PutLatency returns the modelled latency for uploading size bytes.
+func (p Profile) PutLatency(size int64) time.Duration {
+	return p.BaseLatency + time.Duration(float64(size)/p.UploadBandwidth*float64(time.Second))
+}
+
+// GetLatency returns the modelled latency for downloading size bytes.
+func (p Profile) GetLatency(size int64) time.Duration {
+	return p.BaseLatency + time.Duration(float64(size)/p.DownloadBandwidth*float64(time.Second))
+}
+
+// jittered applies the profile's jitter to d using rng.
+func (p Profile) jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if p.JitterFraction <= 0 {
+		return d
+	}
+	f := 1 + p.JitterFraction*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// lockedRand is a rand.Rand safe for concurrent use.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+func (l *lockedRand) jitter(p Profile, d time.Duration) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return p.jittered(d, l.rng)
+}

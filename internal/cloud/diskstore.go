@@ -1,0 +1,137 @@
+package cloud
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DiskStore is an ObjectStore persisted in a local directory. Object names
+// (which contain '/') are hex-encoded into flat file names so that no name
+// can escape the root directory and listing stays a single ReadDir.
+//
+// DiskStore is what cmd/cloudsim serves and what long-running examples use
+// so that a "disaster" (deleting the primary machine's files) leaves the
+// cloud copy intact on disk.
+type DiskStore struct {
+	root string
+	mu   sync.RWMutex
+}
+
+var _ ObjectStore = (*DiskStore)(nil)
+
+// NewDiskStore opens (creating if needed) an object store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (d *DiskStore) Root() string { return d.root }
+
+func (d *DiskStore) path(name string) string {
+	return filepath.Join(d.root, hex.EncodeToString([]byte(name))+".obj")
+}
+
+// Put implements ObjectStore. The write is atomic: data lands in a temp
+// file that is renamed into place, so a crashed Put never leaves a
+// truncated object.
+func (d *DiskStore) Put(_ context.Context, name string, data []byte) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dst := d.path(name)
+	tmp, err := os.CreateTemp(d.root, ".put-*")
+	if err != nil {
+		return fmt.Errorf("diskstore put %q: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore put %q: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore put %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore put %q: %w", name, err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore put %q: %w", name, err)
+	}
+	return nil
+}
+
+// Get implements ObjectStore.
+func (d *DiskStore) Get(_ context.Context, name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	data, err := os.ReadFile(d.path(name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("get %q: %w", name, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("diskstore get %q: %w", name, err)
+	}
+	return data, nil
+}
+
+// List implements ObjectStore.
+func (d *DiskStore) List(_ context.Context, prefix string) ([]ObjectInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore list: %w", err)
+	}
+	var infos []ObjectInfo
+	for _, e := range entries {
+		base := e.Name()
+		if e.IsDir() || !strings.HasSuffix(base, ".obj") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(base, ".obj"))
+		if err != nil {
+			continue // foreign file in the directory; not ours
+		}
+		name := string(raw)
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("diskstore list: %w", err)
+		}
+		infos = append(infos, ObjectInfo{Name: name, Size: fi.Size()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// Delete implements ObjectStore.
+func (d *DiskStore) Delete(_ context.Context, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := os.Remove(d.path(name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("delete %q: %w", name, ErrNotFound)
+	}
+	if err != nil {
+		return fmt.Errorf("diskstore delete %q: %w", name, err)
+	}
+	return nil
+}

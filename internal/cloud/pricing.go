@@ -1,0 +1,55 @@
+package cloud
+
+// PriceSheet captures the pay-as-you-go pricing of a storage cloud. The
+// defaults reproduce the Amazon S3 standard-storage prices the paper quotes
+// for May 2017 (§3): $0.023 per GB/month of storage, $0.005 per 1000
+// uploads, free upload bandwidth and deletes, and download (egress) priced
+// so that downloading one GB costs "almost 4×" storing it for a month
+// (§7.3).
+type PriceSheet struct {
+	// StoragePerGBMonth is the monthly price of storing one GB ($/GB/month).
+	StoragePerGBMonth float64
+	// PerPUT is the price of a single PUT/upload operation ($).
+	PerPUT float64
+	// PerGET is the price of a single GET operation ($).
+	PerGET float64
+	// PerLIST is the price of a single LIST operation ($).
+	PerLIST float64
+	// PerDELETE is the price of a single DELETE operation ($). Free on S3.
+	PerDELETE float64
+	// EgressPerGB is the download bandwidth price ($/GB).
+	EgressPerGB float64
+	// IngressPerGB is the upload bandwidth price ($/GB). Free on S3.
+	IngressPerGB float64
+}
+
+// AmazonS3May2017 returns the S3 price sheet used throughout the paper.
+func AmazonS3May2017() PriceSheet {
+	return PriceSheet{
+		StoragePerGBMonth: 0.023,
+		PerPUT:            0.005 / 1000,
+		PerGET:            0.0004 / 1000,
+		PerLIST:           0.005 / 1000, // LIST is priced like PUT on S3
+		PerDELETE:         0,
+		EgressPerGB:       0.09, // ≈3.9× the monthly storage price, as §7.3 states
+		IngressPerGB:      0,
+	}
+}
+
+// GB is the number of bytes in one gigabyte as used by cloud pricing.
+const GB = 1 << 30
+
+// StorageCost returns the monthly cost of keeping size bytes stored.
+func (p PriceSheet) StorageCost(sizeBytes int64) float64 {
+	return float64(sizeBytes) / GB * p.StoragePerGBMonth
+}
+
+// UploadCost returns the cost of n PUT operations carrying bytes of payload.
+func (p PriceSheet) UploadCost(n int64, bytes int64) float64 {
+	return float64(n)*p.PerPUT + float64(bytes)/GB*p.IngressPerGB
+}
+
+// DownloadCost returns the cost of n GET operations returning bytes of payload.
+func (p PriceSheet) DownloadCost(n int64, bytes int64) float64 {
+	return float64(n)*p.PerGET + float64(bytes)/GB*p.EgressPerGB
+}

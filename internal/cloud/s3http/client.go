@@ -1,0 +1,137 @@
+package s3http
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// Client implements cloud.ObjectStore against an s3http server.
+type Client struct {
+	base  string
+	http  *http.Client
+	token string
+}
+
+var _ cloud.ObjectStore = (*Client)(nil)
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:9000"). httpClient may be nil to use
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// NewClientWithToken returns a client that authenticates every request
+// with the given bearer token.
+func NewClientWithToken(baseURL, token string, httpClient *http.Client) *Client {
+	c := NewClient(baseURL, httpClient)
+	c.token = token
+	return c
+}
+
+func (c *Client) objectURL(name string) string {
+	// Escape each path segment but keep the '/' separators that Ginja's
+	// WAL/... and DB/... prefixes rely on for listing.
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		parts[i] = url.PathEscape(p)
+	}
+	return c.base + "/o/" + strings.Join(parts, "/")
+}
+
+func (c *Client) do(req *http.Request, op string) (*http.Response, error) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("s3http %s: %w", op, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp, nil
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, fmt.Errorf("s3http %s: %w", op, cloud.ErrNotFound)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		return nil, &statusError{op: op, status: resp.StatusCode, body: strings.TrimSpace(string(body))}
+	}
+}
+
+// Put implements cloud.ObjectStore.
+func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(name), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("s3http put: %w", err)
+	}
+	resp, err := c.do(req, "put")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Get implements cloud.ObjectStore.
+func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(name), nil)
+	if err != nil {
+		return nil, fmt.Errorf("s3http get: %w", err)
+	}
+	resp, err := c.do(req, "get")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("s3http get: %w", err)
+	}
+	return data, nil
+}
+
+// List implements cloud.ObjectStore.
+func (c *Client) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	u := c.base + "/list?prefix=" + url.QueryEscape(prefix)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("s3http list: %w", err)
+	}
+	resp, err := c.do(req, "list")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []cloud.ObjectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("s3http list: decode: %w", err)
+	}
+	return infos, nil
+}
+
+// Delete implements cloud.ObjectStore.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(name), nil)
+	if err != nil {
+		return fmt.Errorf("s3http delete: %w", err)
+	}
+	resp, err := c.do(req, "delete")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

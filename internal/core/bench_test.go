@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/sealer"
+)
+
+func BenchmarkMergeWritesSamePage(b *testing.B) {
+	// 100 rewrites of one 8 KiB page — the hot aggregation case.
+	writes := make([]FileWrite, 100)
+	for i := range writes {
+		writes[i] = FileWrite{Path: "seg", Offset: 0, Data: bytes.Repeat([]byte{byte(i)}, 8192)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := MergeWrites(writes); len(got) != 1 {
+			b.Fatalf("merged into %d", len(got))
+		}
+	}
+}
+
+func BenchmarkMergeWritesSequentialPages(b *testing.B) {
+	writes := make([]FileWrite, 100)
+	for i := range writes {
+		writes[i] = FileWrite{Path: "seg", Offset: int64(i) * 8192, Data: make([]byte, 8192)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := MergeWrites(writes); len(got) != 1 {
+			b.Fatalf("merged into %d", len(got))
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeWrites(b *testing.B) {
+	writes := []FileWrite{{Path: "pg_xlog/000000010000000000000001", Offset: 16384, Data: make([]byte, 8192)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encoded := EncodeWrites(writes)
+		if _, err := DecodeWrites(encoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineThroughput measures sustained commit-path submissions
+// through the full pipeline (aggregation + sealing + upload to a memory
+// store).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, batch := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
+			p := DefaultParams()
+			p.Batch = batch
+			p.Safety = batch * 10
+			p.BatchTimeout = 5 * time.Millisecond
+			params, err := p.Validate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := newPipeline(NewCloudView(), cloud.NewMemStore(), sealer.NewPlain(), params)
+			pipe.start(0)
+			defer pipe.drainAndStop(10 * time.Second)
+			page := make([]byte, 8192)
+			b.SetBytes(8192)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipe.submit("pg_xlog/0001", int64(i%2048)*8192, page); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if !pipe.q.drain(30 * time.Second) {
+				b.Fatal("drain")
+			}
+		})
+	}
+}
+
+func BenchmarkCloudViewNextTs(b *testing.B) {
+	v := NewCloudView()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.NextWALTs()
+		}
+	})
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// dbObject is one finished checkpoint (or dump) awaiting upload.
+type dbObject struct {
+	ts     int64
+	gen    int
+	typ    DBObjectType
+	writes []FileWrite
+}
+
+// checkpointStats are the checkpoint-path counters.
+type checkpointStats struct {
+	checkpoints atomic.Int64
+	dumps       atomic.Int64
+	dbObjects   atomic.Int64 // uploaded parts
+	dbBytes     atomic.Int64 // sealed bytes
+	walDeleted  atomic.Int64
+	dbDeleted   atomic.Int64
+}
+
+// checkpointer implements Algorithm 3: collect the writes of a local
+// checkpoint as they happen, and when the checkpoint finishes locally,
+// ship them to the cloud from a separate thread (decoupling the DBMS's
+// checkpoint from the upload, §5.3), then garbage-collect superseded
+// objects.
+type checkpointer struct {
+	localFS vfs.FS
+	proc    dbevent.Processor
+	view    *CloudView
+	store   cloud.ObjectStore
+	seal    *sealer.Sealer
+	params  Params
+
+	mu         sync.Mutex
+	collecting bool
+	tsAtBegin  int64
+	writes     []FileWrite
+	genAlloc   map[int64]int // highest generation handed out per ts
+
+	queue  chan dbObject
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	stats checkpointStats
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
+	store cloud.ObjectStore, seal *sealer.Sealer, params Params) *checkpointer {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &checkpointer{
+		localFS:  localFS,
+		proc:     proc,
+		view:     view,
+		store:    store,
+		seal:     seal,
+		params:   params,
+		genAlloc: make(map[int64]int),
+		queue:    make(chan dbObject, 4),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+}
+
+func (c *checkpointer) start() {
+	go func() {
+		defer close(c.done)
+		for obj := range c.queue {
+			if err := c.upload(obj); err != nil {
+				c.fail(err)
+				return
+			}
+		}
+	}()
+}
+
+// stop flushes the queue and terminates the CheckpointThread.
+func (c *checkpointer) stop() error {
+	close(c.queue)
+	<-c.done
+	c.cancel()
+	return c.lastErr()
+}
+
+// handle processes one classified checkpoint event on the DBMS thread
+// (Algorithm 3 lines 3-16).
+func (c *checkpointer) handle(ev dbevent.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Type {
+	case dbevent.CheckpointBegin:
+		// ts = timestamp of the last WAL object allocated before the
+		// checkpoint began (line 5). Re-stamp even when an implicit
+		// collection (stray data writes such as table creation) is
+		// already open: the checkpoint flushes every page dirtied by
+		// commits that completed before this event, so all WAL
+		// timestamps allocated up to now are covered — and the stray
+		// writes themselves carry no WAL dependency.
+		c.collecting = true
+		c.tsAtBegin = c.view.LastWALTs()
+		c.appendWriteLocked(ev)
+	case dbevent.CheckpointData:
+		if !c.collecting {
+			// Data write outside a detected checkpoint (e.g. a table
+			// created mid-run): open an implicit collection so the write
+			// still reaches the cloud with the next checkpoint.
+			c.collecting = true
+			c.tsAtBegin = c.view.LastWALTs()
+		}
+		c.appendWriteLocked(ev)
+	case dbevent.CheckpointEnd:
+		c.appendWriteLocked(ev)
+		c.finalizeLocked()
+	}
+}
+
+func (c *checkpointer) appendWriteLocked(ev dbevent.Event) {
+	data := make([]byte, len(ev.Data))
+	copy(data, ev.Data)
+	c.writes = append(c.writes, FileWrite{Path: ev.Path, Offset: ev.Offset, Data: data})
+}
+
+// finalizeLocked closes the collection, decides dump vs incremental
+// (the 150 % rule, lines 9-13) and enqueues the object for upload.
+func (c *checkpointer) finalizeLocked() {
+	writes := MergeWrites(c.writes)
+	c.writes = nil
+	c.collecting = false
+
+	// Generations must be unique even while earlier objects with the same
+	// ts are still queued for upload (not yet in the view).
+	gen := c.view.NextDBGen(c.tsAtBegin)
+	if g, ok := c.genAlloc[c.tsAtBegin]; ok && g+1 > gen {
+		gen = g + 1
+	}
+	c.genAlloc[c.tsAtBegin] = gen
+	obj := dbObject{ts: c.tsAtBegin, gen: gen, typ: Checkpoint, writes: writes}
+	localSize, err := c.localDBSize()
+	if err != nil {
+		c.fail(fmt.Errorf("core: sizing local database: %w", err))
+		return
+	}
+	if float64(c.view.TotalDBSize()+estimateSize(writes)) >= c.params.DumpThreshold*float64(localSize) {
+		// Build the dump synchronously: no database-file write can race
+		// us here because the DBMS is still inside its checkpoint-end
+		// write (§5.3: Ginja stops local DB writes during dump creation).
+		dump, err := c.buildDump()
+		if err != nil {
+			c.fail(fmt.Errorf("core: building dump: %w", err))
+			return
+		}
+		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, writes: dump}
+	}
+	select {
+	case c.queue <- obj:
+	case <-c.ctx.Done():
+	}
+}
+
+// localDBSize sums the sizes of all data-class files (the "local DB size"
+// of the 150 % rule).
+func (c *checkpointer) localDBSize() (int64, error) {
+	files, err := vfs.Walk(c.localFS, "")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range files {
+		if c.proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		fi, err := c.localFS.Stat(p)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// buildDump snapshots every data-class file plus the processor's extra
+// regions (Algorithm 3 line 10).
+func (c *checkpointer) buildDump() ([]FileWrite, error) {
+	files, err := vfs.Walk(c.localFS, "")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var writes []FileWrite
+	for _, p := range files {
+		if c.proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		content, err := vfs.ReadFile(c.localFS, p)
+		if err != nil {
+			return nil, err
+		}
+		writes = append(writes, FileWrite{Path: p, Data: content, Whole: true})
+	}
+	for _, region := range c.proc.DumpExtras() {
+		f, err := c.localFS.OpenFile(region.Path, os.O_RDONLY, 0)
+		if err != nil {
+			continue // the file may not exist yet (no WAL written)
+		}
+		buf := make([]byte, region.Length)
+		n, err := f.ReadAt(buf, region.Offset)
+		f.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		if n > 0 {
+			writes = append(writes, FileWrite{Path: region.Path, Offset: region.Offset, Data: buf[:n]})
+		}
+	}
+	return writes, nil
+}
+
+// upload runs on the CheckpointThread (Algorithm 3 lines 17-29): seal and
+// PUT the DB object (split at MaxObjectSize), record it, then delete the
+// WAL objects it supersedes — and, for dumps, older DB objects subject to
+// the point-in-time retention policy.
+func (c *checkpointer) upload(obj dbObject) error {
+	payload := EncodeWrites(obj.writes)
+	sealed, err := c.seal.Seal(payload)
+	if err != nil {
+		return fmt.Errorf("core: seal DB object ts=%d: %w", obj.ts, err)
+	}
+	size := int64(len(sealed))
+	parts := splitBytes(sealed, c.params.MaxObjectSize)
+	for i, part := range parts {
+		idx := i
+		if len(parts) == 1 {
+			idx = -1
+		}
+		name := DBObjectName(obj.ts, obj.gen, obj.typ, size, idx)
+		if err := c.putWithRetry(name, part); err != nil {
+			return fmt.Errorf("core: upload %s: %w", name, err)
+		}
+		c.stats.dbObjects.Add(1)
+		c.stats.dbBytes.Add(int64(len(part)))
+	}
+	nParts := len(parts)
+	if nParts == 1 {
+		nParts = 0
+	}
+	c.view.AddDB(DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size, Parts: nParts})
+	if obj.typ == Dump {
+		c.stats.dumps.Add(1)
+	} else {
+		c.stats.checkpoints.Add(1)
+	}
+	c.params.logger().Info("db object uploaded",
+		"type", string(obj.typ), "ts", obj.ts, "gen", obj.gen,
+		"bytes", size, "parts", len(parts))
+
+	// Garbage collection (lines 23-29).
+	deletedWAL := 0
+	for _, w := range c.view.WALObjects() {
+		if w.Ts > obj.ts {
+			continue
+		}
+		if err := c.deleteObject(w.Name()); err != nil {
+			return err
+		}
+		c.view.DeleteWAL(w.Ts)
+		c.stats.walDeleted.Add(1)
+		deletedWAL++
+	}
+	if deletedWAL > 0 {
+		c.params.logger().Debug("garbage-collected WAL objects",
+			"count", deletedWAL, "up_to_ts", obj.ts)
+	}
+	if obj.typ == Dump {
+		if err := c.collectOldDBObjects(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectOldDBObjects deletes DB objects superseded by the newest dump.
+// With PITRGenerations = N, the N most recent dump generations (each dump
+// and its incremental checkpoints) are retained as recovery points (§5.4,
+// point-in-time recovery).
+func (c *checkpointer) collectOldDBObjects() error {
+	objs := c.view.DBObjects() // sorted by (Ts, Gen)
+	var dumps []DBObjectInfo
+	for _, d := range objs {
+		if d.Type == Dump {
+			dumps = append(dumps, d)
+		}
+	}
+	if len(dumps) == 0 {
+		return nil
+	}
+	// The cutoff is the oldest dump that must survive: keep the newest
+	// dump plus PITRGenerations older ones.
+	keep := 1 + c.params.PITRGenerations
+	if keep > len(dumps) {
+		keep = len(dumps)
+	}
+	cutoff := dumps[len(dumps)-keep]
+	for _, d := range objs {
+		if !d.Before(cutoff) {
+			continue
+		}
+		for _, name := range d.PartNames() {
+			if err := c.deleteObject(name); err != nil {
+				return err
+			}
+		}
+		c.view.DeleteDB(d.Ts, d.Gen)
+		c.stats.dbDeleted.Add(1)
+	}
+	return nil
+}
+
+func (c *checkpointer) deleteObject(name string) error {
+	delay := c.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := c.store.Delete(c.ctx, name)
+		if err == nil || errors.Is(err, cloud.ErrNotFound) {
+			return nil
+		}
+		if c.ctx.Err() != nil {
+			return fmt.Errorf("core: delete %s: %w", name, err)
+		}
+		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
+			return fmt.Errorf("core: delete %s: %w", name, err)
+		}
+		select {
+		case <-c.ctx.Done():
+			return fmt.Errorf("core: delete %s: %w", name, err)
+		case <-timeAfter(delay):
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+func (c *checkpointer) putWithRetry(name string, data []byte) error {
+	delay := c.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := c.store.Put(c.ctx, name, data)
+		if err == nil {
+			return nil
+		}
+		if c.ctx.Err() != nil {
+			return err
+		}
+		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
+			return err
+		}
+		select {
+		case <-c.ctx.Done():
+			return err
+		case <-timeAfter(delay):
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+func (c *checkpointer) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	c.cancel()
+}
+
+func (c *checkpointer) lastErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+func estimateSize(writes []FileWrite) int64 {
+	var n int64
+	for _, w := range writes {
+		n += int64(len(w.Data))
+	}
+	return n
+}
+
+// splitBytes chops b into chunks of at most max bytes (at least one chunk).
+func splitBytes(b []byte, max int64) [][]byte {
+	if max <= 0 || int64(len(b)) <= max {
+		return [][]byte{b}
+	}
+	var out [][]byte
+	for start := int64(0); start < int64(len(b)); start += max {
+		end := start + max
+		if end > int64(len(b)) {
+			end = int64(len(b))
+		}
+		out = append(out, b[start:end])
+	}
+	return out
+}

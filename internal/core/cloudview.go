@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// WALObjectInfo describes one WAL object Ginja knows to be in the cloud.
+type WALObjectInfo struct {
+	Ts       int64
+	Filename string
+	Offset   int64
+	Size     int64
+}
+
+// Name returns the cloud object key.
+func (w WALObjectInfo) Name() string { return WALObjectName(w.Ts, w.Filename, w.Offset) }
+
+// DBObjectInfo describes one DB object (all its parts) in the cloud.
+// (Ts, Gen) totally orders DB objects: Ts is the WAL timestamp captured at
+// checkpoint begin and Gen disambiguates objects sharing a Ts.
+type DBObjectInfo struct {
+	Ts   int64
+	Gen  int
+	Type DBObjectType
+	Size int64
+	// Parts is the number of split parts; 0 means a single unsplit object.
+	Parts int
+}
+
+// Before orders DB objects by (Ts, Gen).
+func (d DBObjectInfo) Before(o DBObjectInfo) bool {
+	if d.Ts != o.Ts {
+		return d.Ts < o.Ts
+	}
+	return d.Gen < o.Gen
+}
+
+// PartNames returns the cloud keys holding this object's payload, in order.
+func (d DBObjectInfo) PartNames() []string {
+	if d.Parts == 0 {
+		return []string{DBObjectName(d.Ts, d.Gen, d.Type, d.Size, -1)}
+	}
+	names := make([]string, d.Parts)
+	for i := range names {
+		names[i] = DBObjectName(d.Ts, d.Gen, d.Type, d.Size, i)
+	}
+	return names
+}
+
+type dbKey struct {
+	ts  int64
+	gen int
+}
+
+// CloudView is Ginja's local bookkeeping of the objects currently in the
+// cloud (Algorithm 1 line 1). It also owns the WAL timestamp counter that
+// totally orders uploads.
+type CloudView struct {
+	mu     sync.Mutex
+	wal    map[int64]WALObjectInfo
+	db     map[dbKey]*DBObjectInfo
+	nextTs int64
+	dbSize int64
+}
+
+// NewCloudView returns an empty view. The WAL timestamp counter starts at
+// 1: timestamp 0 is reserved for the Boot dump so that recovery's
+// "WAL objects newer than the last DB object" rule also covers the boot
+// segments (see Boot).
+func NewCloudView() *CloudView {
+	return &CloudView{
+		wal:    make(map[int64]WALObjectInfo),
+		db:     make(map[dbKey]*DBObjectInfo),
+		nextTs: 1,
+	}
+}
+
+// NextWALTs allocates the next WAL timestamp.
+func (v *CloudView) NextWALTs() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ts := v.nextTs
+	v.nextTs++
+	return ts
+}
+
+// LastWALTs returns the most recently allocated WAL timestamp (0 if none).
+func (v *CloudView) LastWALTs() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.nextTs - 1
+}
+
+// NextDBGen returns the next free generation number for DB objects with
+// timestamp ts.
+func (v *CloudView) NextDBGen(ts int64) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	gen := 0
+	for k := range v.db {
+		if k.ts == ts && k.gen >= gen {
+			gen = k.gen + 1
+		}
+	}
+	return gen
+}
+
+// AddWAL records a WAL object as present in the cloud.
+func (v *CloudView) AddWAL(info WALObjectInfo) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.wal[info.Ts] = info
+	if info.Ts >= v.nextTs {
+		v.nextTs = info.Ts + 1
+	}
+}
+
+// AddDB records a DB object (or one part of it).
+func (v *CloudView) AddDB(info DBObjectInfo) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := dbKey{ts: info.Ts, gen: info.Gen}
+	if existing, ok := v.db[key]; ok {
+		if info.Parts > existing.Parts {
+			existing.Parts = info.Parts
+		}
+		return
+	}
+	cp := info
+	v.db[key] = &cp
+	v.dbSize += info.Size
+	if info.Ts >= v.nextTs {
+		v.nextTs = info.Ts + 1
+	}
+}
+
+// DeleteWAL forgets a WAL object (after its cloud DELETE).
+func (v *CloudView) DeleteWAL(ts int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.wal, ts)
+}
+
+// DeleteDB forgets a DB object.
+func (v *CloudView) DeleteDB(ts int64, gen int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := dbKey{ts: ts, gen: gen}
+	if d, ok := v.db[key]; ok {
+		v.dbSize -= d.Size
+		delete(v.db, key)
+	}
+}
+
+// TotalDBSize returns the summed payload size of all DB objects — the
+// quantity compared against 150 % of the local database size to decide
+// between an incremental checkpoint and a new dump (Algorithm 3 line 9).
+func (v *CloudView) TotalDBSize() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.dbSize
+}
+
+// WALObjects returns the known WAL objects sorted by timestamp.
+func (v *CloudView) WALObjects() []WALObjectInfo {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]WALObjectInfo, 0, len(v.wal))
+	for _, w := range v.wal {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// DBObjects returns the known DB objects sorted by (Ts, Gen).
+func (v *CloudView) DBObjects() []DBObjectInfo {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]DBObjectInfo, 0, len(v.db))
+	for _, d := range v.db {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// LatestDump returns the most recent dump object, if any.
+func (v *CloudView) LatestDump() (DBObjectInfo, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var best *DBObjectInfo
+	for _, d := range v.db {
+		if d.Type != Dump {
+			continue
+		}
+		if best == nil || best.Before(*d) {
+			best = d
+		}
+	}
+	if best == nil {
+		return DBObjectInfo{}, false
+	}
+	return *best, true
+}
+
+// LoadFromList rebuilds the view from a cloud listing (Reboot and Recovery
+// modes, Algorithm 1 lines 19–26). Unknown object names are reported as an
+// error — a foreign object in the bucket is a configuration problem worth
+// surfacing, not skipping silently.
+func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
+	v.mu.Lock()
+	v.wal = make(map[int64]WALObjectInfo, len(infos))
+	v.db = make(map[dbKey]*DBObjectInfo)
+	v.nextTs = 1
+	v.dbSize = 0
+	v.mu.Unlock()
+	for _, info := range infos {
+		switch {
+		case strings.HasPrefix(info.Name, walPrefix):
+			ts, filename, offset, err := ParseWALObjectName(info.Name)
+			if err != nil {
+				return err
+			}
+			v.AddWAL(WALObjectInfo{Ts: ts, Filename: filename, Offset: offset, Size: info.Size})
+		case strings.HasPrefix(info.Name, dbPrefix):
+			ts, gen, typ, size, part, err := ParseDBObjectName(info.Name)
+			if err != nil {
+				return err
+			}
+			parts := 0
+			if part >= 0 {
+				parts = part + 1
+			}
+			v.AddDB(DBObjectInfo{Ts: ts, Gen: gen, Type: typ, Size: size, Parts: parts})
+		default:
+			return fmt.Errorf("core: unrecognised object %q in cloud listing", info.Name)
+		}
+	}
+	return nil
+}

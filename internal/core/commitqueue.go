@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueClosed is returned by Put after the queue has been closed.
+var ErrQueueClosed = errors.New("core: commit queue closed")
+
+// update is one intercepted WAL write pending cloud synchronization.
+type update struct {
+	path string
+	off  int64
+	data []byte
+	at   time.Time
+}
+
+// commitQueue is the paper's CommitQueue (§6): capacity-S holding area for
+// pending WAL writes. Put blocks while more than S updates are
+// unacknowledged or the Safety timeout TS has expired (Algorithm 2 line
+// 7); nextBatch hands up to B updates to the Aggregator, waiting for a
+// full batch or the Batch timeout TB (lines 9-12). Items are only removed
+// by the Unlocker once their uploads are safe (lines 20-22).
+type commitQueue struct {
+	mu      sync.Mutex
+	notFull *sync.Cond // Put waiters (Safety)
+	more    *sync.Cond // Aggregator waiting for a batch
+
+	items []update
+	taken int // items[:taken] already handed to the Aggregator
+
+	batch         int
+	safety        int
+	batchTimeout  time.Duration
+	safetyTimeout time.Duration
+
+	tbExpired bool
+	tsExpired bool
+	tbTimer   *time.Timer
+	tsTimer   *time.Timer
+	closed    bool
+
+	// blockedTotal accumulates the time commits spent blocked on Safety —
+	// the quantity that shows up as throughput loss in Figure 5.
+	blockedTotal time.Duration
+}
+
+func newCommitQueue(p Params) *commitQueue {
+	q := &commitQueue{
+		batch:         p.Batch,
+		safety:        p.Safety,
+		batchTimeout:  p.BatchTimeout,
+		safetyTimeout: p.SafetyTimeout,
+	}
+	q.notFull = sync.NewCond(&q.mu)
+	q.more = sync.NewCond(&q.mu)
+	q.tbTimer = time.AfterFunc(q.batchTimeout, q.onTB)
+	q.tsTimer = time.AfterFunc(q.safetyTimeout, q.onTS)
+	return q
+}
+
+// onTB fires the Batch timeout: if updates are pending and unsent, let the
+// Aggregator take a partial batch (TaskTB, Algorithm 2 lines 23-25).
+func (q *commitQueue) onTB() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if len(q.items)-q.taken > 0 {
+		q.tbExpired = true
+		q.more.Broadcast()
+	}
+	q.tbTimer.Reset(q.batchTimeout)
+}
+
+// onTS fires the Safety timeout: if the oldest pending update has waited
+// longer than TS, block the DBMS (TaskTS, Algorithm 2 lines 26-28).
+func (q *commitQueue) onTS() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if len(q.items) > 0 && time.Since(q.items[0].at) >= q.safetyTimeout {
+		q.tsExpired = true
+		q.notFull.Broadcast() // waiters re-check and keep blocking
+	}
+	q.rearmTSLocked()
+}
+
+func (q *commitQueue) rearmTSLocked() {
+	if len(q.items) == 0 {
+		q.tsTimer.Reset(q.safetyTimeout)
+		return
+	}
+	d := time.Until(q.items[0].at.Add(q.safetyTimeout))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	q.tsTimer.Reset(d)
+}
+
+// put enqueues one update and blocks until the Safety contract allows the
+// write to return to the DBMS. It reports how long the caller was blocked.
+func (q *commitQueue) put(u update) (time.Duration, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrQueueClosed
+	}
+	u.at = time.Now()
+	q.items = append(q.items, u)
+	if len(q.items) == 1 {
+		q.rearmTSLocked()
+	}
+	q.more.Broadcast()
+	var blocked time.Duration
+	for !q.closed && (len(q.items) > q.safety || q.tsExpired) {
+		start := time.Now()
+		q.notFull.Wait()
+		blocked += time.Since(start)
+	}
+	q.blockedTotal += blocked
+	if q.closed {
+		return blocked, ErrQueueClosed
+	}
+	return blocked, nil
+}
+
+// nextBatch blocks until B unsent updates exist (or TB expired with at
+// least one pending, or the queue is closing) and hands them out without
+// removing them. It returns ok=false when the queue is closed and fully
+// drained of unsent items.
+func (q *commitQueue) nextBatch() ([]update, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		pending := len(q.items) - q.taken
+		if pending >= q.batch || (pending > 0 && (q.tbExpired || q.closed)) {
+			n := pending
+			if n > q.batch {
+				n = q.batch
+			}
+			out := make([]update, n)
+			copy(out, q.items[q.taken:q.taken+n])
+			q.taken += n
+			q.tbExpired = false
+			if !q.closed {
+				q.tbTimer.Reset(q.batchTimeout)
+			}
+			return out, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.more.Wait()
+	}
+}
+
+// removeFront releases the oldest n updates after the Unlocker has
+// confirmed their durability, unblocking DBMS writers and resetting the
+// Safety timeout (Algorithm 2 lines 20-22).
+func (q *commitQueue) removeFront(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	q.items = q.items[n:]
+	q.taken -= n
+	if q.taken < 0 {
+		q.taken = 0
+	}
+	q.tsExpired = false
+	if !q.closed {
+		q.rearmTSLocked()
+	}
+	q.notFull.Broadcast()
+}
+
+// size returns the number of unacknowledged updates.
+func (q *commitQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// blockedDuration returns the cumulative time Put callers spent blocked.
+func (q *commitQueue) blockedDuration() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.blockedTotal
+}
+
+// drain waits until every enqueued update has been acknowledged and
+// removed, or the timeout elapses.
+func (q *commitQueue) drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		q.mu.Lock()
+		empty := len(q.items) == 0
+		q.mu.Unlock()
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// close wakes every waiter with ErrQueueClosed and stops the timers. The
+// Aggregator still drains unsent items before exiting.
+func (q *commitQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.tbTimer.Stop()
+	q.tsTimer.Stop()
+	q.notFull.Broadcast()
+	q.more.Broadcast()
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// ErrNoDump is returned by Recover when the cloud holds no dump to
+// restore from.
+var ErrNoDump = errors.New("core: no dump object in the cloud")
+
+// ErrNotStarted is returned when Ginja is used before Boot/Reboot/Recover.
+var ErrNotStarted = errors.New("core: ginja not started")
+
+// Stats is a snapshot of Ginja's activity counters (the raw material of
+// the paper's Table 3).
+type Stats struct {
+	// UpdatesObserved counts intercepted WAL writes (database updates in
+	// the B/S sense).
+	UpdatesObserved int64
+	// Batches is the number of cloud synchronizations performed.
+	Batches int64
+	// WALObjectsUploaded / WALBytesUploaded cover the commit path
+	// (bytes are sealed, i.e. post-compression sizes).
+	WALObjectsUploaded int64
+	WALBytesUploaded   int64
+	// WALBytesRaw is the pre-seal payload volume (compression input).
+	WALBytesRaw int64
+	// UploadRetries counts transient cloud failures absorbed.
+	UploadRetries int64
+	// Checkpoints / Dumps are uploaded DB objects by type.
+	Checkpoints int64
+	Dumps       int64
+	// DBObjectsUploaded / DBBytesUploaded cover the checkpoint path.
+	DBObjectsUploaded int64
+	DBBytesUploaded   int64
+	// WALObjectsDeleted / DBObjectsDeleted count garbage collection.
+	WALObjectsDeleted int64
+	DBObjectsDeleted  int64
+	// BlockedTime is the cumulative time DBMS writes spent blocked on the
+	// Safety contract.
+	BlockedTime time.Duration
+}
+
+// Ginja is the disaster-recovery middleware: it observes a database's
+// file-system writes (through the vfs.FS returned by FS) and keeps a
+// recoverable copy of the database in a cloud object store (§5).
+//
+// Lifecycle: New → exactly one of Boot / Reboot / Recover → (database
+// runs) → Close. The paper's three initialization modes (Algorithm 1) map
+// 1:1 onto those methods.
+type Ginja struct {
+	localFS vfs.FS
+	store   cloud.ObjectStore
+	proc    dbevent.Processor
+	params  Params
+	seal    *sealer.Sealer
+	view    *CloudView
+
+	pipe    *pipeline
+	ckpt    *checkpointer
+	started bool
+	closed  bool
+}
+
+var _ vfs.Observer = (*Ginja)(nil)
+
+// New creates a Ginja instance protecting the database files in localFS,
+// replicating to store, understanding the write pattern via proc.
+func New(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor, params Params) (*Ginja, error) {
+	params, err := params.Validate()
+	if err != nil {
+		return nil, err
+	}
+	seal, err := sealer.New(sealer.Options{
+		Compress: params.Compress,
+		Encrypt:  params.Encrypt,
+		Password: params.Password,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Ginja{
+		localFS: localFS,
+		store:   store,
+		proc:    proc,
+		params:  params,
+		seal:    seal,
+		view:    NewCloudView(),
+	}, nil
+}
+
+// FS returns the intercepted file system the DBMS must be opened on.
+func (g *Ginja) FS() vfs.FS { return vfs.NewInterceptFS(g.localFS, g) }
+
+// View exposes the cloud bookkeeping (read-mostly; used by tools/tests).
+func (g *Ginja) View() *CloudView { return g.view }
+
+// Params returns the validated configuration.
+func (g *Ginja) Params() Params { return g.params }
+
+// Boot uploads an initial copy of an existing database — one WAL object
+// per local WAL segment, then a full dump — and starts the replication
+// threads (Algorithm 1, Boot mode). The DBMS must only be started after
+// Boot returns.
+func (g *Ginja) Boot(ctx context.Context) error {
+	if g.started {
+		return errors.New("core: already started")
+	}
+	files, err := vfs.Walk(g.localFS, "")
+	if err != nil {
+		return fmt.Errorf("core: boot walk: %w", err)
+	}
+	sort.Strings(files)
+	for _, p := range files {
+		if g.proc.FileKind(p) != dbevent.KindWAL {
+			continue
+		}
+		content, err := vfs.ReadFile(g.localFS, p)
+		if err != nil {
+			return fmt.Errorf("core: boot read %s: %w", p, err)
+		}
+		ts := g.view.NextWALTs()
+		payload := EncodeWrites([]FileWrite{{Path: p, Offset: 0, Data: content}})
+		sealed, err := g.seal.Seal(payload)
+		if err != nil {
+			return err
+		}
+		name := WALObjectName(ts, p, 0)
+		if err := g.putWithRetry(ctx, name, sealed); err != nil {
+			return fmt.Errorf("core: boot upload %s: %w", name, err)
+		}
+		g.view.AddWAL(WALObjectInfo{Ts: ts, Filename: p, Offset: 0, Size: int64(len(sealed))})
+	}
+	// The boot dump takes the reserved timestamp 0, so that recovery's
+	// "WAL newer than the newest DB object" rule keeps the boot segments.
+	ck := newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params)
+	dumpWrites, err := ck.buildDump()
+	if err != nil {
+		return fmt.Errorf("core: boot dump: %w", err)
+	}
+	payload := EncodeWrites(dumpWrites)
+	sealed, err := g.seal.Seal(payload)
+	if err != nil {
+		return err
+	}
+	size := int64(len(sealed))
+	parts := splitBytes(sealed, g.params.MaxObjectSize)
+	for i, part := range parts {
+		idx := i
+		if len(parts) == 1 {
+			idx = -1
+		}
+		name := DBObjectName(0, 0, Dump, size, idx)
+		if err := g.putWithRetry(ctx, name, part); err != nil {
+			return fmt.Errorf("core: boot upload %s: %w", name, err)
+		}
+	}
+	nParts := len(parts)
+	if nParts == 1 {
+		nParts = 0
+	}
+	g.view.AddDB(DBObjectInfo{Ts: 0, Gen: 0, Type: Dump, Size: size, Parts: nParts})
+	g.params.logger().Info("ginja boot complete",
+		"wal_objects", len(g.view.WALObjects()), "dump_bytes", size)
+	g.start()
+	return nil
+}
+
+// Reboot resumes protection after a safe stop: the cloud is assumed to be
+// synchronized with the local files, so only the cloudView needs to be
+// rebuilt from a LIST (Algorithm 1, Reboot mode).
+func (g *Ginja) Reboot(ctx context.Context) error {
+	if g.started {
+		return errors.New("core: already started")
+	}
+	infos, err := g.listWithRetry(ctx)
+	if err != nil {
+		return fmt.Errorf("core: reboot list: %w", err)
+	}
+	if err := g.view.LoadFromList(infos); err != nil {
+		return err
+	}
+	g.params.logger().Info("ginja reboot complete",
+		"wal_objects", len(g.view.WALObjects()), "db_objects", len(g.view.DBObjects()))
+	g.start()
+	return nil
+}
+
+// Recover rebuilds the local database files from the cloud (Algorithm 1,
+// Recovery mode): newest dump, then incremental checkpoints in timestamp
+// order, then the WAL objects with consecutive timestamps. After Recover
+// returns, the DBMS can be started on FS() and will complete its own
+// crash recovery from the rebuilt files.
+func (g *Ginja) Recover(ctx context.Context) error {
+	if g.started {
+		return errors.New("core: already started")
+	}
+	infos, err := g.listWithRetry(ctx)
+	if err != nil {
+		return fmt.Errorf("core: recover list: %w", err)
+	}
+	if err := g.view.LoadFromList(infos); err != nil {
+		return err
+	}
+	if err := g.restoreTo(ctx, g.localFS, -1); err != nil {
+		return err
+	}
+	g.params.logger().Info("ginja recovery complete",
+		"wal_objects", len(g.view.WALObjects()), "db_objects", len(g.view.DBObjects()))
+	g.start()
+	return nil
+}
+
+// RecoverAt rebuilds the local files to the point-in-time generation
+// whose dump has timestamp dumpTs (as retained by PITRGenerations), NOT
+// starting replication — point-in-time restores are for inspection or
+// fork-off, not for resuming the production timeline.
+func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) error {
+	infos, err := g.listWithRetry(ctx)
+	if err != nil {
+		return fmt.Errorf("core: recover list: %w", err)
+	}
+	if err := g.view.LoadFromList(infos); err != nil {
+		return err
+	}
+	return g.restoreTo(ctx, target, dumpTs)
+}
+
+// restoreTo applies dump + checkpoints + WAL onto target. dumpTs selects a
+// specific dump (-1 = newest).
+func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) error {
+	var dump DBObjectInfo
+	if dumpTs < 0 {
+		d, ok := g.view.LatestDump()
+		if !ok {
+			return ErrNoDump
+		}
+		dump = d
+	} else {
+		found := false
+		for _, d := range g.view.DBObjects() { // (Ts, Gen) ascending
+			if d.Type == Dump && d.Ts == dumpTs {
+				dump = d // highest Gen with this ts wins
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: no dump with ts %d: %w", dumpTs, ErrNoDump)
+		}
+	}
+
+	// 1. The dump (Algorithm 1 lines 27-29).
+	if err := g.applyDBObject(ctx, target, dump); err != nil {
+		return err
+	}
+	// 2. Incremental checkpoints after it, in (Ts, Gen) order (lines
+	// 30-36). When restoring to an older generation (dumpTs >= 0), stop
+	// before the next generation's dump.
+	maxCkptTs := dump.Ts
+	var nextDump *DBObjectInfo
+	if dumpTs >= 0 {
+		for _, d := range g.view.DBObjects() {
+			d := d
+			if d.Type == Dump && dump.Before(d) && (nextDump == nil || d.Before(*nextDump)) {
+				nextDump = &d
+			}
+		}
+	}
+	for _, d := range g.view.DBObjects() {
+		if d.Type != Checkpoint || !dump.Before(d) {
+			continue
+		}
+		if nextDump != nil && !d.Before(*nextDump) {
+			continue
+		}
+		if err := g.applyDBObject(ctx, target, d); err != nil {
+			return err
+		}
+		if d.Ts > maxCkptTs {
+			maxCkptTs = d.Ts
+		}
+	}
+	// 3. WAL objects with consecutive timestamps (lines 37-40). A gap —
+	// an object lost mid-upload when the disaster struck — ends the
+	// replay; this is exactly what bounds data loss to S.
+	wal := g.view.WALObjects()
+	byTs := make(map[int64]WALObjectInfo, len(wal))
+	for _, w := range wal {
+		byTs[w.Ts] = w
+	}
+	for ts := maxCkptTs + 1; ; ts++ {
+		w, ok := byTs[ts]
+		if !ok {
+			break
+		}
+		if nextDump != nil && ts > nextDump.Ts {
+			break
+		}
+		data, err := g.getWithRetry(ctx, w.Name())
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+		}
+		payload, err := g.seal.Open(data)
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+		}
+		writes, err := DecodeWrites(payload)
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+		}
+		if err := applyWrites(target, writes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDBObject downloads (all parts of) a DB object and applies it.
+func (g *Ginja) applyDBObject(ctx context.Context, target vfs.FS, d DBObjectInfo) error {
+	var sealed []byte
+	for _, name := range d.PartNames() {
+		part, err := g.getWithRetry(ctx, name)
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", name, err)
+		}
+		sealed = append(sealed, part...)
+	}
+	payload, err := g.seal.Open(sealed)
+	if err != nil {
+		return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
+	}
+	writes, err := DecodeWrites(payload)
+	if err != nil {
+		return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
+	}
+	return applyWrites(target, writes)
+}
+
+// putWithRetry uploads an object, absorbing transient cloud failures
+// (used by Boot; steady-state uploads retry inside the pipeline).
+func (g *Ginja) putWithRetry(ctx context.Context, name string, data []byte) error {
+	delay := g.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := g.store.Put(ctx, name, data)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-timeAfter(delay):
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+// listWithRetry lists the store, absorbing transient cloud failures.
+func (g *Ginja) listWithRetry(ctx context.Context) ([]cloud.ObjectInfo, error) {
+	delay := g.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		infos, err := g.store.List(ctx, "")
+		if err == nil || ctx.Err() != nil {
+			return infos, err
+		}
+		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-timeAfter(delay):
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+// getWithRetry downloads an object, absorbing transient cloud failures
+// with the same retry policy as uploads. ErrNotFound is permanent and is
+// returned immediately.
+func (g *Ginja) getWithRetry(ctx context.Context, name string) ([]byte, error) {
+	delay := g.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		data, err := g.store.Get(ctx, name)
+		if err == nil || errors.Is(err, cloud.ErrNotFound) || ctx.Err() != nil {
+			return data, err
+		}
+		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-timeAfter(delay):
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+// applyWrites replays file writes locally (Algorithm 1's writeLocally).
+func applyWrites(target vfs.FS, writes []FileWrite) error {
+	for _, w := range writes {
+		if w.Whole {
+			if err := vfs.WriteFile(target, w.Path, w.Data); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := vfs.WriteAt(target, w.Path, w.Offset, w.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// start launches the replication threads (Algorithm 1 lines 2-6).
+func (g *Ginja) start() {
+	g.pipe = newPipeline(g.view, g.store, g.seal, g.params)
+	g.pipe.start(g.view.LastWALTs())
+	g.ckpt = newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params)
+	g.ckpt.start()
+	g.started = true
+}
+
+// OnWrite implements vfs.Observer: classify the write and route it to the
+// commit pipeline or the checkpointer. WAL writes block here until the
+// Safety contract is satisfied.
+func (g *Ginja) OnWrite(path string, off int64, data []byte) {
+	if !g.started || g.closed {
+		return
+	}
+	ev := g.proc.Classify(path, off, data)
+	switch ev.Type {
+	case dbevent.UpdateCommit:
+		// Errors surface via Err(); the write itself already succeeded
+		// locally, and blocking semantics are handled inside submit.
+		g.pipe.submit(path, off, data) //nolint:errcheck
+	case dbevent.CheckpointBegin, dbevent.CheckpointData, dbevent.CheckpointEnd:
+		g.ckpt.handle(ev)
+	}
+}
+
+// OnSync implements vfs.Observer (no action needed: classification happens
+// on writes).
+func (g *Ginja) OnSync(string) {}
+
+// OnTruncate implements vfs.Observer.
+func (g *Ginja) OnTruncate(string, int64) {}
+
+// OnRemove implements vfs.Observer.
+func (g *Ginja) OnRemove(string) {}
+
+// Err returns the first fatal replication error, if any.
+func (g *Ginja) Err() error {
+	if g.pipe == nil {
+		return nil
+	}
+	if err := g.pipe.lastErr(); err != nil {
+		return err
+	}
+	if g.ckpt != nil {
+		return g.ckpt.lastErr()
+	}
+	return nil
+}
+
+// PendingUpdates returns the number of updates not yet acknowledged by
+// the cloud (the quantity bounded by S).
+func (g *Ginja) PendingUpdates() int {
+	if g.pipe == nil {
+		return 0
+	}
+	return g.pipe.q.size()
+}
+
+// Flush waits until every pending commit has been uploaded (bounded by
+// timeout) and reports whether the queue drained.
+func (g *Ginja) Flush(timeout time.Duration) bool {
+	if g.pipe == nil {
+		return true
+	}
+	return g.pipe.q.drain(timeout)
+}
+
+// Stats returns a snapshot of activity counters.
+func (g *Ginja) Stats() Stats {
+	var s Stats
+	if g.pipe != nil {
+		s.UpdatesObserved = g.pipe.stats.updates.Load()
+		s.Batches = g.pipe.stats.batches.Load()
+		s.WALObjectsUploaded = g.pipe.stats.walObjects.Load()
+		s.WALBytesUploaded = g.pipe.stats.walBytes.Load()
+		s.WALBytesRaw = g.pipe.stats.rawBytes.Load()
+		s.UploadRetries = g.pipe.stats.retries.Load()
+		s.BlockedTime = g.pipe.q.blockedDuration()
+	}
+	if g.ckpt != nil {
+		s.Checkpoints = g.ckpt.stats.checkpoints.Load()
+		s.Dumps = g.ckpt.stats.dumps.Load()
+		s.DBObjectsUploaded = g.ckpt.stats.dbObjects.Load()
+		s.DBBytesUploaded = g.ckpt.stats.dbBytes.Load()
+		s.WALObjectsDeleted = g.ckpt.stats.walDeleted.Load()
+		s.DBObjectsDeleted = g.ckpt.stats.dbDeleted.Load()
+	}
+	return s
+}
+
+// Close drains pending work (bounded) and stops the replication threads.
+// The DBMS must be stopped before calling Close for a "safe stop" in the
+// Reboot sense.
+func (g *Ginja) Close() error {
+	if !g.started || g.closed {
+		return nil
+	}
+	g.closed = true
+	var firstErr error
+	if err := g.pipe.drainAndStop(30 * time.Second); err != nil && !errors.Is(err, ErrQueueClosed) {
+		firstErr = err
+	}
+	if err := g.ckpt.stop(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler discards every record; used when Params.Logger is nil so the
+// rest of the code can log unconditionally.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// logger returns the configured logger or a no-op one.
+func (p Params) logger() *slog.Logger {
+	if p.Logger != nil {
+		return p.Logger
+	}
+	return slog.New(nopHandler{})
+}

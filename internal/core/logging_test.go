@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+)
+
+func TestStructuredLoggingEmitsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	params := fastParams()
+	params.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	r := newRig(t, cloud.NewMemStore(), params,
+		func() minidb.Engine { return pgengine.NewWithSizes(1024, 16*1024, 1024) },
+		func() dbevent.Processor { return dbevent.NewPGProcessor() })
+	if err := r.db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.put(t, "kv", "k", "v")
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush")
+	}
+	if err := r.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	waitCheckpointUploaded(t, r.g, 1)
+
+	out := buf.String()
+	for _, want := range []string{"ginja boot complete", "db object uploaded", "garbage-collected WAL objects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilLoggerIsSilentAndSafe(t *testing.T) {
+	params := fastParams() // Logger nil
+	r := pgRig(t, params)
+	if err := r.db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.put(t, "kv", "k", "v")
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// ReplicatedStore replicates objects across several clouds for
+// provider-scale fault tolerance (paper §6: "our system supports the
+// replication of objects in multiple clouds, for tolerating
+// provider-scale failures", in the spirit of DepSky [19]).
+//
+// Writes must reach a majority of providers; reads and lists are served
+// by the first provider that answers; deletes are best-effort everywhere
+// (a leftover object on a crashed provider is garbage, not a safety
+// problem, and will be re-deleted by a later GC pass after Reboot).
+type ReplicatedStore struct {
+	stores []cloud.ObjectStore
+}
+
+var _ cloud.ObjectStore = (*ReplicatedStore)(nil)
+
+// NewReplicatedStore combines the given stores. At least one is required.
+func NewReplicatedStore(stores ...cloud.ObjectStore) (*ReplicatedStore, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("core: replicated store needs at least one backend")
+	}
+	return &ReplicatedStore{stores: stores}, nil
+}
+
+// majority returns the write quorum size.
+func (r *ReplicatedStore) majority() int { return len(r.stores)/2 + 1 }
+
+// Put implements cloud.ObjectStore: success on a majority of providers.
+func (r *ReplicatedStore) Put(ctx context.Context, name string, data []byte) error {
+	type result struct{ err error }
+	results := make(chan result, len(r.stores))
+	for _, s := range r.stores {
+		go func(s cloud.ObjectStore) {
+			results <- result{err: s.Put(ctx, name, data)}
+		}(s)
+	}
+	oks := 0
+	var firstErr error
+	for range r.stores {
+		res := <-results
+		if res.err == nil {
+			oks++
+			if oks >= r.majority() {
+				return nil
+			}
+		} else if firstErr == nil {
+			firstErr = res.err
+		}
+	}
+	return fmt.Errorf("core: replicated put %s reached %d/%d providers: %w",
+		name, oks, len(r.stores), firstErr)
+}
+
+// Get implements cloud.ObjectStore: first provider that has the object.
+func (r *ReplicatedStore) Get(ctx context.Context, name string) ([]byte, error) {
+	var firstErr error
+	for _, s := range r.stores {
+		data, err := s.Get(ctx, name)
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// List implements cloud.ObjectStore: first provider that answers. An
+// object written to a majority may be missing from a minority listing;
+// callers that need certainty should list during healthy operation
+// (Reboot), exactly as the paper assumes.
+func (r *ReplicatedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	var firstErr error
+	for _, s := range r.stores {
+		infos, err := s.List(ctx, prefix)
+		if err == nil {
+			return infos, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// Delete implements cloud.ObjectStore: best-effort on every provider;
+// succeeds if any provider deleted the object.
+func (r *ReplicatedStore) Delete(ctx context.Context, name string) error {
+	oks := 0
+	var firstErr error
+	for _, s := range r.stores {
+		err := s.Delete(ctx, name)
+		if err == nil || errors.Is(err, cloud.ErrNotFound) {
+			oks++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if oks > 0 {
+		return nil
+	}
+	return firstErr
+}
+
+// RepairReport summarises one anti-entropy pass.
+type RepairReport struct {
+	// Copied counts objects re-replicated to lagging providers.
+	Copied int
+	// Removed counts leftover objects deleted from providers that missed
+	// a garbage-collection round.
+	Removed int
+	// Unreachable counts providers that could not be repaired this pass.
+	Unreachable int
+}
+
+// Repair runs anti-entropy across the providers: objects present on a
+// majority are copied to providers missing them, and objects present
+// only on a minority (garbage a dead provider missed deleting) are
+// removed. Run it after a provider recovers from an outage so the write
+// quorum regains full redundancy.
+func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
+	var report RepairReport
+	type listing struct {
+		store cloud.ObjectStore
+		names map[string]struct{}
+		ok    bool
+	}
+	listings := make([]listing, len(r.stores))
+	presence := make(map[string]int)
+	reachable := 0
+	for i, s := range r.stores {
+		infos, err := s.List(ctx, "")
+		if err != nil {
+			listings[i] = listing{store: s}
+			report.Unreachable++
+			continue
+		}
+		names := make(map[string]struct{}, len(infos))
+		for _, info := range infos {
+			names[info.Name] = struct{}{}
+			presence[info.Name]++
+		}
+		listings[i] = listing{store: s, names: names, ok: true}
+		reachable++
+	}
+	if reachable == 0 {
+		return report, errors.New("core: repair: no provider reachable")
+	}
+	quorum := r.majority()
+	for name, count := range presence {
+		if count >= quorum {
+			// Canonical object: copy to reachable providers missing it.
+			var data []byte
+			for _, l := range listings {
+				if !l.ok {
+					continue
+				}
+				if _, has := l.names[name]; !has {
+					if data == nil {
+						var err error
+						data, err = r.Get(ctx, name)
+						if err != nil {
+							return report, fmt.Errorf("core: repair read %s: %w", name, err)
+						}
+					}
+					if err := l.store.Put(ctx, name, data); err != nil {
+						return report, fmt.Errorf("core: repair write %s: %w", name, err)
+					}
+					report.Copied++
+				}
+			}
+			continue
+		}
+		// Minority object: garbage from a missed GC round. Only safe to
+		// judge when every provider answered this pass.
+		if reachable < len(r.stores) {
+			continue
+		}
+		for _, l := range listings {
+			if _, has := l.names[name]; has {
+				if err := l.store.Delete(ctx, name); err != nil && !errors.Is(err, cloud.ErrNotFound) {
+					return report, fmt.Errorf("core: repair delete %s: %w", name, err)
+				}
+				report.Removed++
+			}
+		}
+	}
+	return report, nil
+}

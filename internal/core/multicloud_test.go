@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+)
+
+func threeProviders() (*ReplicatedStore, *cloud.MemStore, *cloud.MemStore, *cloudsim.Store) {
+	a := cloud.NewMemStore()
+	b := cloud.NewMemStore()
+	cBack := cloud.NewMemStore()
+	c := cloudsim.New(cBack, cloudsim.Options{TimeScale: -1})
+	repl, err := NewReplicatedStore(a, b, c)
+	if err != nil {
+		panic(err)
+	}
+	return repl, a, b, c
+}
+
+func TestReplicatedStoreNeedsBackends(t *testing.T) {
+	if _, err := NewReplicatedStore(); err == nil {
+		t.Fatal("empty replicated store accepted")
+	}
+}
+
+func TestReplicatedPutThenGet(t *testing.T) {
+	repl, _, _, _ := threeProviders()
+	ctx := context.Background()
+	if err := repl.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repl.Get(ctx, "k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	infos, err := repl.List(ctx, "")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("List = %v, %v", infos, err)
+	}
+}
+
+func TestReplicatedPutFailsWithoutMajority(t *testing.T) {
+	a := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{TimeScale: -1})
+	b := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{TimeScale: -1})
+	c := cloud.NewMemStore()
+	repl, err := NewReplicatedStore(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StartOutage()
+	b.StartOutage()
+	if err := repl.Put(context.Background(), "k", []byte("v")); err == nil {
+		t.Fatal("Put succeeded with 2/3 providers down")
+	}
+}
+
+func TestReplicatedDeleteBestEffort(t *testing.T) {
+	repl, a, _, c := threeProviders()
+	ctx := context.Background()
+	if err := repl.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.StartOutage()
+	if err := repl.Delete(ctx, "k"); err != nil {
+		t.Fatalf("Delete with one provider down: %v", err)
+	}
+	if a.Len() != 0 {
+		t.Fatal("provider A still holds the object")
+	}
+}
+
+func TestRepairCopiesToLaggingProvider(t *testing.T) {
+	repl, a, b, c := threeProviders()
+	ctx := context.Background()
+
+	// Provider C misses two writes during an outage.
+	c.StartOutage()
+	if err := repl.Put(ctx, "WAL/1_seg_0", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.Put(ctx, "WAL/2_seg_0", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	c.EndOutage()
+
+	report, err := repl.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Copied != 2 {
+		t.Fatalf("Copied = %d, want 2", report.Copied)
+	}
+	// All three providers now hold both objects.
+	for name, s := range map[string]cloud.ObjectStore{"a": a, "b": b, "c": c} {
+		for _, key := range []string{"WAL/1_seg_0", "WAL/2_seg_0"} {
+			if _, err := s.Get(ctx, key); err != nil {
+				t.Fatalf("provider %s missing %s after repair: %v", name, key, err)
+			}
+		}
+	}
+}
+
+func TestRepairRemovesMinorityGarbage(t *testing.T) {
+	repl, a, b, c := threeProviders()
+	ctx := context.Background()
+	if err := repl.Put(ctx, "keep", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// A GC round deleted "old" everywhere except provider C (it was down
+	// for the delete): simulate by writing it only to C's backing store.
+	if err := c.Put(ctx, "old", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	report, err := repl.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Removed != 1 {
+		t.Fatalf("Removed = %d, want 1", report.Removed)
+	}
+	if _, err := c.Get(ctx, "old"); !errors.Is(err, cloud.ErrNotFound) {
+		t.Fatalf("garbage survived repair: %v", err)
+	}
+	// The quorum object is untouched.
+	for _, s := range []cloud.ObjectStore{a, b, c} {
+		if _, err := s.Get(ctx, "keep"); err != nil {
+			t.Fatalf("repair damaged a healthy object: %v", err)
+		}
+	}
+}
+
+func TestRepairSkipsGarbageJudgementWhenProviderDown(t *testing.T) {
+	repl, _, _, c := threeProviders()
+	ctx := context.Background()
+	if err := repl.Put(ctx, "keep", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.StartOutage()
+	report, err := repl.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Unreachable != 1 {
+		t.Fatalf("Unreachable = %d, want 1", report.Unreachable)
+	}
+}
+
+func TestRepairAllProvidersDown(t *testing.T) {
+	a := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{TimeScale: -1})
+	repl, err := NewReplicatedStore(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StartOutage()
+	if _, err := repl.Repair(context.Background()); err == nil {
+		t.Fatal("repair succeeded with every provider down")
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements Ginja itself: the commit pipeline (Batch/Safety
+// control, aggregation, parallel uploads, consecutive-timestamp release —
+// paper Algorithm 2), the checkpointer with dump/incremental decision and
+// garbage collection (Algorithm 3), the cloud data model (§5.2), and the
+// Boot/Reboot/Recovery procedures (Algorithm 1).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DBObjectType distinguishes the two kinds of DB objects (§5.2).
+type DBObjectType string
+
+// DB object types.
+const (
+	// Dump is a full copy of all relevant database files.
+	Dump DBObjectType = "dump"
+	// Checkpoint is an incremental set of database-file writes.
+	Checkpoint DBObjectType = "checkpoint"
+)
+
+// Object name prefixes in the cloud.
+const (
+	walPrefix = "WAL/"
+	dbPrefix  = "DB/"
+)
+
+// WALObjectName formats WAL/<ts>_<filename>_<offset> (§5.2). ts establishes
+// the total order, filename is the local WAL segment the content belongs
+// to, offset is its position in that segment.
+func WALObjectName(ts int64, filename string, offset int64) string {
+	return fmt.Sprintf("%s%d_%s_%d", walPrefix, ts, filename, offset)
+}
+
+// ParseWALObjectName inverts WALObjectName. Filenames may themselves
+// contain underscores and slashes; ts is everything before the first '_'
+// and offset everything after the last.
+func ParseWALObjectName(name string) (ts int64, filename string, offset int64, err error) {
+	rest, ok := strings.CutPrefix(name, walPrefix)
+	if !ok {
+		return 0, "", 0, fmt.Errorf("core: %q is not a WAL object name", name)
+	}
+	first := strings.IndexByte(rest, '_')
+	last := strings.LastIndexByte(rest, '_')
+	if first < 0 || last <= first {
+		return 0, "", 0, fmt.Errorf("core: malformed WAL object name %q", name)
+	}
+	ts, err = strconv.ParseInt(rest[:first], 10, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("core: WAL object name %q: %w", name, err)
+	}
+	offset, err = strconv.ParseInt(rest[last+1:], 10, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("core: WAL object name %q: %w", name, err)
+	}
+	return ts, rest[first+1 : last], offset, nil
+}
+
+// DBObjectName formats DB/<ts>_<type>_<size> (§5.2), with two optional
+// suffixes: ".g<gen>" disambiguates multiple DB objects that share a
+// timestamp (two checkpoints with no commit in between both carry the ts
+// of the same last WAL object — the paper's naming tells them apart only
+// by size, which is not guaranteed unique), and ".p<part>" marks a part of
+// an object split at the maximum object size (§5.2 footnote: 20 MB by
+// default). gen 0 and part < 0 produce the paper's plain format.
+func DBObjectName(ts int64, gen int, typ DBObjectType, size int64, part int) string {
+	base := fmt.Sprintf("%s%d_%s_%d", dbPrefix, ts, typ, size)
+	if gen > 0 {
+		base = fmt.Sprintf("%s.g%d", base, gen)
+	}
+	if part < 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.p%d", base, part)
+}
+
+// ParseDBObjectName inverts DBObjectName. part is -1 for unsplit objects;
+// gen is 0 for the plain paper format.
+func ParseDBObjectName(name string) (ts int64, gen int, typ DBObjectType, size int64, part int, err error) {
+	rest, ok := strings.CutPrefix(name, dbPrefix)
+	if !ok {
+		return 0, 0, "", 0, 0, fmt.Errorf("core: %q is not a DB object name", name)
+	}
+	part = -1
+	if i := strings.LastIndex(rest, ".p"); i >= 0 {
+		p, perr := strconv.Atoi(rest[i+2:])
+		if perr == nil {
+			part = p
+			rest = rest[:i]
+		}
+	}
+	if i := strings.LastIndex(rest, ".g"); i >= 0 {
+		g, gerr := strconv.Atoi(rest[i+2:])
+		if gerr == nil {
+			gen = g
+			rest = rest[:i]
+		}
+	}
+	fields := strings.Split(rest, "_")
+	if len(fields) != 3 {
+		return 0, 0, "", 0, 0, fmt.Errorf("core: malformed DB object name %q", name)
+	}
+	ts, err = strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: %w", name, err)
+	}
+	typ = DBObjectType(fields[1])
+	if typ != Dump && typ != Checkpoint {
+		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: unknown type %q", name, typ)
+	}
+	size, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: %w", name, err)
+	}
+	return ts, gen, typ, size, part, nil
+}
+
+// FileWrite is one replicated file mutation: either a positional write or,
+// when Whole is set (dump entries), the complete content of a file.
+type FileWrite struct {
+	Path   string
+	Offset int64
+	Data   []byte
+	// Whole marks a dump entry: on recovery the file is truncated to
+	// exactly this content.
+	Whole bool
+}
+
+// End returns the byte offset just past this write.
+func (w FileWrite) End() int64 { return w.Offset + int64(len(w.Data)) }
+
+// Write-list wire format:
+//
+//	magic(4) "GJWL" | count(4) | entries...
+//	entry: flags(1) | pathLen(2) | path | offset(8) | dataLen(8) | data
+const writeListMagic = "GJWL"
+
+// ErrBadWriteList reports a malformed serialized write list.
+var ErrBadWriteList = errors.New("core: malformed write list")
+
+// EncodeWrites serializes a write list for upload.
+func EncodeWrites(writes []FileWrite) []byte {
+	size := 8
+	for _, w := range writes {
+		size += 1 + 2 + len(w.Path) + 8 + 8 + len(w.Data)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, writeListMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(writes)))
+	for _, w := range writes {
+		var flags byte
+		if w.Whole {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(w.Path)))
+		buf = append(buf, w.Path...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.Offset))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(w.Data)))
+		buf = append(buf, w.Data...)
+	}
+	return buf
+}
+
+// DecodeWrites parses a serialized write list.
+func DecodeWrites(buf []byte) ([]FileWrite, error) {
+	if len(buf) < 8 || string(buf[:4]) != writeListMagic {
+		return nil, ErrBadWriteList
+	}
+	count := int(binary.LittleEndian.Uint32(buf[4:8]))
+	writes := make([]FileWrite, 0, count)
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+3 > len(buf) {
+			return nil, ErrBadWriteList
+		}
+		flags := buf[off]
+		pathLen := int(binary.LittleEndian.Uint16(buf[off+1 : off+3]))
+		off += 3
+		if off+pathLen+16 > len(buf) {
+			return nil, ErrBadWriteList
+		}
+		p := string(buf[off : off+pathLen])
+		off += pathLen
+		wOff := int64(binary.LittleEndian.Uint64(buf[off : off+8]))
+		dataLen := binary.LittleEndian.Uint64(buf[off+8 : off+16])
+		off += 16
+		if dataLen > uint64(len(buf)-off) {
+			return nil, ErrBadWriteList
+		}
+		data := append([]byte(nil), buf[off:off+int(dataLen)]...)
+		off += int(dataLen)
+		writes = append(writes, FileWrite{Path: p, Offset: wOff, Data: data, Whole: flags&1 != 0})
+	}
+	if off != len(buf) {
+		return nil, ErrBadWriteList
+	}
+	return writes, nil
+}
+
+// MergeWrites coalesces a sequence of positional writes: overlapping bytes
+// are resolved last-writer-wins, and adjacent/contiguous regions of the
+// same file are merged into single writes. This is the aggregation of
+// Algorithm 2 that lets many commits rewriting the same WAL page collapse
+// into one cloud object ("by aggregating them we coalesce many updates in
+// a single cloud object upload", §5.3).
+//
+// The result is ordered by (path, offset). Whole-file entries are passed
+// through untouched.
+func MergeWrites(writes []FileWrite) []FileWrite {
+	type segment struct {
+		off  int64
+		data []byte
+	}
+	files := make(map[string][]segment)
+	var order []string
+	var whole []FileWrite
+	for _, w := range writes {
+		if w.Whole {
+			whole = append(whole, w)
+			continue
+		}
+		if _, ok := files[w.Path]; !ok {
+			order = append(order, w.Path)
+		}
+		segs := files[w.Path]
+		// Cut away the parts of existing segments that the new write
+		// overlaps, then insert the new write.
+		var next []segment
+		for _, s := range segs {
+			sEnd := s.off + int64(len(s.data))
+			switch {
+			case sEnd <= w.Offset || s.off >= w.End():
+				next = append(next, s) // disjoint
+			default:
+				if s.off < w.Offset { // left remainder
+					next = append(next, segment{off: s.off, data: s.data[:w.Offset-s.off]})
+				}
+				if sEnd > w.End() { // right remainder
+					next = append(next, segment{off: w.End(), data: s.data[w.End()-s.off:]})
+				}
+			}
+		}
+		next = append(next, segment{off: w.Offset, data: append([]byte(nil), w.Data...)})
+		files[w.Path] = next
+	}
+	var out []FileWrite
+	sort.Strings(order)
+	for _, p := range order {
+		segs := files[p]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].off < segs[j].off })
+		// Merge contiguous segments.
+		var cur *FileWrite
+		for _, s := range segs {
+			if cur != nil && cur.End() == s.off {
+				cur.Data = append(cur.Data, s.data...)
+				continue
+			}
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &FileWrite{Path: p, Offset: s.off, Data: s.data}
+		}
+		if cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	return append(out, whole...)
+}
+
+// SplitWrite chops a single write into pieces of at most maxSize bytes
+// (the 20 MB object-size cap, §5.2 footnote).
+func SplitWrite(w FileWrite, maxSize int64) []FileWrite {
+	if maxSize <= 0 || int64(len(w.Data)) <= maxSize || w.Whole {
+		return []FileWrite{w}
+	}
+	var out []FileWrite
+	for start := int64(0); start < int64(len(w.Data)); start += maxSize {
+		end := start + maxSize
+		if end > int64(len(w.Data)) {
+			end = int64(len(w.Data))
+		}
+		out = append(out, FileWrite{Path: w.Path, Offset: w.Offset + start, Data: w.Data[start:end]})
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// Default parameter values. Batch/Safety defaults follow the paper's
+// recommended "B substantially lower than S" shape (§5.1); the object size
+// cap and dump threshold are the paper's (§5.2 footnote, §5.3).
+const (
+	DefaultBatch          = 100
+	DefaultSafety         = 1000
+	DefaultBatchTimeout   = 10 * time.Second
+	DefaultSafetyTimeout  = 60 * time.Second
+	DefaultUploaders      = 5 // "five Uploader threads ... the best setup" (§8)
+	DefaultMaxObjectSize  = 20 << 20
+	DefaultDumpThreshold  = 1.5
+	DefaultUploadRetries  = 8
+	DefaultRetryBaseDelay = 50 * time.Millisecond
+)
+
+// Params is Ginja's user-facing configuration (§5.1): the Batch (B, TB)
+// and Safety (S, TS) knobs plus operational tuning.
+type Params struct {
+	// Batch (B) is the maximum number of database updates included in
+	// each cloud synchronization.
+	Batch int
+	// Safety (S) is the maximum number of database updates that can be
+	// lost in a disaster; commits block beyond it.
+	Safety int
+	// BatchTimeout (TB) uploads a partial batch if it is non-empty and
+	// this much time has elapsed since the last synchronization.
+	BatchTimeout time.Duration
+	// SafetyTimeout (TS) blocks commits if non-synchronized updates have
+	// been pending for this long.
+	SafetyTimeout time.Duration
+	// Uploaders is the number of parallel upload threads.
+	Uploaders int
+	// MaxObjectSize splits any larger object into parts (optimises upload
+	// latency, §5.2 footnote).
+	MaxObjectSize int64
+	// DumpThreshold triggers a new dump when the cloud DB objects exceed
+	// this multiple of the local database size (1.5 in the paper).
+	DumpThreshold float64
+	// UploadRetries bounds per-object retry attempts before Ginja
+	// declares the backup broken (0 = retry forever).
+	UploadRetries int
+	// RetryBaseDelay is the initial exponential-backoff delay.
+	RetryBaseDelay time.Duration
+	// Compress/Encrypt/Password configure the object envelope (§5.4).
+	Compress bool
+	Encrypt  bool
+	Password string
+	// PITRGenerations keeps the N most recent dump generations (each dump
+	// plus its incremental checkpoints) instead of garbage-collecting
+	// them, enabling point-in-time recovery (§5.4). 0 disables retention.
+	PITRGenerations int
+	// DisableAggregation turns off the coalescing of page rewrites before
+	// upload (one object per intercepted write). Exists only for the
+	// ablation benchmarks quantifying how much aggregation saves; never
+	// enable it in production.
+	DisableAggregation bool
+	// Logger receives structured operational events (uploads, garbage
+	// collection, recovery progress, retries). nil disables logging.
+	Logger *slog.Logger
+}
+
+// DefaultParams returns the paper-flavoured defaults (B=100, S=1000).
+func DefaultParams() Params {
+	return Params{
+		Batch:          DefaultBatch,
+		Safety:         DefaultSafety,
+		BatchTimeout:   DefaultBatchTimeout,
+		SafetyTimeout:  DefaultSafetyTimeout,
+		Uploaders:      DefaultUploaders,
+		MaxObjectSize:  DefaultMaxObjectSize,
+		DumpThreshold:  DefaultDumpThreshold,
+		UploadRetries:  DefaultUploadRetries,
+		RetryBaseDelay: DefaultRetryBaseDelay,
+	}
+}
+
+// Validate checks internal consistency and fills zero values with
+// defaults, returning the normalised parameters.
+func (p Params) Validate() (Params, error) {
+	d := DefaultParams()
+	if p.Batch == 0 {
+		p.Batch = d.Batch
+	}
+	if p.Safety == 0 {
+		p.Safety = d.Safety
+	}
+	if p.BatchTimeout == 0 {
+		p.BatchTimeout = d.BatchTimeout
+	}
+	if p.SafetyTimeout == 0 {
+		p.SafetyTimeout = d.SafetyTimeout
+	}
+	if p.Uploaders == 0 {
+		p.Uploaders = d.Uploaders
+	}
+	if p.MaxObjectSize == 0 {
+		p.MaxObjectSize = d.MaxObjectSize
+	}
+	if p.DumpThreshold == 0 {
+		p.DumpThreshold = d.DumpThreshold
+	}
+	if p.RetryBaseDelay == 0 {
+		p.RetryBaseDelay = d.RetryBaseDelay
+	}
+	if p.Batch < 1 {
+		return p, fmt.Errorf("core: Batch must be ≥ 1, got %d", p.Batch)
+	}
+	if p.Safety < p.Batch {
+		return p, fmt.Errorf("core: Safety (%d) must be ≥ Batch (%d)", p.Safety, p.Batch)
+	}
+	if p.Uploaders < 1 {
+		return p, fmt.Errorf("core: Uploaders must be ≥ 1, got %d", p.Uploaders)
+	}
+	if p.DumpThreshold < 1 {
+		return p, fmt.Errorf("core: DumpThreshold must be ≥ 1, got %v", p.DumpThreshold)
+	}
+	if p.Encrypt && p.Password == "" {
+		return p, errors.New("core: Encrypt requires Password")
+	}
+	if p.PITRGenerations < 0 {
+		return p, fmt.Errorf("core: PITRGenerations must be ≥ 0, got %d", p.PITRGenerations)
+	}
+	return p, nil
+}
+
+// NoLoss returns the synchronous-replication configuration (S = B = 1,
+// the paper's "No Loss" column in Figure 5).
+func NoLoss() Params {
+	p := DefaultParams()
+	p.Batch = 1
+	p.Safety = 1
+	return p
+}

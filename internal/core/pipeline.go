@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/sealer"
+)
+
+// walUpload is one WAL object headed for the cloud.
+type walUpload struct {
+	ts    int64
+	write FileWrite
+}
+
+// batchRec tracks one Aggregator batch so the Unlocker can release its
+// updates from the CommitQueue once all its objects are durable.
+type batchRec struct {
+	count int   // updates in the batch
+	maxTs int64 // highest WAL timestamp the batch produced
+}
+
+// pipelineStats are the commit-path counters behind Table 3.
+type pipelineStats struct {
+	walObjects atomic.Int64
+	walBytes   atomic.Int64 // sealed (uploaded) bytes
+	rawBytes   atomic.Int64 // pre-seal payload bytes
+	batches    atomic.Int64
+	updates    atomic.Int64
+	retries    atomic.Int64
+}
+
+// pipeline wires the CommitQueue to the cloud: Aggregator → Uploader pool
+// → Unlocker (paper Figure 3, implementing Algorithm 2).
+type pipeline struct {
+	q      *commitQueue
+	view   *CloudView
+	store  cloud.ObjectStore
+	seal   *sealer.Sealer
+	params Params
+
+	uploadCh chan walUpload
+	ackCh    chan int64
+	batchCh  chan batchRec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	stats pipelineStats
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, params Params) *pipeline {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &pipeline{
+		q:        newCommitQueue(params),
+		view:     view,
+		store:    store,
+		seal:     seal,
+		params:   params,
+		uploadCh: make(chan walUpload, params.Uploaders),
+		ackCh:    make(chan int64, params.Uploaders),
+		batchCh:  make(chan batchRec, 64),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+// start launches the Aggregator, the Uploader pool and the Unlocker.
+// initialFrontier is the highest WAL timestamp already known durable
+// (everything the view held at start).
+func (p *pipeline) start(initialFrontier int64) {
+	var uploaderWG sync.WaitGroup
+	for i := 0; i < p.params.Uploaders; i++ {
+		uploaderWG.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer uploaderWG.Done()
+			p.uploader()
+		}()
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		uploaderWG.Wait()
+		close(p.ackCh)
+	}()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.aggregator()
+	}()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.unlocker(initialFrontier)
+	}()
+}
+
+// submit is called from the intercepted WAL write; it blocks per the
+// Safety contract and returns the time spent blocked.
+func (p *pipeline) submit(path string, off int64, data []byte) (time.Duration, error) {
+	if err := p.lastErr(); err != nil {
+		return 0, err
+	}
+	p.stats.updates.Add(1)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return p.q.put(update{path: path, off: off, data: cp})
+}
+
+// aggregator implements the Aggregator thread: read batches of up to B
+// updates, coalesce page rewrites, split oversized runs, stamp timestamps
+// and hand the objects to the uploaders (Algorithm 2 lines 9-16).
+func (p *pipeline) aggregator() {
+	defer close(p.uploadCh)
+	defer close(p.batchCh)
+	for {
+		updates, ok := p.q.nextBatch()
+		if !ok {
+			return
+		}
+		writes := make([]FileWrite, len(updates))
+		for i, u := range updates {
+			writes[i] = FileWrite{Path: u.path, Offset: u.off, Data: u.data}
+		}
+		merged := writes
+		if !p.params.DisableAggregation {
+			merged = MergeWrites(writes)
+		}
+		var pieces []FileWrite
+		for _, w := range merged {
+			pieces = append(pieces, SplitWrite(w, p.params.MaxObjectSize)...)
+		}
+		var maxTs int64
+		for _, w := range pieces {
+			ts := p.view.NextWALTs()
+			maxTs = ts
+			select {
+			case p.uploadCh <- walUpload{ts: ts, write: w}:
+			case <-p.ctx.Done():
+				return
+			}
+		}
+		p.stats.batches.Add(1)
+		select {
+		case p.batchCh <- batchRec{count: len(updates), maxTs: maxTs}:
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// uploader is one Uploader thread: seal and PUT WAL objects, retrying with
+// exponential backoff, then acknowledge the timestamp.
+func (p *pipeline) uploader() {
+	for u := range p.uploadCh {
+		payload := EncodeWrites([]FileWrite{u.write})
+		sealed, err := p.seal.Seal(payload)
+		if err != nil {
+			p.fail(fmt.Errorf("core: seal WAL object ts=%d: %w", u.ts, err))
+			return
+		}
+		name := WALObjectName(u.ts, u.write.Path, u.write.Offset)
+		if err := p.putWithRetry(name, sealed); err != nil {
+			p.fail(fmt.Errorf("core: upload %s: %w", name, err))
+			return
+		}
+		p.view.AddWAL(WALObjectInfo{
+			Ts: u.ts, Filename: u.write.Path, Offset: u.write.Offset, Size: int64(len(sealed)),
+		})
+		p.stats.walObjects.Add(1)
+		p.stats.walBytes.Add(int64(len(sealed)))
+		p.stats.rawBytes.Add(int64(len(payload)))
+		select {
+		case p.ackCh <- u.ts:
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// putWithRetry uploads with exponential backoff. UploadRetries = 0 retries
+// until the pipeline shuts down — a transient cloud hiccup must delay, not
+// lose, the backup.
+func (p *pipeline) putWithRetry(name string, data []byte) error {
+	delay := p.params.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := p.store.Put(p.ctx, name, data)
+		if err == nil {
+			return nil
+		}
+		if p.ctx.Err() != nil {
+			return err
+		}
+		if p.params.UploadRetries > 0 && attempt+1 >= p.params.UploadRetries {
+			return err
+		}
+		p.stats.retries.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-p.ctx.Done():
+			return err
+		}
+		if delay < 5*time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// unlocker implements the Unlocker thread: advance the contiguous-
+// timestamp frontier as acknowledgements arrive and release batches from
+// the CommitQueue in FIFO order. Releasing only up to the *consecutive*
+// frontier is what bounds data loss to S even with parallel, out-of-order
+// uploads (§5.3: "Ginja blocks the DBMS until all WAL objects with
+// consecutive ts values are uploaded").
+func (p *pipeline) unlocker(frontier int64) {
+	acked := make(map[int64]bool)
+	var pending []batchRec
+	ackCh := p.ackCh
+	batchCh := p.batchCh
+	for ackCh != nil || batchCh != nil {
+		select {
+		case ts, ok := <-ackCh:
+			if !ok {
+				ackCh = nil
+				continue
+			}
+			acked[ts] = true
+			for acked[frontier+1] {
+				frontier++
+				delete(acked, frontier)
+			}
+		case b, ok := <-batchCh:
+			if !ok {
+				batchCh = nil
+				continue
+			}
+			pending = append(pending, b)
+		}
+		for len(pending) > 0 && pending[0].maxTs <= frontier {
+			p.q.removeFront(pending[0].count)
+			pending = pending[1:]
+		}
+	}
+}
+
+func (p *pipeline) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.params.logger().Error("ginja replication failed; commits will be rejected", "err", err)
+	// A failed uploader means the Safety contract can no longer be
+	// honoured: shut the pipeline down so blocked commits surface the
+	// error instead of hanging forever.
+	p.q.close()
+	p.cancel()
+}
+
+func (p *pipeline) lastErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// drainAndStop flushes pending uploads (bounded by timeout) and stops all
+// goroutines.
+func (p *pipeline) drainAndStop(timeout time.Duration) error {
+	p.q.drain(timeout)
+	p.q.close()
+	p.cancel()
+	p.wg.Wait()
+	return p.lastErr()
+}

@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// maxRetryDelay caps exponential backoff between upload retries.
+const maxRetryDelay = 5 * time.Second
+
+// timeAfter is an indirection point so tests could stub delays if needed.
+var timeAfter = time.After

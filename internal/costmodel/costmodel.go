@@ -1,0 +1,195 @@
+// Package costmodel implements the paper's monetary cost model (§7): the
+// four-component monthly cost equation for running Ginja, the $1/month
+// capacity frontier of Figure 1, the cost-vs-workload curves of Figure 4,
+// the real-application comparison of Table 2, and the recovery-cost
+// estimate of §7.3.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// Time constants used by the paper's formulas.
+const (
+	hoursPerMonth   = 30 * 24
+	minutesPerMonth = 30 * 24 * 60
+)
+
+// Deployment describes one protected database and its Ginja configuration,
+// in the units the paper's §7.1 formulas use.
+type Deployment struct {
+	// DBSizeGB is the local database size in GB.
+	DBSizeGB float64
+	// UpdatesPerMinute is the workload's update rate (W).
+	UpdatesPerMinute float64
+	// Batch is Ginja's B parameter: updates per cloud synchronization.
+	Batch float64
+	// WALPageBytes is the WAL page size (8 KiB for PostgreSQL).
+	WALPageBytes float64
+	// RecordsPerPage is how many update records fit one WAL page
+	// (RecPerPage; the paper's evaluation uses 75).
+	RecordsPerPage float64
+	// CheckpointPeriodMin is the DBMS checkpoint period in minutes.
+	CheckpointPeriodMin float64
+	// CheckpointDurationMin is the checkpoint duration plus its upload
+	// time, in minutes (CkptTime = period + duration in the paper's
+	// WAL-storage term).
+	CheckpointDurationMin float64
+	// CheckpointSizeMB is the average incremental checkpoint size in MB.
+	CheckpointSizeMB float64
+	// CompressionRatio (CR) divides stored data sizes; 1 = no compression,
+	// 1.43 = the paper's ZLIB ratio ("every 1MB becomes 700kB").
+	CompressionRatio float64
+	// MaxObjectMB caps each uploaded object (20 MB in the paper).
+	MaxObjectMB float64
+	// DumpOverhead is the average cloud-DB-size multiplier due to
+	// incremental checkpoints: the 150 % cap makes the average 125 %.
+	DumpOverhead float64
+}
+
+// PaperEvaluationDeployment returns the configuration behind Figure 4:
+// a 10 GB database, 8 KiB pages holding 75 records, checkpoints every 60
+// minutes taking 20 minutes, compression ratio 1.43.
+func PaperEvaluationDeployment() Deployment {
+	return Deployment{
+		DBSizeGB:              10,
+		UpdatesPerMinute:      100,
+		Batch:                 100,
+		WALPageBytes:          8 * 1024,
+		RecordsPerPage:        75,
+		CheckpointPeriodMin:   60,
+		CheckpointDurationMin: 20,
+		CheckpointSizeMB:      100,
+		CompressionRatio:      1.43,
+		MaxObjectMB:           20,
+		DumpOverhead:          1.25,
+	}
+}
+
+// normalized fills zero fields with the paper's defaults.
+func (d Deployment) normalized() Deployment {
+	def := PaperEvaluationDeployment()
+	if d.WALPageBytes == 0 {
+		d.WALPageBytes = def.WALPageBytes
+	}
+	if d.RecordsPerPage == 0 {
+		d.RecordsPerPage = def.RecordsPerPage
+	}
+	if d.CheckpointPeriodMin == 0 {
+		d.CheckpointPeriodMin = def.CheckpointPeriodMin
+	}
+	if d.CheckpointDurationMin == 0 {
+		d.CheckpointDurationMin = def.CheckpointDurationMin
+	}
+	if d.CheckpointSizeMB == 0 {
+		d.CheckpointSizeMB = def.CheckpointSizeMB
+	}
+	if d.CompressionRatio == 0 {
+		d.CompressionRatio = 1
+	}
+	if d.MaxObjectMB == 0 {
+		d.MaxObjectMB = def.MaxObjectMB
+	}
+	if d.DumpOverhead == 0 {
+		d.DumpOverhead = def.DumpOverhead
+	}
+	if d.Batch == 0 {
+		d.Batch = 1
+	}
+	return d
+}
+
+// Cost is the itemised monthly operational cost (§7.1):
+// CTotal = CDB_Storage + CDB_PUT + CWAL_Storage + CWAL_PUT.
+type Cost struct {
+	DBStorage  float64
+	DBPut      float64
+	WALStorage float64
+	WALPut     float64
+}
+
+// Total returns CTotal in dollars per month.
+func (c Cost) Total() float64 { return c.DBStorage + c.DBPut + c.WALStorage + c.WALPut }
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("$%.3f/month (DB storage $%.3f + DB PUTs $%.3f + WAL storage $%.3f + WAL PUTs $%.3f)",
+		c.Total(), c.DBStorage, c.DBPut, c.WALStorage, c.WALPut)
+}
+
+// Monthly evaluates the §7.1 cost model for a deployment under the given
+// price sheet.
+func Monthly(d Deployment, p cloud.PriceSheet) Cost {
+	d = d.normalized()
+	var c Cost
+
+	// CDB_Storage = DBSize × 1.25 / CR × CStorage
+	c.DBStorage = d.DBSizeGB * d.DumpOverhead / d.CompressionRatio * p.StoragePerGBMonth
+
+	// CDB_PUT = (month / CkptPeriod) × (CkptSize / 20MB) × CPUT
+	checkpointsPerMonth := minutesPerMonth / d.CheckpointPeriodMin
+	putsPerCheckpoint := math.Ceil(d.CheckpointSizeMB / d.MaxObjectMB)
+	c.DBPut = checkpointsPerMonth * putsPerCheckpoint * p.PerPUT
+
+	// CWAL_Storage = (W × CkptTime / RecPerPage + 1) × PageSize/CR × CStorage
+	ckptTime := d.CheckpointPeriodMin + d.CheckpointDurationMin
+	pages := d.UpdatesPerMinute*ckptTime/d.RecordsPerPage + 1
+	pageGB := d.WALPageBytes / float64(cloud.GB)
+	c.WALStorage = pages * pageGB / d.CompressionRatio * p.StoragePerGBMonth
+
+	// CWAL_PUT = W × month / B × CPUT
+	c.WALPut = d.UpdatesPerMinute * minutesPerMonth / d.Batch * p.PerPUT
+
+	return c
+}
+
+// RecoveryCost estimates the cost of recovering the database (§7.3):
+// downloading all DB and WAL objects costs about 4× their monthly storage
+// (egress pricing), and is free when recovering to a VM in the same cloud
+// region.
+func RecoveryCost(d Deployment, p cloud.PriceSheet, inRegion bool) float64 {
+	if inRegion {
+		return 0
+	}
+	c := Monthly(d, p)
+	storageMonthly := c.DBStorage + c.WALStorage
+	if p.StoragePerGBMonth == 0 {
+		return 0
+	}
+	return storageMonthly / p.StoragePerGBMonth * p.EgressPerGB
+}
+
+// OneDollarMaxDBSizeGB returns the largest database (in GB) protectable
+// within the monthly budget given syncsPerHour cloud synchronizations —
+// the frontier of Figure 1. The WAL-side terms are negligible at these
+// scales; the budget splits between PUT operations and DB storage, with
+// the paper's 1.25 average dump overhead.
+func OneDollarMaxDBSizeGB(budget float64, syncsPerHour float64, p cloud.PriceSheet) float64 {
+	putCost := syncsPerHour * hoursPerMonth * p.PerPUT
+	remaining := budget - putCost
+	if remaining <= 0 {
+		return 0
+	}
+	return remaining / (p.StoragePerGBMonth * 1.25)
+}
+
+// FrontierPoint is one sample of the Figure 1 curve.
+type FrontierPoint struct {
+	SyncsPerHour float64
+	MaxDBSizeGB  float64
+}
+
+// OneDollarFrontier samples the Figure 1 frontier from 1 to maxSyncsPerHour.
+func OneDollarFrontier(budget float64, maxSyncsPerHour int, p cloud.PriceSheet) []FrontierPoint {
+	points := make([]FrontierPoint, 0, maxSyncsPerHour)
+	for s := 1; s <= maxSyncsPerHour; s++ {
+		points = append(points, FrontierPoint{
+			SyncsPerHour: float64(s),
+			MaxDBSizeGB:  OneDollarMaxDBSizeGB(budget, float64(s), p),
+		})
+	}
+	return points
+}

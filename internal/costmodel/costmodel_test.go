@@ -1,0 +1,235 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+func s3() cloud.PriceSheet { return cloud.AmazonS3May2017() }
+
+func TestDBStorageMatchesPaperExample(t *testing.T) {
+	// §7.2: "the size of our database (10GB) implies in a fixed
+	// CDB_Storage of $0.20" (with CR 1.43 and the 1.25 overhead).
+	d := PaperEvaluationDeployment()
+	c := Monthly(d, s3())
+	if c.DBStorage < 0.18 || c.DBStorage > 0.22 {
+		t.Fatalf("CDB_Storage = %.3f, paper says ≈$0.20", c.DBStorage)
+	}
+	// "a 10× bigger database, this cost will be $2".
+	d.DBSizeGB = 100
+	c = Monthly(d, s3())
+	if c.DBStorage < 1.8 || c.DBStorage > 2.2 {
+		t.Fatalf("CDB_Storage(100GB) = %.3f, paper says ≈$2", c.DBStorage)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	// Figure 4: for each workload, bigger B → cheaper; at high update
+	// rates cost scales ≈10× per 10× of B; at low rates it flattens to
+	// the storage floor.
+	p := s3()
+	for _, w := range []float64{10, 100, 1000} {
+		var prev float64 = math.Inf(1)
+		for _, b := range []float64{10, 100, 1000} {
+			d := PaperEvaluationDeployment()
+			d.UpdatesPerMinute = w
+			d.Batch = b
+			total := Monthly(d, p).Total()
+			if total >= prev {
+				t.Fatalf("W=%v: cost not decreasing in B (B=%v: %.3f ≥ %.3f)", w, b, total, prev)
+			}
+			prev = total
+		}
+	}
+	// W=1000, B=10: dominated by PUTs — 1000*43200/10 = 4.32M PUTs = $21.6.
+	d := PaperEvaluationDeployment()
+	d.UpdatesPerMinute = 1000
+	d.Batch = 10
+	c := Monthly(d, p)
+	if c.WALPut < 20 || c.WALPut > 23 {
+		t.Fatalf("CWAL_PUT(W=1000,B=10) = %.2f, want ≈21.6", c.WALPut)
+	}
+	// W=10, B=1000: close to the $0.20 storage floor.
+	d.UpdatesPerMinute = 10
+	d.Batch = 1000
+	total := Monthly(d, p).Total()
+	if total > 0.5 {
+		t.Fatalf("low-rate large-batch cost = %.3f, want ≈ storage floor", total)
+	}
+}
+
+func TestManyConfigsUnderOneDollar(t *testing.T) {
+	// §7.2: "there are plenty of possible configurations that cost less
+	// than $1 per month".
+	p := s3()
+	under := 0
+	for _, w := range []float64{10, 50, 100} {
+		for _, b := range []float64{100, 1000} {
+			d := PaperEvaluationDeployment()
+			d.UpdatesPerMinute = w
+			d.Batch = b
+			if Monthly(d, p).Total() < 1 {
+				under++
+			}
+		}
+	}
+	if under < 4 {
+		t.Fatalf("only %d/6 sampled configurations under $1", under)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(s3())
+	if len(rows) != 4 {
+		t.Fatalf("Table2 has %d rows", len(rows))
+	}
+	want := []struct {
+		ginjaLo, ginjaHi float64
+		vm               float64
+	}{
+		{0.35, 0.50, EC2LaboratoryVMMonthly}, // Lab 1 sync/min ≈ $0.42
+		{1.30, 1.70, EC2LaboratoryVMMonthly}, // Lab 6 sync/min ≈ $1.50
+		{18.0, 23.0, EC2HospitalVMMonthly},   // Hospital 1/min ≈ $20.3
+		{19.0, 24.0, EC2HospitalVMMonthly},   // Hospital 6/min ≈ $21.4
+	}
+	for i, row := range rows {
+		if row.Ginja < want[i].ginjaLo || row.Ginja > want[i].ginjaHi {
+			t.Errorf("row %d (%s %v/min): Ginja = $%.2f, want [%.2f, %.2f]",
+				i, row.Scenario, row.SyncsMin, row.Ginja, want[i].ginjaLo, want[i].ginjaHi)
+		}
+		if row.VM != want[i].vm {
+			t.Errorf("row %d: VM = %.1f", i, row.VM)
+		}
+	}
+}
+
+func TestTable2SavingsFactors(t *testing.T) {
+	// §7.2: laboratory 62×–222× cheaper; hospital ≈14× cheaper.
+	p := s3()
+	if f := Laboratory(1).SavingsFactor(p); f < 150 || f > 260 {
+		t.Errorf("Laboratory 1/min savings = %.0f×, paper says ≈222×", f)
+	}
+	if f := Laboratory(6).SavingsFactor(p); f < 50 || f > 75 {
+		t.Errorf("Laboratory 6/min savings = %.0f×, paper says ≈62×", f)
+	}
+	if f := Hospital(1).SavingsFactor(p); f < 11 || f > 17 {
+		t.Errorf("Hospital savings = %.0f×, paper says ≈14×", f)
+	}
+}
+
+func TestOneDollarFrontierMatchesFigure1(t *testing.T) {
+	// Figure 1's named setups: A ≈ 35 GB at 50 syncs/h (one per 72 s),
+	// B ≈ 20 GB at 120/h, C ≈ 4.3 GB at 240/h. Validate the shape within
+	// a generous band (the paper reads values off a plot).
+	p := s3()
+	cases := []struct {
+		syncsPerHour float64
+		wantGB       float64
+		tolerance    float64
+	}{
+		{50, 35, 10},
+		{120, 20, 6},
+		{240, 4.3, 3},
+	}
+	for _, tc := range cases {
+		got := OneDollarMaxDBSizeGB(1.0, tc.syncsPerHour, p)
+		if math.Abs(got-tc.wantGB) > tc.tolerance {
+			t.Errorf("frontier(%v/h) = %.1f GB, want %v ± %v", tc.syncsPerHour, got, tc.wantGB, tc.tolerance)
+		}
+	}
+}
+
+func TestOneDollarFrontierMonotonic(t *testing.T) {
+	points := OneDollarFrontier(1.0, 250, s3())
+	if len(points) != 250 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MaxDBSizeGB > points[i-1].MaxDBSizeGB {
+			t.Fatalf("frontier not monotonically decreasing at %v/h", points[i].SyncsPerHour)
+		}
+	}
+	// Beyond the budget's PUT capacity the frontier hits zero.
+	exhausted := OneDollarMaxDBSizeGB(1.0, 1000, s3())
+	if exhausted != 0 {
+		t.Fatalf("frontier(1000/h) = %v, want 0", exhausted)
+	}
+}
+
+func TestRecoveryCostMatchesPaper(t *testing.T) {
+	// §7.3: recovering the laboratory costs ≈$1.125 and the hospital
+	// ≈$112.5; in-region recovery is free.
+	p := s3()
+	lab := RecoveryCost(Laboratory(1).Deployment(), p, false)
+	if lab < 0.7 || lab > 1.6 {
+		t.Errorf("laboratory recovery = $%.2f, paper says ≈$1.125", lab)
+	}
+	hosp := RecoveryCost(Hospital(1).Deployment(), p, false)
+	if hosp < 75 || hosp > 130 {
+		t.Errorf("hospital recovery = $%.2f, paper says ≈$112.5", hosp)
+	}
+	if free := RecoveryCost(Hospital(1).Deployment(), p, true); free != 0 {
+		t.Errorf("in-region recovery = $%.2f, want 0", free)
+	}
+}
+
+func TestCostStringer(t *testing.T) {
+	c := Monthly(PaperEvaluationDeployment(), s3())
+	if c.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	d := Deployment{DBSizeGB: 5, UpdatesPerMinute: 10}.normalized()
+	if d.Batch != 1 || d.CompressionRatio != 1 || d.WALPageBytes == 0 {
+		t.Fatalf("normalized = %+v", d)
+	}
+}
+
+// TestPropertyCostMonotonicity: the monthly cost must be monotone in each
+// input — up with database size and update rate, down with batch size and
+// compression ratio.
+func TestPropertyCostMonotonicity(t *testing.T) {
+	p := s3()
+	base := PaperEvaluationDeployment()
+	baseline := Monthly(base, p).Total()
+
+	bigger := base
+	bigger.DBSizeGB *= 2
+	if Monthly(bigger, p).Total() <= baseline {
+		t.Fatal("cost not increasing in DB size")
+	}
+	busier := base
+	busier.UpdatesPerMinute *= 2
+	if Monthly(busier, p).Total() <= baseline {
+		t.Fatal("cost not increasing in update rate")
+	}
+	batched := base
+	batched.Batch *= 2
+	if Monthly(batched, p).Total() >= baseline {
+		t.Fatal("cost not decreasing in batch size")
+	}
+	squeezed := base
+	squeezed.CompressionRatio *= 2
+	if Monthly(squeezed, p).Total() >= baseline {
+		t.Fatal("cost not decreasing in compression ratio")
+	}
+}
+
+func TestCostComponentsNonNegative(t *testing.T) {
+	p := s3()
+	for _, w := range []float64{0, 1, 10000} {
+		for _, b := range []float64{1, 1000000} {
+			d := PaperEvaluationDeployment()
+			d.UpdatesPerMinute = w
+			d.Batch = b
+			c := Monthly(d, p)
+			if c.DBStorage < 0 || c.DBPut < 0 || c.WALStorage < 0 || c.WALPut < 0 {
+				t.Fatalf("negative component at W=%v B=%v: %+v", w, b, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package costmodel
+
+import "github.com/ginja-dr/ginja/internal/cloud"
+
+// EC2 comparison constants (Table 2, computed by the authors with the AWS
+// calculator in May 2017, and §3's m3.medium quote).
+const (
+	// EC2M3MediumMonthly is the cheapest EC2 VM indicated for small to
+	// mid-size databases (m3.medium with Linux), $/month.
+	EC2M3MediumMonthly = 48.24
+	// EC2LaboratoryVMMonthly is m3.medium + VPN + EBS 100 IOPS.
+	EC2LaboratoryVMMonthly = 93.4
+	// EC2HospitalVMMonthly is m3.large + VPN + EBS 500 IOPS.
+	EC2HospitalVMMonthly = 291.5
+)
+
+// Scenario is a real-application configuration from Table 2.
+type Scenario struct {
+	Name string
+	// DBSizeGB and UpdatesPerMinute describe the protected database.
+	DBSizeGB         float64
+	UpdatesPerMinute float64
+	// SyncsPerMinute is the Ginja synchronization rate (1/min → RPO ≈ 1
+	// minute; 6/min → RPO ≈ 10 s).
+	SyncsPerMinute float64
+	// VMMonthly is the cost of the EC2 Pilot-Light alternative.
+	VMMonthly float64
+}
+
+// Laboratory returns the clinical-laboratory scenario: 10 GB database,
+// 30 transactions/minute of which 20 % are updates (6 updates/minute).
+func Laboratory(syncsPerMinute float64) Scenario {
+	return Scenario{
+		Name:             "Laboratory",
+		DBSizeGB:         10,
+		UpdatesPerMinute: 6,
+		SyncsPerMinute:   syncsPerMinute,
+		VMMonthly:        EC2LaboratoryVMMonthly,
+	}
+}
+
+// Hospital returns the hospital scenario: 1 TB database, 630
+// transactions/minute with ~138 updates/minute.
+func Hospital(syncsPerMinute float64) Scenario {
+	return Scenario{
+		Name:             "Hospital",
+		DBSizeGB:         1000,
+		UpdatesPerMinute: 138,
+		SyncsPerMinute:   syncsPerMinute,
+		VMMonthly:        EC2HospitalVMMonthly,
+	}
+}
+
+// Deployment converts the scenario into cost-model inputs: the Batch is
+// derived from the synchronization rate (B = W / syncs-per-minute, so one
+// upload happens per synchronization interval).
+func (s Scenario) Deployment() Deployment {
+	d := PaperEvaluationDeployment()
+	d.DBSizeGB = s.DBSizeGB
+	d.UpdatesPerMinute = s.UpdatesPerMinute
+	d.Batch = s.UpdatesPerMinute / s.SyncsPerMinute
+	return d
+}
+
+// GinjaMonthly returns the scenario's Ginja cost under the price sheet.
+func (s Scenario) GinjaMonthly(p cloud.PriceSheet) Cost {
+	return Monthly(s.Deployment(), p)
+}
+
+// SavingsFactor returns how many times cheaper Ginja is than the VM
+// alternative.
+func (s Scenario) SavingsFactor(p cloud.PriceSheet) float64 {
+	total := s.GinjaMonthly(p).Total()
+	if total == 0 {
+		return 0
+	}
+	return s.VMMonthly / total
+}
+
+// Table2Row is one line of the paper's Table 2.
+type Table2Row struct {
+	Scenario  string
+	SyncsMin  float64
+	Ginja     float64
+	VM        float64
+	Savings   float64
+	Breakdown Cost
+}
+
+// Table2 regenerates the paper's Table 2 rows (Laboratory and Hospital,
+// each at 1 and 6 synchronizations per minute).
+func Table2(p cloud.PriceSheet) []Table2Row {
+	scenarios := []Scenario{Laboratory(1), Laboratory(6), Hospital(1), Hospital(6)}
+	rows := make([]Table2Row, 0, len(scenarios))
+	for _, s := range scenarios {
+		c := s.GinjaMonthly(p)
+		rows = append(rows, Table2Row{
+			Scenario:  s.Name,
+			SyncsMin:  s.SyncsPerMinute,
+			Ginja:     c.Total(),
+			VM:        s.VMMonthly,
+			Savings:   s.SavingsFactor(p),
+			Breakdown: c,
+		})
+	}
+	return rows
+}

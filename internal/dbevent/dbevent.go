@@ -1,0 +1,258 @@
+// Package dbevent classifies intercepted file writes into the three DBMS
+// events Ginja needs (paper §4, Table 1): update commits (synchronous WAL
+// writes), checkpoint begins, and checkpoint ends — plus the data-file
+// writes in between that make up the checkpoint's content.
+//
+// A Processor is the only DBMS-specific part of Ginja (paper §6: "there
+// are only two small modules that are specific for processing I/O from
+// PostgreSQL and MySQL"); supporting another database means writing
+// another Processor.
+package dbevent
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+)
+
+// Type is the semantic kind of an intercepted write.
+type Type int
+
+// Event types, per paper Table 1.
+const (
+	// Other is a write Ginja does not replicate (temp files etc.).
+	Other Type = iota
+	// UpdateCommit is a synchronous write to a WAL segment.
+	UpdateCommit
+	// CheckpointBegin is the first write of a checkpoint. The carried
+	// write is part of the checkpoint's data.
+	CheckpointBegin
+	// CheckpointData is a database-file write inside a checkpoint.
+	CheckpointData
+	// CheckpointEnd is the write after which old WAL entries are disposable.
+	// The carried write is part of the checkpoint's data.
+	CheckpointEnd
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Other:
+		return "other"
+	case UpdateCommit:
+		return "update-commit"
+	case CheckpointBegin:
+		return "checkpoint-begin"
+	case CheckpointData:
+		return "checkpoint-data"
+	case CheckpointEnd:
+		return "checkpoint-end"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one classified write.
+type Event struct {
+	Type   Type
+	Path   string
+	Offset int64
+	Data   []byte
+}
+
+// Kind is the static class of a database file, independent of any
+// in-flight checkpoint state. Ginja uses it to decide which files belong
+// in a dump and to measure the local database size (the 150 % rule).
+type Kind int
+
+// File kinds.
+const (
+	// KindOther files are not replicated (pid files, logs...).
+	KindOther Kind = iota
+	// KindWAL files hold the write-ahead log; they are replicated as WAL
+	// objects and excluded from dumps.
+	KindWAL
+	// KindData files hold database state; dumps copy them whole.
+	KindData
+)
+
+// Region is a byte range of a file.
+type Region struct {
+	Path   string
+	Offset int64
+	Length int64
+}
+
+// Processor classifies the write stream of one DBMS. Implementations may
+// be stateful (InnoDB checkpoint detection is) and must be safe for
+// concurrent use.
+type Processor interface {
+	// Name identifies the DBMS this processor understands.
+	Name() string
+	// Classify labels one intercepted write. The data slice is only valid
+	// for the duration of the call.
+	Classify(path string, off int64, data []byte) Event
+	// FileKind statically classes a file path. Unlike Classify it never
+	// mutates processor state.
+	FileKind(path string) Kind
+	// DumpExtras lists regions of non-data files that a dump must include
+	// anyway. InnoDB keeps its checkpoint blocks inside ib_logfile0's
+	// header, so that region must ride along with every dump.
+	DumpExtras() []Region
+}
+
+// PGProcessor detects PostgreSQL's events (paper Table 1, left column):
+// commit = sync write to a pg_xlog file; checkpoint begin = sync write to
+// a pg_clog file; checkpoint end = sync write to global/pg_control.
+type PGProcessor struct {
+	mu     sync.Mutex
+	inCkpt bool
+}
+
+var _ Processor = (*PGProcessor)(nil)
+
+// NewPGProcessor returns a processor for the PostgreSQL write pattern.
+func NewPGProcessor() *PGProcessor { return &PGProcessor{} }
+
+// Name implements Processor.
+func (*PGProcessor) Name() string { return "postgresql" }
+
+// Classify implements Processor.
+func (p *PGProcessor) Classify(path string, off int64, data []byte) Event {
+	ev := Event{Path: path, Offset: off, Data: data}
+	switch {
+	case strings.HasPrefix(path, pgengine.WALDir+"/"):
+		ev.Type = UpdateCommit
+	case strings.HasPrefix(path, "pg_clog/"):
+		p.mu.Lock()
+		if p.inCkpt {
+			ev.Type = CheckpointData
+		} else {
+			p.inCkpt = true
+			ev.Type = CheckpointBegin
+		}
+		p.mu.Unlock()
+	case path == pgengine.ControlPath:
+		p.mu.Lock()
+		p.inCkpt = false
+		p.mu.Unlock()
+		ev.Type = CheckpointEnd
+	case strings.HasPrefix(path, "base/"), strings.HasPrefix(path, "global/"):
+		ev.Type = CheckpointData
+	default:
+		ev.Type = Other
+	}
+	return ev
+}
+
+// FileKind implements Processor.
+func (*PGProcessor) FileKind(path string) Kind {
+	switch {
+	case strings.HasPrefix(path, pgengine.WALDir+"/"):
+		return KindWAL
+	case strings.HasPrefix(path, "pg_clog/"),
+		strings.HasPrefix(path, "base/"),
+		strings.HasPrefix(path, "global/"):
+		return KindData
+	default:
+		return KindOther
+	}
+}
+
+// DumpExtras implements Processor: PostgreSQL keeps everything recovery
+// needs in ordinary data files, so there are no extra regions.
+func (*PGProcessor) DumpExtras() []Region { return nil }
+
+// InnoProcessor detects MySQL/InnoDB's events (paper Table 1, right
+// column): commit = sync write in an ib_logfile (except the header of
+// ib_logfile0); checkpoint begin = sync write to one of the data files
+// (ibdata, .ibd, .frm); checkpoint end = sync write at offset 512 and/or
+// 1536 of ib_logfile0.
+type InnoProcessor struct {
+	mu     sync.Mutex
+	inCkpt bool
+}
+
+var _ Processor = (*InnoProcessor)(nil)
+
+// NewInnoProcessor returns a processor for the InnoDB write pattern.
+func NewInnoProcessor() *InnoProcessor { return &InnoProcessor{} }
+
+// Name implements Processor.
+func (*InnoProcessor) Name() string { return "mysql" }
+
+// Classify implements Processor.
+func (p *InnoProcessor) Classify(path string, off int64, data []byte) Event {
+	ev := Event{Path: path, Offset: off, Data: data}
+	switch {
+	case strings.HasPrefix(path, "ib_logfile"):
+		if path == innoengine.LogFile0 && off < innoengine.HeaderSize {
+			if off == innoengine.CheckpointOffset1 || off == innoengine.CheckpointOffset2 {
+				p.mu.Lock()
+				p.inCkpt = false
+				p.mu.Unlock()
+				ev.Type = CheckpointEnd
+				return ev
+			}
+			ev.Type = Other // other header writes (file creation)
+			return ev
+		}
+		if off < innoengine.HeaderSize {
+			ev.Type = Other // ib_logfile1 header region
+			return ev
+		}
+		ev.Type = UpdateCommit
+	case isInnoDataFile(path):
+		p.mu.Lock()
+		if p.inCkpt {
+			ev.Type = CheckpointData
+		} else {
+			p.inCkpt = true
+			ev.Type = CheckpointBegin
+		}
+		p.mu.Unlock()
+	default:
+		ev.Type = Other
+	}
+	return ev
+}
+
+// FileKind implements Processor.
+func (*InnoProcessor) FileKind(path string) Kind {
+	switch {
+	case strings.HasPrefix(path, "ib_logfile"):
+		return KindWAL
+	case isInnoDataFile(path):
+		return KindData
+	default:
+		return KindOther
+	}
+}
+
+// DumpExtras implements Processor: the checkpoint blocks (offsets 512 and
+// 1536) live in ib_logfile0's 2048-byte header, so a dump must carry that
+// region for the restored database to find its last checkpoint.
+func (*InnoProcessor) DumpExtras() []Region {
+	return []Region{{Path: innoengine.LogFile0, Offset: 0, Length: innoengine.HeaderSize}}
+}
+
+func isInnoDataFile(path string) bool {
+	return strings.HasSuffix(path, ".ibd") ||
+		strings.HasSuffix(path, ".frm") ||
+		strings.HasPrefix(path, "ibdata")
+}
+
+// ForEngine returns the processor matching a minidb engine name
+// ("postgresql" or "mysql"), or nil for unknown engines.
+func ForEngine(name string) Processor {
+	switch name {
+	case "postgresql":
+		return NewPGProcessor()
+	case "mysql":
+		return NewInnoProcessor()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,255 @@
+package dbevent
+
+import (
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func TestPGClassifyTable1(t *testing.T) {
+	p := NewPGProcessor()
+	tests := []struct {
+		path string
+		off  int64
+		want Type
+	}{
+		{"pg_xlog/000000010000000000000000", 0, UpdateCommit},
+		{"pg_xlog/000000010000000000000003", 8192, UpdateCommit},
+		{"pg_clog/0000", 0, CheckpointBegin}, // first clog write begins the checkpoint
+		{"base/16384/warehouse", 1024, CheckpointData},
+		{"pg_clog/0000", 256, CheckpointData}, // clog writes inside the checkpoint are data
+		{"global/pg_control", 0, CheckpointEnd},
+		{"pg_clog/0000", 0, CheckpointBegin}, // next cycle begins again
+		{"global/pg_control", 0, CheckpointEnd},
+		{"postmaster.pid", 0, Other},
+	}
+	for i, tt := range tests {
+		got := p.Classify(tt.path, tt.off, nil)
+		if got.Type != tt.want {
+			t.Errorf("step %d: Classify(%s, %d) = %v, want %v", i, tt.path, tt.off, got.Type, tt.want)
+		}
+	}
+}
+
+func TestInnoClassifyTable1(t *testing.T) {
+	p := NewInnoProcessor()
+	tests := []struct {
+		path string
+		off  int64
+		want Type
+	}{
+		{"ib_logfile0", 2048, UpdateCommit}, // log data region
+		{"ib_logfile0", 4096, UpdateCommit},
+		{"ib_logfile1", 2048, UpdateCommit},
+		{"ib_logfile0", 0, Other},         // file header (creation), not checkpoint
+		{"ib_logfile1", 512, Other},       // header region of file1 is not a checkpoint block
+		{"stock.ibd", 0, CheckpointBegin}, // first data write begins the fuzzy checkpoint
+		{"orders.ibd", 16384, CheckpointData},
+		{"ibdata1", 0, CheckpointData},
+		{"ib_logfile0", 512, CheckpointEnd},
+		{"customer.ibd", 0, CheckpointBegin}, // next cycle
+		{"ib_logfile0", 1536, CheckpointEnd}, // alternate checkpoint block
+		{"mysql.err", 0, Other},
+	}
+	for i, tt := range tests {
+		got := p.Classify(tt.path, tt.off, nil)
+		if got.Type != tt.want {
+			t.Errorf("step %d: Classify(%s, %d) = %v, want %v", i, tt.path, tt.off, got.Type, tt.want)
+		}
+	}
+}
+
+func TestForEngine(t *testing.T) {
+	if p := ForEngine("postgresql"); p == nil || p.Name() != "postgresql" {
+		t.Fatalf("ForEngine(postgresql) = %v", p)
+	}
+	if p := ForEngine("mysql"); p == nil || p.Name() != "mysql" {
+		t.Fatalf("ForEngine(mysql) = %v", p)
+	}
+	if p := ForEngine("oracle"); p != nil {
+		t.Fatalf("ForEngine(oracle) = %v, want nil", p)
+	}
+}
+
+// classifyRecorder tallies events per type from a live DB run.
+type classifyRecorder struct {
+	vfs.NopObserver
+
+	proc   Processor
+	counts map[Type]int
+}
+
+func (c *classifyRecorder) OnWrite(path string, off int64, data []byte) {
+	ev := c.proc.Classify(path, off, data)
+	c.counts[ev.Type]++
+}
+
+// TestLiveClassification runs a real minidb workload on each engine and
+// checks the processor sees the full event cycle: commits, then a
+// checkpoint begin → data → end sequence.
+func TestLiveClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		engine minidb.Engine
+		proc   Processor
+	}{
+		{"postgresql", pgengine.NewWithSizes(1024, 16*1024, 1024), NewPGProcessor()},
+		{"mysql", innoengine.NewWithSizes(512, 2048+512*64, 1024, 4), NewInnoProcessor()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := &classifyRecorder{proc: tc.proc, counts: make(map[Type]int)}
+			fsys := vfs.NewInterceptFS(vfs.NewMemFS(), rec)
+			db, err := minidb.Open(fsys, tc.engine, minidb.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := db.Update(func(tx *minidb.Txn) error {
+					return tx.Put("kv", []byte{byte('a' + i)}, []byte("value"))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if rec.counts[UpdateCommit] < 20 {
+				t.Errorf("UpdateCommit = %d, want ≥ 20", rec.counts[UpdateCommit])
+			}
+			if rec.counts[CheckpointBegin] == 0 {
+				t.Error("no CheckpointBegin observed")
+			}
+			if rec.counts[CheckpointEnd] == 0 {
+				t.Error("no CheckpointEnd observed")
+			}
+			if rec.counts[CheckpointData] == 0 {
+				t.Error("no CheckpointData observed")
+			}
+		})
+	}
+}
+
+// TestLiveBeginBeforeEnd verifies event ordering on a live run: every
+// CheckpointEnd is preceded by a matching CheckpointBegin.
+func TestLiveBeginBeforeEnd(t *testing.T) {
+	var seq []Type
+	proc := NewPGProcessor()
+	obs := &orderRecorder{proc: proc, seq: &seq}
+	fsys := vfs.NewInterceptFS(vfs.NewMemFS(), obs)
+	db, err := minidb.Open(fsys, pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte{byte(i)}, []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth := 0
+	for i, typ := range seq {
+		switch typ {
+		case CheckpointBegin:
+			if depth != 0 {
+				t.Fatalf("event %d: nested CheckpointBegin", i)
+			}
+			depth = 1
+		case CheckpointEnd:
+			if depth != 1 {
+				t.Fatalf("event %d: CheckpointEnd without Begin", i)
+			}
+			depth = 0
+		}
+	}
+}
+
+type orderRecorder struct {
+	vfs.NopObserver
+
+	proc Processor
+	seq  *[]Type
+}
+
+func (o *orderRecorder) OnWrite(path string, off int64, data []byte) {
+	ev := o.proc.Classify(path, off, data)
+	if ev.Type != Other && ev.Type != UpdateCommit {
+		*o.seq = append(*o.seq, ev.Type)
+	}
+}
+
+func TestPGFileKind(t *testing.T) {
+	p := NewPGProcessor()
+	tests := []struct {
+		path string
+		want Kind
+	}{
+		{"pg_xlog/000000010000000000000001", KindWAL},
+		{"pg_clog/0000", KindData},
+		{"base/16384/warehouse", KindData},
+		{"global/pg_control", KindData},
+		{"postmaster.pid", KindOther},
+		{"server.log", KindOther},
+	}
+	for _, tt := range tests {
+		if got := p.FileKind(tt.path); got != tt.want {
+			t.Errorf("FileKind(%s) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+	if extras := p.DumpExtras(); len(extras) != 0 {
+		t.Fatalf("PostgreSQL DumpExtras = %v, want none", extras)
+	}
+}
+
+func TestInnoFileKind(t *testing.T) {
+	p := NewInnoProcessor()
+	tests := []struct {
+		path string
+		want Kind
+	}{
+		{"ib_logfile0", KindWAL},
+		{"ib_logfile1", KindWAL},
+		{"stock.ibd", KindData},
+		{"table.frm", KindData},
+		{"ibdata1", KindData},
+		{"mysql.err", KindOther},
+	}
+	for _, tt := range tests {
+		if got := p.FileKind(tt.path); got != tt.want {
+			t.Errorf("FileKind(%s) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+	// InnoDB must carry its checkpoint header region in dumps.
+	extras := p.DumpExtras()
+	if len(extras) != 1 || extras[0].Path != "ib_logfile0" || extras[0].Offset != 0 || extras[0].Length != 2048 {
+		t.Fatalf("DumpExtras = %+v, want ib_logfile0[0:2048]", extras)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Other:           "other",
+		UpdateCommit:    "update-commit",
+		CheckpointBegin: "checkpoint-begin",
+		CheckpointData:  "checkpoint-data",
+		CheckpointEnd:   "checkpoint-end",
+		Type(99):        "unknown",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", typ, got, want)
+		}
+	}
+}

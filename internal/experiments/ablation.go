@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// writeThroughGinja boots a Ginja over a memory store, pushes `writes`
+// page writes through the intercepted WAL path and drains, returning the
+// stats. samePage repeats one page (the aggregation-friendly pattern);
+// otherwise pages are distinct.
+func writeThroughGinja(ctx context.Context, params core.Params, store cloud.ObjectStore,
+	writes int, samePage bool) (core.Stats, error) {
+	g, err := core.New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	if err := g.Boot(ctx); err != nil {
+		return core.Stats{}, err
+	}
+	defer g.Close()
+	f, err := g.FS().OpenFile(pgengine.SegmentPath(0), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	defer f.Close()
+	page := make([]byte, 8192)
+	for i := 0; i < writes; i++ {
+		off := int64(0)
+		if !samePage {
+			off = int64(i%1024) * 8192
+		}
+		if _, err := f.WriteAt(page, off); err != nil {
+			return core.Stats{}, err
+		}
+	}
+	if !g.Flush(time.Minute) {
+		return core.Stats{}, fmt.Errorf("experiments: ablation flush timed out")
+	}
+	return g.Stats(), nil
+}
+
+// AblationAggregation quantifies write aggregation: the same page-rewrite
+// workload with coalescing on vs off (DESIGN.md §5).
+type AblationAggregation struct {
+	Writes          int
+	PutsAggregated  int64
+	PutsNaive       int64
+	SavingsX        float64
+	BytesAggregated int64
+	BytesNaive      int64
+}
+
+// RunAblationAggregation performs the aggregation ablation.
+func RunAblationAggregation(ctx context.Context, writes int) (AblationAggregation, error) {
+	res := AblationAggregation{Writes: writes}
+	p := core.DefaultParams()
+	p.Batch = 100
+	p.Safety = 10000
+	p.BatchTimeout = 20 * time.Millisecond
+
+	with, err := writeThroughGinja(ctx, p, cloud.NewMemStore(), writes, true)
+	if err != nil {
+		return res, err
+	}
+	p.DisableAggregation = true
+	without, err := writeThroughGinja(ctx, p, cloud.NewMemStore(), writes, true)
+	if err != nil {
+		return res, err
+	}
+	res.PutsAggregated = with.WALObjectsUploaded
+	res.PutsNaive = without.WALObjectsUploaded
+	res.BytesAggregated = with.WALBytesUploaded
+	res.BytesNaive = without.WALBytesUploaded
+	if res.PutsAggregated > 0 {
+		res.SavingsX = float64(res.PutsNaive) / float64(res.PutsAggregated)
+	}
+	return res, nil
+}
+
+// AblationUploadersRow is one pool size in the uploader sweep.
+type AblationUploadersRow struct {
+	Uploaders int
+	Drain     time.Duration
+}
+
+// RunAblationUploaders sweeps the uploader-pool size (the paper found 5
+// best in its environment) over a burst of one-object-per-write uploads
+// through the WAN latency model.
+func RunAblationUploaders(ctx context.Context, pools []int, writes int) ([]AblationUploadersRow, error) {
+	var rows []AblationUploadersRow
+	for _, n := range pools {
+		p := core.DefaultParams()
+		p.Batch = 1
+		p.Safety = writes * 2
+		p.Uploaders = n
+		p.BatchTimeout = 10 * time.Millisecond
+		store := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{
+			Profile:   cloudsim.WANProfile(),
+			TimeScale: 400,
+		})
+		start := time.Now()
+		if _, err := writeThroughGinja(ctx, p, store, writes, false); err != nil {
+			return nil, fmt.Errorf("experiments: uploaders=%d: %w", n, err)
+		}
+		rows = append(rows, AblationUploadersRow{Uploaders: n, Drain: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// AblationDumpThresholdRow is one threshold in the dump sweep.
+type AblationDumpThresholdRow struct {
+	Threshold    float64
+	Dumps        int64
+	BytesHeld    int64 // cloud occupancy at the end
+	BytesShipped int64 // total DB bytes uploaded
+}
+
+// RunAblationDumpThreshold sweeps the dump trigger (150 % in the paper):
+// lower thresholds dump more often (more upload traffic, less storage
+// held); higher thresholds accumulate incremental checkpoints.
+func RunAblationDumpThreshold(ctx context.Context, thresholds []float64) ([]AblationDumpThresholdRow, error) {
+	var rows []AblationDumpThresholdRow
+	for _, th := range thresholds {
+		p := core.DefaultParams()
+		p.Batch = 8
+		p.Safety = 1024
+		p.BatchTimeout = 10 * time.Millisecond
+		p.DumpThreshold = th
+		metered := cloud.NewMeteredStore(cloud.NewMemStore(), cloud.AmazonS3May2017())
+		g, err := core.New(vfs.NewMemFS(), metered, dbevent.NewPGProcessor(), p)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Boot(ctx); err != nil {
+			return nil, err
+		}
+		db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(1024, 64*1024, 1024), minidb.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CreateTable("kv", 8); err != nil {
+			return nil, err
+		}
+		var ckpts int64
+		for round := 0; round < 6; round++ {
+			for k := 0; k < 16; k++ {
+				if err := db.Update(func(tx *minidb.Txn) error {
+					return tx.Put("kv", []byte(fmt.Sprintf("k%02d", k)),
+						[]byte(fmt.Sprintf("round-%d-%s", round, string(make([]byte, 256)))))
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if !g.Flush(time.Minute) {
+				return nil, fmt.Errorf("experiments: threshold %.1f: flush", th)
+			}
+			if err := db.Checkpoint(); err != nil {
+				return nil, err
+			}
+			ckpts++
+			deadline := time.Now().Add(time.Minute)
+			for g.Stats().Checkpoints+g.Stats().Dumps < ckpts {
+				if time.Now().After(deadline) {
+					return nil, fmt.Errorf("experiments: threshold %.1f: checkpoint upload stuck", th)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		s := g.Stats()
+		rows = append(rows, AblationDumpThresholdRow{
+			Threshold:    th,
+			Dumps:        s.Dumps,
+			BytesHeld:    metered.Counts().StoredBytes,
+			BytesShipped: s.DBBytesUploaded,
+		})
+		db.Close()
+		g.Close()
+	}
+	return rows, nil
+}
+
+// FprintAblations runs and renders all ablation experiments.
+func FprintAblations(ctx context.Context, w io.Writer) error {
+	agg, err := RunAblationAggregation(ctx, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation — write aggregation (%d same-page rewrites):\n", agg.Writes)
+	fmt.Fprintf(w, "  aggregated: %d PUTs (%.1f MiB)   naive: %d PUTs (%.1f MiB)   savings: %.0f×\n",
+		agg.PutsAggregated, float64(agg.BytesAggregated)/(1<<20),
+		agg.PutsNaive, float64(agg.BytesNaive)/(1<<20), agg.SavingsX)
+
+	ups, err := RunAblationUploaders(ctx, []int{1, 5, 16}, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation — uploader pool size (200 objects through the WAN model):")
+	for _, r := range ups {
+		fmt.Fprintf(w, "  uploaders=%-3d drain %s\n", r.Uploaders, r.Drain.Round(time.Millisecond))
+	}
+
+	dumps, err := RunAblationDumpThreshold(ctx, []float64{1.2, 1.5, 3.0})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation — dump threshold (6 checkpoint rounds):")
+	for _, r := range dumps {
+		fmt.Fprintf(w, "  threshold=%.1f  dumps=%d  cloud-held %.1f KiB  shipped %.1f KiB\n",
+			r.Threshold, r.Dumps, float64(r.BytesHeld)/1024, float64(r.BytesShipped)/1024)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/workload/tpcc"
+)
+
+// cellDur keeps experiment tests fast; shapes remain visible at this
+// scale because the latency model, not the wall clock, drives them.
+const cellDur = 300 * time.Millisecond
+
+func TestRunTPCCBaselines(t *testing.T) {
+	ctx := context.Background()
+	for _, baseline := range []Baseline{BaselineNative, BaselineIntercept} {
+		res, err := RunTPCC(ctx, TPCCOptions{Baseline: baseline, Duration: cellDur})
+		if err != nil {
+			t.Fatalf("%s: %v", baseline, err)
+		}
+		if res.TpmTotal <= 0 {
+			t.Fatalf("%s: TpmTotal = %v", baseline, res.TpmTotal)
+		}
+		if res.Ginja.WALObjectsUploaded != 0 {
+			t.Fatalf("%s: baseline must not upload", baseline)
+		}
+	}
+}
+
+func TestRunTPCCGinjaUploads(t *testing.T) {
+	res, err := RunTPCC(context.Background(), TPCCOptions{
+		Baseline: BaselineGinja,
+		Params:   ginjaParams(10, 1000, false, false),
+		Duration: cellDur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TpmTotal <= 0 {
+		t.Fatalf("TpmTotal = %v", res.TpmTotal)
+	}
+	if res.Ginja.WALObjectsUploaded == 0 {
+		t.Fatal("no WAL objects uploaded")
+	}
+	if res.CloudOps.Puts == 0 {
+		t.Fatal("no cloud PUTs metered")
+	}
+	if res.ModelledPutLatency.Count == 0 {
+		t.Fatal("no modelled latency recorded")
+	}
+	if res.WALObjectMeanBytes <= 0 {
+		t.Fatal("no object size recorded")
+	}
+}
+
+func TestFigure5ShapeHighBSBeatsNoLoss(t *testing.T) {
+	// The central Figure 5 claim: a generous B/S configuration performs
+	// close to the interception baseline, while No-Loss (S=B=1) collapses.
+	ctx := context.Background()
+	run := func(b, s int) float64 {
+		t.Helper()
+		res, err := RunTPCC(ctx, TPCCOptions{
+			Baseline: BaselineGinja,
+			Params:   ginjaParams(b, s, false, false),
+			Duration: cellDur,
+			// Mild scale so the per-upload latency is felt but the test
+			// stays fast.
+			TimeScale: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TpmTotal
+	}
+	generous := run(100, 10000)
+	noLoss := run(1, 1)
+	if noLoss >= generous {
+		t.Fatalf("No-Loss (%v tpm) should be far below B=100/S=10000 (%v tpm)", noLoss, generous)
+	}
+	if noLoss > generous/2 {
+		t.Fatalf("No-Loss = %v tpm vs %v tpm: expected a much larger collapse", noLoss, generous)
+	}
+}
+
+func TestTable3ShapeBatchingReducesPuts(t *testing.T) {
+	// Table 3's shape: B=10 → many small objects; B=1000 → far fewer,
+	// bigger objects with higher per-PUT latency.
+	rows, err := Table3(context.Background(), "postgresql", cellDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byConfig := make(map[string]Table3Row, len(rows))
+	for _, r := range rows {
+		byConfig[r.Config] = r
+	}
+	small := byConfig["10/100 plain"]
+	large := byConfig["1000/10000 plain"]
+	if small.RawWindowPUTs <= large.RawWindowPUTs {
+		t.Fatalf("PUTs: B=10 (%d) should exceed B=1000 (%d)", small.RawWindowPUTs, large.RawWindowPUTs)
+	}
+	if small.ObjectSizeKB >= large.ObjectSizeKB {
+		t.Fatalf("object size: B=10 (%.1f kB) should be below B=1000 (%.1f kB)",
+			small.ObjectSizeKB, large.ObjectSizeKB)
+	}
+	if small.PutLatencyMS >= large.PutLatencyMS {
+		t.Fatalf("latency: B=10 (%.0f ms) should be below B=1000 (%.0f ms)",
+			small.PutLatencyMS, large.PutLatencyMS)
+	}
+	// Compression shrinks objects (paper: ≈37 % smaller).
+	plain := byConfig["100/1000 plain"]
+	cc := byConfig["100/1000 C+C"]
+	if cc.ObjectSizeKB >= plain.ObjectSizeKB {
+		t.Fatalf("C+C objects (%.1f kB) should be smaller than plain (%.1f kB)",
+			cc.ObjectSizeKB, plain.ObjectSizeKB)
+	}
+}
+
+func TestTable4ProducesRows(t *testing.T) {
+	rows, err := Table4(context.Background(), "postgresql", cellDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MemPercent <= 0 {
+			t.Fatalf("row %q: MemPercent = %v", r.Config, r.MemPercent)
+		}
+	}
+}
+
+func TestFigure7ShapeGrowsWithSizeAndLANFaster(t *testing.T) {
+	rows, err := Figure7(context.Background(), []int{1, 3}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.InRegionVM >= r.OnPremises {
+			t.Fatalf("W=%d: in-region (%v) should beat on-premises (%v)",
+				r.Warehouses, r.InRegionVM, r.OnPremises)
+		}
+		if r.BytesOnPrem == 0 || r.ObjectsOnPrem == 0 {
+			t.Fatalf("W=%d: nothing downloaded", r.Warehouses)
+		}
+	}
+	if rows[1].OnPremises <= rows[0].OnPremises {
+		t.Fatalf("recovery time should grow with database size: W=1 %v vs W=3 %v",
+			rows[0].OnPremises, rows[1].OnPremises)
+	}
+}
+
+func TestFigure2Blocking(t *testing.T) {
+	res, err := Figure2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerUpdateBlocked) != 21 {
+		t.Fatalf("%d updates", len(res.PerUpdateBlocked))
+	}
+	// Updates 1..20 must be fast; update 21 must have blocked.
+	for i := 0; i < 20; i++ {
+		if res.PerUpdateBlocked[i] > 60*time.Millisecond {
+			t.Fatalf("update %d blocked %v below the Safety limit", i+1, res.PerUpdateBlocked[i])
+		}
+	}
+	if res.FirstBlockedUpdate != 21 {
+		t.Fatalf("FirstBlockedUpdate = %d, want 21", res.FirstBlockedUpdate)
+	}
+	if res.Batches < 10 {
+		t.Fatalf("Batches = %d, want ≈10 for 21 updates at B=2", res.Batches)
+	}
+}
+
+func TestRunRecoveryValidatesRestart(t *testing.T) {
+	res, err := RunRecovery(context.Background(), RecoveryOptions{
+		Warehouses:       1,
+		WorkloadDuration: 200 * time.Millisecond,
+		Profile:          cloudsim.LANProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelledTime <= 0 {
+		t.Fatalf("ModelledTime = %v", res.ModelledTime)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+	FprintFigure1(&buf, 1.0)
+	FprintFigure4(&buf)
+	FprintTable2(&buf)
+	FprintRecoveryCosts(&buf)
+	FprintFigure5(&buf, "postgresql", []Figure5Row{{Cell: Figure5Cells()[0], TpmC: 1, TpmTotal: 2}})
+	FprintFigure6(&buf, "postgresql", []Figure6Row{{Cell: Figure6Cells()[0], TpmC: 1, TpmTotal: 2}})
+	FprintTable3(&buf, "postgresql", []Table3Row{{Config: "10/100 plain"}}, time.Second)
+	FprintTable4(&buf, "postgresql", []Table4Row{{Config: "Native FS"}})
+	FprintFigure7(&buf, []Figure7Row{{Warehouses: 1}})
+	FprintFigure2(&buf, Figure2Result{B: 2, S: 20, PerUpdateBlocked: make([]time.Duration, 3)})
+	if buf.Len() < 500 {
+		t.Fatalf("renderers produced only %d bytes", buf.Len())
+	}
+}
+
+func TestEngineForRejectsUnknown(t *testing.T) {
+	if _, err := engineFor("oracle"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := RunTPCC(context.Background(), TPCCOptions{EngineName: "oracle"}); err == nil {
+		t.Fatal("unknown engine accepted by RunTPCC")
+	}
+}
+
+func TestMySQLCellRuns(t *testing.T) {
+	res, err := RunTPCC(context.Background(), TPCCOptions{
+		EngineName: "mysql",
+		Baseline:   BaselineGinja,
+		Params:     ginjaParams(100, 1000, false, false),
+		Duration:   cellDur,
+		Workload:   tpccSmall(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TpmTotal <= 0 || res.Ginja.WALObjectsUploaded == 0 {
+		t.Fatalf("mysql cell: %+v", res)
+	}
+}
+
+// tpccSmall returns a minimal workload for fast engine smoke cells.
+func tpccSmall() tpcc.Config {
+	return tpcc.Config{Warehouses: 1, Districts: 2, Customers: 5, Items: 20, Terminals: 2, Seed: 3}
+}
+
+func TestAblationAggregation(t *testing.T) {
+	res, err := RunAblationAggregation(context.Background(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PutsNaive != 500 {
+		t.Fatalf("naive PUTs = %d, want one per write", res.PutsNaive)
+	}
+	if res.SavingsX < 10 {
+		t.Fatalf("aggregation savings = %.1f×, want ≫ 1", res.SavingsX)
+	}
+	if res.BytesAggregated >= res.BytesNaive {
+		t.Fatalf("aggregation did not reduce bytes: %d vs %d", res.BytesAggregated, res.BytesNaive)
+	}
+}
+
+func TestAblationUploadersParallelismHelps(t *testing.T) {
+	rows, err := RunAblationUploaders(context.Background(), []int{1, 8}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Drain >= rows[0].Drain {
+		t.Fatalf("8 uploaders (%v) should drain faster than 1 (%v)", rows[1].Drain, rows[0].Drain)
+	}
+}
+
+func TestAblationDumpThresholdTradeoff(t *testing.T) {
+	rows, err := RunAblationDumpThreshold(context.Background(), []float64{1.2, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, lazy := rows[0], rows[1]
+	if eager.Dumps <= lazy.Dumps {
+		t.Fatalf("threshold 1.2 should dump more often than 3.0 (%d vs %d)", eager.Dumps, lazy.Dumps)
+	}
+}
+
+func TestFprintAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FprintAblations(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 200 {
+		t.Fatalf("ablation output only %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,141 @@
+// Package metrics provides the lightweight counters, histograms and
+// process-resource sampling the experiment harness uses to reproduce the
+// paper's Tables 3 and 4.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram aggregates duration or size samples with quantile support.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the sample mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1), or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Summary renders count/mean/p50/p99 in one line.
+func (h *Histogram) Summary(unit string) string {
+	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f%s p99=%.1f%s",
+		h.Count(), h.Mean(), unit, h.Quantile(0.5), unit, h.Quantile(0.99), unit)
+}
+
+// Throughput tracks an event rate over a measured window (the Tpm-C /
+// Tpm-Total reporting of the TPC-C harness).
+type Throughput struct {
+	mu    sync.Mutex
+	count int64
+	start time.Time
+	end   time.Time
+}
+
+// NewThroughput starts a measurement window now.
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Add records n events.
+func (t *Throughput) Add(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count += n
+}
+
+// Stop freezes the window.
+func (t *Throughput) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+}
+
+// Count returns the number of recorded events.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// PerMinute returns the rate in events/minute over the window.
+func (t *Throughput) PerMinute() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	elapsed := end.Sub(t.start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.count) / elapsed.Minutes()
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 5.5 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Summary("ms") == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	_ = h.Quantile(0.5)
+	h.Observe(1) // must re-sort lazily
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min = %v after post-quantile insert", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(float64(i))
+				_ = h.Quantile(0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(1500 * time.Millisecond)
+	if got := h.Mean(); got != 1500 {
+		t.Fatalf("Mean = %v ms, want 1500", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(30)
+	time.Sleep(20 * time.Millisecond)
+	tp.Stop()
+	if tp.Count() != 30 {
+		t.Fatalf("Count = %d", tp.Count())
+	}
+	rate := tp.PerMinute()
+	if rate <= 0 {
+		t.Fatalf("PerMinute = %v", rate)
+	}
+	// 30 events in ≥20 ms → at most 90k/minute, sanity bound.
+	if rate > 100000 {
+		t.Fatalf("PerMinute = %v, implausible", rate)
+	}
+	// Rate stays frozen after Stop.
+	r1 := tp.PerMinute()
+	time.Sleep(5 * time.Millisecond)
+	if r2 := tp.PerMinute(); r1 != r2 {
+		t.Fatalf("rate moved after Stop: %v → %v", r1, r2)
+	}
+}
+
+func TestResourceSampler(t *testing.T) {
+	s := NewResourceSampler()
+	// Burn a little CPU so the sample is non-trivial on Linux.
+	x := 0
+	for i := 0; i < 5_000_000; i++ {
+		x += i % 7
+	}
+	_ = x
+	u := s.Sample()
+	if u.HeapBytes == 0 || u.SysBytes == 0 {
+		t.Fatalf("memory stats empty: %+v", u)
+	}
+	if u.Goroutines <= 0 {
+		t.Fatalf("Goroutines = %d", u.Goroutines)
+	}
+	if u.CPUPercent < 0 {
+		t.Fatalf("CPUPercent = %v", u.CPUPercent)
+	}
+	if u.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if pct := u.MemoryPercent(32 << 30); pct <= 0 || pct > 100 {
+		t.Fatalf("MemoryPercent = %v", pct)
+	}
+	if u.MemoryPercent(0) != 0 {
+		t.Fatal("MemoryPercent(0) should be 0")
+	}
+}

@@ -1,0 +1,536 @@
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+	"github.com/ginja-dr/ginja/internal/wal"
+)
+
+// Common errors.
+var (
+	ErrClosed   = errors.New("minidb: database is closed")
+	ErrTxDone   = errors.New("minidb: transaction already finished")
+	ErrNoTable  = errors.New("minidb: table does not exist")
+	ErrNotFound = errors.New("minidb: key not found")
+)
+
+// Options tunes a DB instance.
+type Options struct {
+	// AutoCheckpointCommits triggers a checkpoint every N commits
+	// (0 disables; checkpoints then happen only via Checkpoint or when a
+	// circular log nears its capacity).
+	AutoCheckpointCommits int
+	// DefaultBuckets is the hash-bucket count for tables created without
+	// an explicit hint.
+	DefaultBuckets uint32
+}
+
+// Stats reports cumulative engine activity.
+type Stats struct {
+	Commits     uint64
+	Checkpoints uint64
+	Tables      int
+}
+
+// DB is the embedded transactional database. All I/O flows through the
+// vfs.FS it was opened with, which is how Ginja observes it.
+type DB struct {
+	fs     vfs.FS
+	engine Engine
+	opts   Options
+
+	mu          sync.Mutex
+	walW        *wal.Writer
+	tables      map[string]*table
+	nextTx      uint64
+	lastCkptLSN int64
+	ckptSeq     uint64
+	commits     uint64
+	checkpoints uint64
+	sinceCkpt   int
+	closed      bool
+}
+
+// Open opens (or creates) a database on fsys with the given engine
+// personality. It always runs crash recovery: it reads the engine's
+// control information for the last checkpoint location and replays every
+// committed transaction the WAL holds after it — which is exactly the
+// procedure a Ginja-recovered file set is designed to satisfy (§4).
+func Open(fsys vfs.FS, engine Engine, opts Options) (*DB, error) {
+	if opts.DefaultBuckets == 0 {
+		opts.DefaultBuckets = DefaultBuckets
+	}
+	db := &DB{
+		fs:     fsys,
+		engine: engine,
+		opts:   opts,
+		tables: make(map[string]*table),
+		nextTx: 1,
+	}
+	if err := db.discoverTables(); err != nil {
+		return nil, err
+	}
+	ckptLSN, err := engine.ReadCheckpointLSN(fsys)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: read checkpoint: %w", err)
+	}
+	db.lastCkptLSN = ckptLSN
+	recs, endLSN, err := wal.ReadFrom(fsys, engine.WALLayout(), ckptLSN)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: scan wal: %w", err)
+	}
+	if err := db.replay(recs); err != nil {
+		return nil, err
+	}
+	w, err := wal.NewWriter(fsys, engine.WALLayout(), endLSN)
+	if err != nil {
+		return nil, err
+	}
+	db.walW = w
+	return db, nil
+}
+
+// discoverTables opens every data file the engine recognises.
+func (db *DB) discoverTables() error {
+	files, err := vfs.Walk(db.fs, "")
+	if err != nil {
+		return fmt.Errorf("minidb: discover tables: %w", err)
+	}
+	for _, p := range files {
+		name, ok := db.engine.TableOf(p)
+		if !ok {
+			continue
+		}
+		t, err := openTable(db.fs, name, p, db.engine.PageSize())
+		if err != nil {
+			return err
+		}
+		db.tables[name] = t
+	}
+	return nil
+}
+
+// replay applies the committed suffix of the WAL to the buffer pools.
+// Uncommitted transactions are discarded (no-steal policy means their
+// writes never reached the table files).
+func (db *DB) replay(recs []wal.Record) error {
+	committed := make(map[uint64]bool)
+	maxTx := uint64(0)
+	for _, r := range recs {
+		if r.TxID > maxTx {
+			maxTx = r.TxID
+		}
+		if r.Type == wal.RecordCommit {
+			committed[r.TxID] = true
+		}
+	}
+	for _, r := range recs {
+		if !committed[r.TxID] {
+			continue
+		}
+		switch r.Type {
+		case wal.RecordUpdate:
+			t, err := db.ensureTable(r.Table)
+			if err != nil {
+				return err
+			}
+			if err := t.put(db.fs, r.Key, r.Value); err != nil {
+				return fmt.Errorf("minidb: replay update: %w", err)
+			}
+		case wal.RecordDelete:
+			t, err := db.ensureTable(r.Table)
+			if err != nil {
+				return err
+			}
+			if _, err := t.delete(db.fs, r.Key); err != nil {
+				return fmt.Errorf("minidb: replay delete: %w", err)
+			}
+		}
+	}
+	db.nextTx = maxTx + 1
+	return nil
+}
+
+func (db *DB) ensureTable(name string) (*table, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	t, err := createTable(db.fs, name, db.engine.DataPath(name), db.engine.PageSize(), db.opts.DefaultBuckets)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Engine returns the DBMS personality this database runs with.
+func (db *DB) Engine() Engine { return db.engine }
+
+// CreateTable creates a table with the given hash-bucket count (0 uses the
+// default). Creating an existing table is a no-op.
+func (db *DB) CreateTable(name string, buckets uint32) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil
+	}
+	if buckets == 0 {
+		buckets = db.opts.DefaultBuckets
+	}
+	t, err := createTable(db.fs, name, db.engine.DataPath(name), db.engine.PageSize(), buckets)
+	if err != nil {
+		return err
+	}
+	db.tables[name] = t
+	return nil
+}
+
+// Tables returns the sorted table names.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+// Get reads a key outside any transaction (read committed).
+func (db *DB) Get(tableName string, key []byte) ([]byte, error) {
+	db.mu.Lock()
+	t, ok := db.tables[tableName]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	v, found, err := t.get(db.fs, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("get %s/%q: %w", tableName, key, ErrNotFound)
+	}
+	return v, nil
+}
+
+// Keys lists every key of a table.
+func (db *DB) Keys(tableName string) ([]string, error) {
+	db.mu.Lock()
+	t, ok := db.tables[tableName]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return t.keys(db.fs)
+}
+
+// KV is one key/value pair returned by Scan.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns every entry whose key starts with prefix, sorted by key.
+// It reads committed state (like Get).
+func (db *DB) Scan(tableName, prefix string) ([]KV, error) {
+	db.mu.Lock()
+	t, ok := db.tables[tableName]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	keys, err := t.keys(db.fs)
+	if err != nil {
+		return nil, err
+	}
+	var out []KV
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		v, found, err := t.get(db.fs, []byte(k))
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue // deleted concurrently
+		}
+		out = append(out, KV{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Txn, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	id := db.nextTx
+	db.nextTx++
+	return &Txn{db: db, id: id}, nil
+}
+
+// Update runs fn inside a transaction, committing when fn returns nil.
+func (db *DB) Update(fn func(tx *Txn) error) error {
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// commit serializes the transaction's writes into the WAL (one durable
+// flush — "the only important I/O performed is a synchronous write to a
+// WAL file segment", §4), then applies them to the buffer pools.
+func (db *DB) commit(tx *Txn) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, w := range tx.writes {
+		typ := wal.RecordUpdate
+		if w.del {
+			typ = wal.RecordDelete
+		}
+		rec := wal.Record{Type: typ, TxID: tx.id, Table: w.table, Key: w.key, Value: w.value}
+		if _, err := db.walW.Append(rec); err != nil {
+			return err
+		}
+	}
+	if _, err := db.walW.Append(wal.Record{Type: wal.RecordCommit, TxID: tx.id}); err != nil {
+		return err
+	}
+	if err := db.walW.Flush(); err != nil {
+		return err
+	}
+	for _, w := range tx.writes {
+		t, err := db.ensureTable(w.table)
+		if err != nil {
+			return err
+		}
+		if w.del {
+			if _, err := t.delete(db.fs, w.key); err != nil {
+				return err
+			}
+		} else if err := t.put(db.fs, w.key, w.value); err != nil {
+			return err
+		}
+	}
+	db.commits++
+	db.sinceCkpt++
+	return db.maybeCheckpointLocked()
+}
+
+// maybeCheckpointLocked triggers a checkpoint when the auto-checkpoint
+// threshold is reached or a circular log is running out of reusable space
+// (InnoDB forces a checkpoint rather than overwrite un-checkpointed log).
+func (db *DB) maybeCheckpointLocked() error {
+	layout := db.engine.WALLayout()
+	if layout.Circular {
+		used := db.walW.AppendLSN() - db.lastCkptLSN
+		if used > layout.Capacity()*7/10 {
+			return db.checkpointLocked()
+		}
+	}
+	if db.opts.AutoCheckpointCommits > 0 && db.sinceCkpt >= db.opts.AutoCheckpointCommits {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint flushes every dirty page to the table files and durably
+// records the new checkpoint location via the engine's protocol.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	// 1. Engine-specific begin marker (pg: pg_clog write).
+	if err := db.engine.CheckpointBegin(db.fs, db.nextTx); err != nil {
+		return fmt.Errorf("minidb: checkpoint begin: %w", err)
+	}
+	// 2. Flush dirty pages, in engine-sized batches (sharp vs fuzzy).
+	batch := db.engine.FlushBatchPages()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		ids := t.dirtyPages()
+		if len(ids) == 0 && !t.metaDirt {
+			continue
+		}
+		f, err := db.fs.OpenFile(t.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("minidb: checkpoint open %s: %w", t.path, err)
+		}
+		for start := 0; start < len(ids) || start == 0; {
+			end := len(ids)
+			if batch > 0 && start+batch < end {
+				end = start + batch
+			}
+			if err := t.flushPages(db.fs, f, ids[start:end]); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("minidb: checkpoint sync %s: %w", t.path, err)
+			}
+			start = end
+			if len(ids) == 0 {
+				break
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("minidb: checkpoint close %s: %w", t.path, err)
+		}
+	}
+	// 3. Stamp the WAL with a checkpoint record.
+	lsn, err := db.walW.Append(wal.Record{Type: wal.RecordCheckpoint})
+	if err != nil {
+		return err
+	}
+	if err := db.walW.Flush(); err != nil {
+		return err
+	}
+	// 4. Engine-specific end marker pointing recovery at the record.
+	db.ckptSeq++
+	if err := db.engine.CheckpointEnd(db.fs, lsn, db.ckptSeq); err != nil {
+		return fmt.Errorf("minidb: checkpoint end: %w", err)
+	}
+	db.lastCkptLSN = lsn
+	db.checkpoints++
+	db.sinceCkpt = 0
+	return nil
+}
+
+// Stats returns cumulative counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{Commits: db.commits, Checkpoints: db.checkpoints, Tables: len(db.tables)}
+}
+
+// LastCheckpointLSN returns the location recovery would start from.
+func (db *DB) LastCheckpointLSN() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastCkptLSN
+}
+
+// Close checkpoints (making shutdown "safe" in the paper's Reboot sense)
+// and releases the WAL writer.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	return db.walW.Close()
+}
+
+// Txn is a read-your-writes transaction. Writes are buffered privately and
+// reach the WAL only on Commit (redo-only logging).
+type Txn struct {
+	db     *DB
+	id     uint64
+	writes []txWrite
+	done   bool
+}
+
+type txWrite struct {
+	table string
+	key   []byte
+	value []byte
+	del   bool
+}
+
+// ID returns the transaction id.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// Put buffers an upsert of key into table.
+func (tx *Txn) Put(table string, key, value []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.writes = append(tx.writes, txWrite{
+		table: table,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// Delete buffers a deletion of key from table.
+func (tx *Txn) Delete(table string, key []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.writes = append(tx.writes, txWrite{table: table, key: append([]byte(nil), key...), del: true})
+	return nil
+}
+
+// Get reads a key, observing the transaction's own buffered writes first.
+func (tx *Txn) Get(table string, key []byte) ([]byte, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		w := tx.writes[i]
+		if w.table == table && string(w.key) == string(key) {
+			if w.del {
+				return nil, fmt.Errorf("get %s/%q: %w", table, key, ErrNotFound)
+			}
+			return append([]byte(nil), w.value...), nil
+		}
+	}
+	return tx.db.Get(table, key)
+}
+
+// Commit makes the transaction durable. An empty transaction commits
+// without touching the log.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	return tx.db.commit(tx)
+}
+
+// Rollback abandons the transaction. Buffered writes are discarded.
+func (tx *Txn) Rollback() {
+	tx.done = true
+	tx.writes = nil
+}

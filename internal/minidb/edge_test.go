@@ -1,0 +1,218 @@
+package minidb_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func TestValueLargerThanPageRejected(t *testing.T) {
+	db, err := minidb.Open(vfs.NewMemFS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Update(func(tx *minidb.Txn) error {
+		return tx.Put("kv", []byte("k"), make([]byte, 4096)) // > 1 KiB page
+	})
+	if err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if !strings.Contains(err.Error(), "larger than page") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValueNearPageLimitAccepted(t *testing.T) {
+	db, err := minidb.Open(vfs.NewMemFS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page is 1024 bytes with a 16-byte header and 6-byte entry header:
+	// a ~900-byte value must fit alone in a page.
+	big := make([]byte, 900)
+	if err := db.Update(func(tx *minidb.Txn) error {
+		return tx.Put("kv", []byte("k"), big)
+	}); err != nil {
+		t.Fatalf("near-limit value rejected: %v", err)
+	}
+	got, err := db.Get("kv", []byte("k"))
+	if err != nil || len(got) != 900 {
+		t.Fatalf("Get = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestDeleteMissingKeyIsNoop(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *minidb.Txn) error {
+		return tx.Delete("kv", []byte("never-existed"))
+	}); err != nil {
+		t.Fatalf("deleting a missing key failed: %v", err)
+	}
+}
+
+func TestKeysOnMissingTable(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if _, err := db.Keys("ghost"); !errors.Is(err, minidb.ErrNoTable) {
+		t.Fatalf("Keys = %v, want ErrNoTable", err)
+	}
+}
+
+func TestTxnUseAfterFinish(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("kv", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("kv", []byte("k2"), []byte("v")); !errors.Is(err, minidb.ErrTxDone) {
+		t.Fatalf("Put after commit = %v", err)
+	}
+	if _, err := tx.Get("kv", []byte("k")); !errors.Is(err, minidb.ErrTxDone) {
+		t.Fatalf("Get after commit = %v", err)
+	}
+	if err := tx.Delete("kv", []byte("k")); !errors.Is(err, minidb.ErrTxDone) {
+		t.Fatalf("Delete after commit = %v", err)
+	}
+}
+
+func TestUpdateRollsBackOnError(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	err := db.Update(func(tx *minidb.Txn) error {
+		if err := tx.Put("kv", []byte("k"), []byte("v")); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Update = %v", err)
+	}
+	if _, err := db.Get("kv", []byte("k")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("aborted write visible: %v", err)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, minidb.ErrClosed) {
+		t.Fatalf("Checkpoint after Close = %v", err)
+	}
+}
+
+func TestManyTablesManyKeys(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	e := pgengine.NewWithSizes(1024, 64*1024, 1024)
+	db, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tables, keys = 8, 50
+	for ti := 0; ti < tables; ti++ {
+		table := fmt.Sprintf("t%02d", ti)
+		if err := db.CreateTable(table, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Update(func(tx *minidb.Txn) error {
+			for k := 0; k < keys; k++ {
+				if err := tx.Put(table, []byte(fmt.Sprintf("k%03d", k)), []byte(table)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-recover and verify the whole matrix.
+	db2, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < tables; ti++ {
+		table := fmt.Sprintf("t%02d", ti)
+		got, err := db2.Keys(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != keys {
+			t.Fatalf("%s has %d keys, want %d", table, len(got), keys)
+		}
+	}
+}
+
+func TestLastCheckpointAdvances(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "kv", "a", "1")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	first := db.LastCheckpointLSN()
+	put(t, db, "kv", "b", "2")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if second := db.LastCheckpointLSN(); second <= first {
+		t.Fatalf("checkpoint LSN did not advance: %d → %d", first, second)
+	}
+}
+
+func TestScanByPrefix(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a:1", "a:2", "b:1", "a:3", "c:9"} {
+		put(t, db, "kv", k, "v-"+k)
+	}
+	got, err := db.Scan("kv", "a:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Scan(a:) = %d entries, want 3", len(got))
+	}
+	for i, kv := range got {
+		want := fmt.Sprintf("a:%d", i+1)
+		if kv.Key != want || string(kv.Value) != "v-"+want {
+			t.Fatalf("entry %d = %q/%q", i, kv.Key, kv.Value)
+		}
+	}
+	all, err := db.Scan("kv", "")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Scan(\"\") = %d, %v", len(all), err)
+	}
+	if _, err := db.Scan("ghost", ""); !errors.Is(err, minidb.ErrNoTable) {
+		t.Fatalf("Scan(ghost) = %v", err)
+	}
+}

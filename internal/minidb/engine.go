@@ -1,0 +1,38 @@
+package minidb
+
+import (
+	"github.com/ginja-dr/ginja/internal/vfs"
+	"github.com/ginja-dr/ginja/internal/wal"
+)
+
+// Engine defines a DBMS "personality": the file layout and checkpoint
+// protocol minidb reproduces, so that the write pattern Ginja intercepts
+// matches a real database (paper Table 1). Two implementations exist:
+// pgengine (PostgreSQL-like) and innoengine (MySQL/InnoDB-like).
+type Engine interface {
+	// Name identifies the engine ("postgresql", "mysql").
+	Name() string
+	// WALLayout is the log geometry and segment naming.
+	WALLayout() wal.Layout
+	// PageSize is the data-page size (8 KiB for pg, 16 KiB for InnoDB).
+	PageSize() int
+	// DataPath maps a table name to its data file path.
+	DataPath(table string) string
+	// TableOf is the inverse of DataPath; ok is false for non-table paths.
+	TableOf(path string) (table string, ok bool)
+	// CheckpointBegin performs the engine-specific write that marks the
+	// start of a checkpoint (pg: a pg_clog write). Engines whose begin is
+	// implicit in the first data write (InnoDB) may do nothing.
+	CheckpointBegin(fsys vfs.FS, committedTx uint64) error
+	// CheckpointEnd durably records lsn as the new checkpoint location
+	// (pg: global/pg_control; InnoDB: ib_logfile0 offsets 512/1536).
+	CheckpointEnd(fsys vfs.FS, lsn int64, seq uint64) error
+	// ReadCheckpointLSN returns the last recorded checkpoint location, or
+	// (0, nil) when no checkpoint has ever completed.
+	ReadCheckpointLSN(fsys vfs.FS) (int64, error)
+	// FlushBatchPages is the number of dirty pages flushed per write+sync
+	// batch during a checkpoint. 0 flushes everything in one pass (pg's
+	// sharp checkpoint); a small value reproduces InnoDB's fuzzy
+	// checkpoints that trickle pages out in small batches (§4).
+	FlushBatchPages() int
+}

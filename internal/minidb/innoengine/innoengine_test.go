@@ -1,0 +1,89 @@
+package innoengine
+
+import (
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func TestCheckpointBlocksAlternate(t *testing.T) {
+	e := New()
+	fsys := vfs.NewMemFS()
+
+	if err := e.CheckpointEnd(fsys, 1000, 1); err != nil { // odd seq → offset 1536
+		t.Fatal(err)
+	}
+	if err := e.CheckpointEnd(fsys, 2000, 2); err != nil { // even seq → offset 512
+		t.Fatal(err)
+	}
+	lsn, err := e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 2000 {
+		t.Fatalf("ReadCheckpointLSN = %d, %v; want 2000 (highest seq wins)", lsn, err)
+	}
+	// A third checkpoint overwrites the *older* block; the newest must
+	// still win.
+	if err := e.CheckpointEnd(fsys, 3000, 3); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err = e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 3000 {
+		t.Fatalf("ReadCheckpointLSN = %d, %v; want 3000", lsn, err)
+	}
+}
+
+func TestFreshLogReadsZero(t *testing.T) {
+	e := New()
+	lsn, err := e.ReadCheckpointLSN(vfs.NewMemFS())
+	if err != nil || lsn != 0 {
+		t.Fatalf("fresh = %d, %v", lsn, err)
+	}
+}
+
+func TestCorruptBlockIgnored(t *testing.T) {
+	e := New()
+	fsys := vfs.NewMemFS()
+	if err := e.CheckpointEnd(fsys, 1000, 2); err != nil { // block at 512
+		t.Fatal(err)
+	}
+	// Corrupt the block at 512; reader should fall back to zero since the
+	// other block was never written.
+	if err := vfs.WriteAt(fsys, LogFile0, CheckpointOffset1+8, []byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 0 {
+		t.Fatalf("corrupt block not ignored: %d, %v", lsn, err)
+	}
+}
+
+func TestWALLayoutGeometry(t *testing.T) {
+	e := NewWithSizes(512, 2048+512*16, 1024, 4)
+	l := e.WALLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Circular || l.NumFiles != 2 {
+		t.Fatalf("layout = %+v, want circular pair", l)
+	}
+	p, off := l.Locate(0)
+	if p != LogFile0 || off != HeaderSize {
+		t.Fatalf("Locate(0) = %s, %d; log data must start after the header", p, off)
+	}
+}
+
+func TestTableOfRoundTrip(t *testing.T) {
+	e := New()
+	p := e.DataPath("stock")
+	if p != "stock.ibd" {
+		t.Fatalf("DataPath = %s", p)
+	}
+	name, ok := e.TableOf(p)
+	if !ok || name != "stock" {
+		t.Fatalf("TableOf(%s) = %q, %v", p, name, ok)
+	}
+	for _, bad := range []string{"ib_logfile0", "ibdata1", "dir/t.ibd", ".ibd"} {
+		if _, ok := e.TableOf(bad); ok {
+			t.Errorf("TableOf(%q) accepted a non-table path", bad)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package minidb_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// syncCounter tallies fsyncs per file class.
+type syncCounter struct {
+	vfs.NopObserver
+
+	mu        sync.Mutex
+	walSyncs  int
+	dataSyncs int
+	isWAL     func(string) bool
+}
+
+func (c *syncCounter) OnSync(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isWAL(path) {
+		c.walSyncs++
+	} else {
+		c.dataSyncs++
+	}
+}
+
+// TestCommitSyncsExactlyOneWALFile verifies the I/O discipline the paper
+// relies on (§4): "Every time a transaction is committed, the only
+// important I/O performed is a synchronous write to a WAL file segment.
+// All the table pages remain in memory until a periodic checkpoint."
+func TestCommitSyncsExactlyOneWALFile(t *testing.T) {
+	cases := []struct {
+		name   string
+		engine minidb.Engine
+		isWAL  func(string) bool
+	}{
+		{"postgresql", pgengine.NewWithSizes(1024, 64*1024, 1024),
+			func(p string) bool { return strings.HasPrefix(p, "pg_xlog/") }},
+		{"mysql", innoengine.NewWithSizes(512, 2048+512*1024, 1024, 4),
+			func(p string) bool { return strings.HasPrefix(p, "ib_logfile") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			counter := &syncCounter{isWAL: tc.isWAL}
+			fsys := vfs.NewInterceptFS(vfs.NewMemFS(), counter)
+			db, err := minidb.Open(fsys, tc.engine, minidb.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CreateTable("kv", 8); err != nil {
+				t.Fatal(err)
+			}
+			counter.mu.Lock()
+			counter.walSyncs, counter.dataSyncs = 0, 0
+			counter.mu.Unlock()
+
+			const commits = 25
+			for i := 0; i < commits; i++ {
+				if err := db.Update(func(tx *minidb.Txn) error {
+					return tx.Put("kv", []byte{byte(i)}, []byte("value"))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			counter.mu.Lock()
+			wal, data := counter.walSyncs, counter.dataSyncs
+			counter.mu.Unlock()
+			if wal != commits {
+				t.Fatalf("WAL syncs = %d for %d commits, want exactly one each", wal, commits)
+			}
+			if data != 0 {
+				t.Fatalf("%d data-file syncs before any checkpoint; pages must stay in memory", data)
+			}
+
+			// The checkpoint is where data files finally sync.
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			counter.mu.Lock()
+			data = counter.dataSyncs
+			counter.mu.Unlock()
+			if data == 0 {
+				t.Fatal("checkpoint synced no data files")
+			}
+		})
+	}
+}

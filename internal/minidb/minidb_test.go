@@ -1,0 +1,579 @@
+package minidb_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// engines returns small-geometry engine instances for each personality so
+// tests exercise segment switching and circular wrap cheaply.
+func engines() map[string]func() minidb.Engine {
+	return map[string]func() minidb.Engine{
+		"postgresql": func() minidb.Engine {
+			return pgengine.NewWithSizes(1024 /* wal page */, 16*1024 /* segment */, 1024 /* data page */)
+		},
+		"mysql": func() minidb.Engine {
+			return innoengine.NewWithSizes(512 /* block */, 2048+512*32 /* log file */, 1024 /* data page */, 4 /* batch */)
+		},
+	}
+}
+
+func mustOpen(t *testing.T, fsys vfs.FS, e minidb.Engine) *minidb.DB {
+	t.Helper()
+	db, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func put(t *testing.T, db *minidb.DB, table, key, value string) {
+	t.Helper()
+	err := db.Update(func(tx *minidb.Txn) error {
+		return tx.Put(table, []byte(key), []byte(value))
+	})
+	if err != nil {
+		t.Fatalf("put %s/%s: %v", table, key, err)
+	}
+}
+
+func get(t *testing.T, db *minidb.DB, table, key string) string {
+	t.Helper()
+	v, err := db.Get(table, []byte(key))
+	if err != nil {
+		t.Fatalf("get %s/%s: %v", table, key, err)
+	}
+	return string(v)
+}
+
+func TestPutGetAcrossEngines(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			db := mustOpen(t, vfs.NewMemFS(), mk())
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			put(t, db, "kv", "alpha", "1")
+			put(t, db, "kv", "beta", "2")
+			if got := get(t, db, "kv", "alpha"); got != "1" {
+				t.Fatalf("alpha = %q", got)
+			}
+			if got := get(t, db, "kv", "beta"); got != "2" {
+				t.Fatalf("beta = %q", got)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("kv", []byte("nope")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+	if _, err := db.Get("ghost-table", []byte("k")); !errors.Is(err, minidb.ErrNoTable) {
+		t.Fatalf("Get = %v, want ErrNoTable", err)
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "kv", "k", "old")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("kv", []byte("k"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Get("kv", []byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("tx.Get = %q, %v; want new", v, err)
+	}
+	// Other readers still see the old value before commit.
+	if got := get(t, db, "kv", "k"); got != "old" {
+		t.Fatalf("outside view = %q, want old", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(t, db, "kv", "k"); got != "new" {
+		t.Fatalf("after commit = %q, want new", got)
+	}
+}
+
+func TestTxnDeleteVisibility(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "kv", "k", "v")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("kv", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get("kv", []byte("k")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("tx sees deleted key: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("kv", []byte("k")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("key survived delete: %v", err)
+	}
+}
+
+func TestTxnRollbackDiscardsWrites(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("kv", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	if _, err := db.Get("kv", []byte("k")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("rolled-back write visible: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, minidb.ErrTxDone) {
+		t.Fatalf("Commit after Rollback = %v, want ErrTxDone", err)
+	}
+}
+
+func TestCrashRecoveryCommittedSurvive(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			db := mustOpen(t, fsys, mk())
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30; i++ {
+				put(t, db, "kv", fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+			}
+			// Crash: no Close, no checkpoint — reopen straight from files.
+			db2 := mustOpen(t, fsys, mk())
+			for i := 0; i < 30; i++ {
+				if got := get(t, db2, "kv", fmt.Sprintf("k%02d", i)); got != fmt.Sprintf("v%02d", i) {
+					t.Fatalf("k%02d = %q after recovery", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashRecoveryUncommittedLost(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	db := mustOpen(t, fsys, pgengine.New())
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, "kv", "committed", "yes")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("kv", []byte("uncommitted"), []byte("no")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with the transaction still open.
+	db2 := mustOpen(t, fsys, pgengine.New())
+	if got := get(t, db2, "kv", "committed"); got != "yes" {
+		t.Fatalf("committed = %q", got)
+	}
+	if _, err := db2.Get("kv", []byte("uncommitted")); !errors.Is(err, minidb.ErrNotFound) {
+		t.Fatalf("uncommitted write survived crash: %v", err)
+	}
+}
+
+func TestRecoveryAfterCheckpoint(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			db := mustOpen(t, fsys, mk())
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				put(t, db, "kv", fmt.Sprintf("pre%02d", i), "x")
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				put(t, db, "kv", fmt.Sprintf("post%02d", i), "y")
+			}
+			db2 := mustOpen(t, fsys, mk())
+			for i := 0; i < 20; i++ {
+				if get(t, db2, "kv", fmt.Sprintf("pre%02d", i)) != "x" {
+					t.Fatalf("pre%02d lost", i)
+				}
+				if get(t, db2, "kv", fmt.Sprintf("post%02d", i)) != "y" {
+					t.Fatalf("post%02d lost", i)
+				}
+			}
+			if db2.LastCheckpointLSN() == 0 {
+				t.Fatal("checkpoint LSN not recovered")
+			}
+		})
+	}
+}
+
+func TestCleanCloseAndReopen(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			db := mustOpen(t, fsys, mk())
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			put(t, db, "kv", "k", "v")
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Begin(); !errors.Is(err, minidb.ErrClosed) {
+				t.Fatalf("Begin after Close = %v", err)
+			}
+			db2 := mustOpen(t, fsys, mk())
+			if got := get(t, db2, "kv", "k"); got != "v" {
+				t.Fatalf("k = %q after reopen", got)
+			}
+		})
+	}
+}
+
+func TestOverflowPages(t *testing.T) {
+	// One bucket + values near the page size forces overflow chains.
+	db, err := minidb.Open(vfs.NewMemFS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("fat", 1); err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 300)
+	for i := 0; i < 20; i++ {
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put("fat", []byte(fmt.Sprintf("key%02d", i)), val)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := db.Keys("fat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 20 {
+		t.Fatalf("Keys = %d, want 20", len(keys))
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := db.Get("fat", []byte(fmt.Sprintf("key%02d", i))); err != nil {
+			t.Fatalf("key%02d unreadable: %v", i, err)
+		}
+	}
+}
+
+func TestOverflowSurvivesCheckpointAndRecovery(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	e := pgengine.NewWithSizes(1024, 16*1024, 1024)
+	db, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("fat", 1); err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 300)
+	for i := 0; i < 15; i++ {
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put("fat", []byte(fmt.Sprintf("key%02d", i)), val)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := minidb.Open(fsys, pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := db2.Get("fat", []byte(fmt.Sprintf("key%02d", i))); err != nil {
+			t.Fatalf("key%02d lost after checkpoint+reopen: %v", i, err)
+		}
+	}
+}
+
+func TestCircularLogForcesCheckpoint(t *testing.T) {
+	// Log capacity = 2 files × 512×8 bytes usable; heavy writing must
+	// force checkpoints instead of corrupting the wrapped log.
+	e := innoengine.NewWithSizes(512, 2048+512*8, 1024, 2)
+	fsys := vfs.NewMemFS()
+	db, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		put(t, db, "kv", fmt.Sprintf("k%03d", i), fmt.Sprintf("value-%03d", i))
+	}
+	if db.Stats().Checkpoints == 0 {
+		t.Fatal("no checkpoint was forced by the circular log")
+	}
+	// Crash-reopen and verify everything committed survived.
+	db2, err := minidb.Open(fsys, innoengine.NewWithSizes(512, 2048+512*8, 1024, 2), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if got := get(t, db2, "kv", fmt.Sprintf("k%03d", i)); got != fmt.Sprintf("value-%03d", i) {
+			t.Fatalf("k%03d = %q after wrap recovery", i, got)
+		}
+	}
+}
+
+func TestAutoCheckpointByCommits(t *testing.T) {
+	db, err := minidb.Open(vfs.NewMemFS(), pgengine.New(), minidb.Options{AutoCheckpointCommits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		put(t, db, "kv", fmt.Sprintf("k%d", i), "v")
+	}
+	if got := db.Stats().Checkpoints; got != 2 {
+		t.Fatalf("Checkpoints = %d, want 2 (12 commits / 5)", got)
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			db := mustOpen(t, fsys, mk())
+			if err := db.CreateTable("kv", 0); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						key := fmt.Sprintf("g%d-k%02d", g, i)
+						if err := db.Update(func(tx *minidb.Txn) error {
+							return tx.Put("kv", []byte(key), []byte(key))
+						}); err != nil {
+							t.Errorf("update: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := db.Stats().Commits; got != 200 {
+				t.Fatalf("Commits = %d, want 200", got)
+			}
+			// Crash-recover and verify all 200 writes.
+			db2 := mustOpen(t, fsys, mk())
+			for g := 0; g < 8; g++ {
+				for i := 0; i < 25; i++ {
+					key := fmt.Sprintf("g%d-k%02d", g, i)
+					if got := get(t, db2, "kv", key); got != key {
+						t.Fatalf("%s = %q after recovery", key, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableDiscoveryOnReopen(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			db := mustOpen(t, fsys, mk())
+			for _, tbl := range []string{"orders", "stock", "customer"} {
+				if err := db.CreateTable(tbl, 0); err != nil {
+					t.Fatal(err)
+				}
+				put(t, db, tbl, "k", tbl)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2 := mustOpen(t, fsys, mk())
+			tables := db2.Tables()
+			if len(tables) != 3 {
+				t.Fatalf("Tables = %v, want 3", tables)
+			}
+			for _, tbl := range []string{"orders", "stock", "customer"} {
+				if got := get(t, db2, tbl, "k"); got != tbl {
+					t.Fatalf("%s/k = %q", tbl, got)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyCommitWritesNothing(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	db := mustOpen(t, fsys, pgengine.New())
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Commits; got != 0 {
+		t.Fatalf("empty commit counted: %d", got)
+	}
+}
+
+func TestImplicitTableCreationOnCommit(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	// Writing to a never-created table must create it implicitly.
+	put(t, db, "fresh", "k", "v")
+	if got := get(t, db, "fresh", "k"); got != "v" {
+		t.Fatalf("fresh/k = %q", got)
+	}
+}
+
+func TestOnDiskFS(t *testing.T) {
+	// Full cycle on a real directory (OSFS), PostgreSQL personality.
+	dir := t.TempDir()
+	fsys, err := vfs.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pgengine.NewWithSizes(1024, 16*1024, 1024)
+	db, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		put(t, db, "kv", fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := minidb.Open(fsys, e, minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := get(t, db2, "kv", fmt.Sprintf("k%02d", i)); got != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("k%02d = %q", i, got)
+		}
+	}
+}
+
+// TestPropertyRandomOpsThenCrash: arbitrary sequences of puts/deletes
+// followed by a crash-recovery always converge to the model map.
+func TestPropertyRandomOpsThenCrash(t *testing.T) {
+	type op struct {
+		Key byte
+		Val []byte
+		Del bool
+	}
+	prop := func(ops []op, checkpointAt uint8) bool {
+		fsys := vfs.NewMemFS()
+		e := pgengine.NewWithSizes(1024, 16*1024, 1024)
+		db, err := minidb.Open(fsys, e, minidb.Options{})
+		if err != nil {
+			return false
+		}
+		if err := db.CreateTable("t", 4); err != nil {
+			return false
+		}
+		model := make(map[string][]byte)
+		for i, o := range ops {
+			key := []byte{byte('a' + o.Key%16)}
+			if o.Del {
+				if err := db.Update(func(tx *minidb.Txn) error { return tx.Delete("t", key) }); err != nil {
+					return false
+				}
+				delete(model, string(key))
+			} else {
+				if err := db.Update(func(tx *minidb.Txn) error { return tx.Put("t", key, o.Val) }); err != nil {
+					return false
+				}
+				model[string(key)] = o.Val
+			}
+			if i == int(checkpointAt)%8 {
+				if err := db.Checkpoint(); err != nil {
+					return false
+				}
+			}
+		}
+		// Crash and recover.
+		db2, err := minidb.Open(fsys, e, minidb.Options{})
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, err := db2.Get("t", []byte(k))
+			if err != nil || string(got) != string(v) {
+				return false
+			}
+		}
+		keys, err := db2.Keys("t")
+		if err != nil {
+			return false
+		}
+		return len(keys) == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndTables(t *testing.T) {
+	db := mustOpen(t, vfs.NewMemFS(), pgengine.New())
+	if err := db.CreateTable("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("a", 0); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	put(t, db, "a", "k", "v")
+	s := db.Stats()
+	if s.Tables != 2 || s.Commits != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}

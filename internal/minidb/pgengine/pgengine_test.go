@@ -1,0 +1,92 @@
+package pgengine
+
+import (
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func TestSegmentPathNaming(t *testing.T) {
+	tests := []struct {
+		idx  int64
+		want string
+	}{
+		{0, "pg_xlog/000000010000000000000000"},
+		{1, "pg_xlog/000000010000000000000001"},
+		{1 << 32, "pg_xlog/000000010000000100000000"},
+	}
+	for _, tt := range tests {
+		if got := SegmentPath(tt.idx); got != tt.want {
+			t.Errorf("SegmentPath(%d) = %s, want %s", tt.idx, got, tt.want)
+		}
+	}
+}
+
+func TestControlFileRoundTrip(t *testing.T) {
+	e := New()
+	fsys := vfs.NewMemFS()
+	lsn, err := e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 0 {
+		t.Fatalf("fresh ReadCheckpointLSN = %d, %v; want 0, nil", lsn, err)
+	}
+	if err := e.CheckpointEnd(fsys, 123456, 1); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err = e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 123456 {
+		t.Fatalf("ReadCheckpointLSN = %d, %v; want 123456", lsn, err)
+	}
+	// Overwrite with a newer checkpoint.
+	if err := e.CheckpointEnd(fsys, 999999, 2); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err = e.ReadCheckpointLSN(fsys)
+	if err != nil || lsn != 999999 {
+		t.Fatalf("ReadCheckpointLSN = %d, %v; want 999999", lsn, err)
+	}
+}
+
+func TestControlFileCorruptionDetected(t *testing.T) {
+	e := New()
+	fsys := vfs.NewMemFS()
+	if err := e.CheckpointEnd(fsys, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the LSN field.
+	data, err := vfs.ReadFile(fsys, ControlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := vfs.WriteFile(fsys, ControlPath, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReadCheckpointLSN(fsys); err == nil {
+		t.Fatal("corrupted pg_control accepted")
+	}
+}
+
+func TestTableOfRoundTrip(t *testing.T) {
+	e := New()
+	p := e.DataPath("warehouse")
+	name, ok := e.TableOf(p)
+	if !ok || name != "warehouse" {
+		t.Fatalf("TableOf(%s) = %q, %v", p, name, ok)
+	}
+	for _, bad := range []string{"pg_xlog/0001", "global/pg_control", "base/16384/sub/dir", "other"} {
+		if _, ok := e.TableOf(bad); ok {
+			t.Errorf("TableOf(%q) accepted a non-table path", bad)
+		}
+	}
+}
+
+func TestCheckpointBeginWritesCLog(t *testing.T) {
+	e := New()
+	fsys := vfs.NewMemFS()
+	if err := e.CheckpointBegin(fsys, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(CLogPath); err != nil {
+		t.Fatalf("pg_clog not written: %v", err)
+	}
+}

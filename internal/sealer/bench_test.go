@@ -1,0 +1,63 @@
+package sealer
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchPayload() []byte {
+	// A WAL-page-like payload: structured, moderately compressible.
+	return bytes.Repeat([]byte("update stock set qty=42 where id=123;"), 220) // ≈8 KiB
+}
+
+func benchConfigs(b *testing.B) map[string]*Sealer {
+	b.Helper()
+	mk := func(o Options) *Sealer {
+		s, err := New(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	return map[string]*Sealer{
+		"plain": NewPlain(),
+		"comp":  mk(Options{Compress: true}),
+		"crypt": mk(Options{Encrypt: true, Password: "pw"}),
+		"c+c":   mk(Options{Compress: true, Encrypt: true, Password: "pw"}),
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	payload := benchPayload()
+	for name, s := range benchConfigs(b) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Seal(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	payload := benchPayload()
+	for name, s := range benchConfigs(b) {
+		b.Run(name, func(b *testing.B) {
+			sealed, err := s.Seal(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Open(sealed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,237 @@
+// Package sealer implements the object envelope of paper §5.4/§6:
+// optional ZLIB compression (fastest level), optional AES-128 encryption
+// (CTR mode) with a password-derived key that never leaves memory, and a
+// mandatory MAC over every object (HMAC-SHA-1, like the prototype's
+// SHA-1 MACs) so that recovery can validate object integrity (§5.4,
+// "Backup verification", step 1).
+//
+// Envelope layout:
+//
+//	magic(4) "GJA1" | flags(1) | iv(16, if encrypted) | payload | mac(20)
+//
+// The MAC covers everything before it (encrypt-then-MAC).
+package sealer
+
+import (
+	"bytes"
+	"compress/zlib"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Envelope constants.
+const (
+	flagCompressed = 1 << 0
+	flagEncrypted  = 1 << 1
+
+	ivSize  = aes.BlockSize
+	macSize = sha1.Size
+	keySize = 16 // AES-128, as in the prototype (§6)
+
+	// kdfIterations for the PBKDF2 password derivation.
+	kdfIterations = 4096
+)
+
+var magic = []byte("GJA1")
+
+// Errors returned by Open.
+var (
+	// ErrIntegrity reports a MAC mismatch: the object was corrupted or
+	// tampered with in the cloud.
+	ErrIntegrity = errors.New("sealer: MAC verification failed")
+	// ErrFormat reports a malformed envelope.
+	ErrFormat = errors.New("sealer: malformed object envelope")
+)
+
+// defaultMACSeed generates the MAC key when no password is configured
+// (paper §5.4: "a default string (a configuration parameter) is used to
+// generate this key").
+const defaultMACSeed = "ginja-default-integrity-key"
+
+// Options configures a Sealer.
+type Options struct {
+	// Compress enables ZLIB compression (BestSpeed, like the prototype's
+	// "ZLIB configured for fastest operation").
+	Compress bool
+	// Encrypt enables AES-128-CTR encryption. Requires Password.
+	Encrypt bool
+	// Password derives the encryption and MAC keys. May be set without
+	// Encrypt to authenticate objects with a secret MAC key.
+	Password string
+	// MACSeed overrides the default MAC-key string used when no password
+	// is provided.
+	MACSeed string
+}
+
+// Sealer seals byte payloads into tamper-evident (optionally compressed
+// and encrypted) cloud objects and opens them back.
+type Sealer struct {
+	opts   Options
+	encKey []byte
+	macKey []byte
+}
+
+// New builds a Sealer. Encryption without a password is rejected.
+func New(opts Options) (*Sealer, error) {
+	if opts.Encrypt && opts.Password == "" {
+		return nil, errors.New("sealer: encryption requires a password")
+	}
+	s := &Sealer{opts: opts}
+	if opts.Password != "" {
+		// Both keys come from the password (paper §5.4: "the provided
+		// password is also used to generate the MAC key").
+		s.encKey = pbkdf2SHA256([]byte(opts.Password), []byte("ginja-enc"), kdfIterations, keySize)
+		s.macKey = pbkdf2SHA256([]byte(opts.Password), []byte("ginja-mac"), kdfIterations, keySize)
+	} else {
+		seed := opts.MACSeed
+		if seed == "" {
+			seed = defaultMACSeed
+		}
+		s.macKey = pbkdf2SHA256([]byte(seed), []byte("ginja-mac"), 1, keySize)
+	}
+	return s, nil
+}
+
+// NewPlain returns a Sealer with neither compression nor encryption (MAC
+// only) — the "plain" configuration of the paper's experiments.
+func NewPlain() *Sealer {
+	s, err := New(Options{})
+	if err != nil {
+		panic(err) // unreachable: no options set
+	}
+	return s
+}
+
+// Compressing reports whether compression is enabled.
+func (s *Sealer) Compressing() bool { return s.opts.Compress }
+
+// Encrypting reports whether encryption is enabled.
+func (s *Sealer) Encrypting() bool { return s.opts.Encrypt }
+
+// Seal envelopes payload for upload.
+func (s *Sealer) Seal(payload []byte) ([]byte, error) {
+	var flags byte
+	body := payload
+	if s.opts.Compress {
+		var buf bytes.Buffer
+		zw, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("sealer: %w", err)
+		}
+		if _, err := zw.Write(payload); err != nil {
+			return nil, fmt.Errorf("sealer: compress: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("sealer: compress: %w", err)
+		}
+		body = buf.Bytes()
+		flags |= flagCompressed
+	}
+	out := make([]byte, 0, len(magic)+1+ivSize+len(body)+macSize)
+	out = append(out, magic...)
+	if s.opts.Encrypt {
+		flags |= flagEncrypted
+	}
+	out = append(out, flags)
+	if s.opts.Encrypt {
+		iv := make([]byte, ivSize)
+		if _, err := rand.Read(iv); err != nil {
+			return nil, fmt.Errorf("sealer: iv: %w", err)
+		}
+		out = append(out, iv...)
+		block, err := aes.NewCipher(s.encKey)
+		if err != nil {
+			return nil, fmt.Errorf("sealer: %w", err)
+		}
+		enc := make([]byte, len(body))
+		cipher.NewCTR(block, iv).XORKeyStream(enc, body)
+		out = append(out, enc...)
+	} else {
+		out = append(out, body...)
+	}
+	mac := hmac.New(sha1.New, s.macKey)
+	mac.Write(out) //nolint:errcheck // hash writes never fail
+	return mac.Sum(out), nil
+}
+
+// Open verifies and unwraps a sealed object.
+func (s *Sealer) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < len(magic)+1+macSize {
+		return nil, ErrFormat
+	}
+	if !bytes.Equal(sealed[:len(magic)], magic) {
+		return nil, ErrFormat
+	}
+	body := sealed[:len(sealed)-macSize]
+	wantMAC := sealed[len(sealed)-macSize:]
+	mac := hmac.New(sha1.New, s.macKey)
+	mac.Write(body) //nolint:errcheck // hash writes never fail
+	if !hmac.Equal(mac.Sum(nil), wantMAC) {
+		return nil, ErrIntegrity
+	}
+	flags := sealed[len(magic)]
+	payload := body[len(magic)+1:]
+	if flags&flagEncrypted != 0 {
+		if !s.opts.Encrypt {
+			return nil, errors.New("sealer: object is encrypted but no password configured")
+		}
+		if len(payload) < ivSize {
+			return nil, ErrFormat
+		}
+		iv := payload[:ivSize]
+		enc := payload[ivSize:]
+		block, err := aes.NewCipher(s.encKey)
+		if err != nil {
+			return nil, fmt.Errorf("sealer: %w", err)
+		}
+		dec := make([]byte, len(enc))
+		cipher.NewCTR(block, iv).XORKeyStream(dec, enc)
+		payload = dec
+	} else {
+		payload = append([]byte(nil), payload...)
+	}
+	if flags&flagCompressed != 0 {
+		zr, err := zlib.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("sealer: decompress: %w", err)
+		}
+		defer zr.Close()
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("sealer: decompress: %w", err)
+		}
+		payload = out
+	}
+	return payload, nil
+}
+
+// pbkdf2SHA256 is PBKDF2 (RFC 2898) with HMAC-SHA-256, implemented here
+// because the repository is stdlib-only.
+func pbkdf2SHA256(password, salt []byte, iterations, keyLen int) []byte {
+	prf := func(data []byte) []byte {
+		h := hmac.New(sha256.New, password)
+		h.Write(data) //nolint:errcheck // hash writes never fail
+		return h.Sum(nil)
+	}
+	numBlocks := (keyLen + sha256.Size - 1) / sha256.Size
+	out := make([]byte, 0, numBlocks*sha256.Size)
+	for block := 1; block <= numBlocks; block++ {
+		u := prf(append(append([]byte(nil), salt...), byte(block>>24), byte(block>>16), byte(block>>8), byte(block)))
+		sum := append([]byte(nil), u...)
+		for i := 1; i < iterations; i++ {
+			u = prf(u)
+			for j := range sum {
+				sum[j] ^= u[j]
+			}
+		}
+		out = append(out, sum...)
+	}
+	return out[:keyLen]
+}

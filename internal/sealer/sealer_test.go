@@ -1,0 +1,219 @@
+package sealer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func configs(t *testing.T) map[string]*Sealer {
+	t.Helper()
+	mk := func(o Options) *Sealer {
+		s, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return map[string]*Sealer{
+		"plain": NewPlain(),
+		"comp":  mk(Options{Compress: true}),
+		"crypt": mk(Options{Encrypt: true, Password: "hunter2"}),
+		"c+c":   mk(Options{Compress: true, Encrypt: true, Password: "hunter2"}),
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("hello ginja disaster recovery"),
+		bytes.Repeat([]byte("wal-page-"), 10000),
+		{0, 1, 2, 3, 255, 254},
+	}
+	for name, s := range configs(t) {
+		t.Run(name, func(t *testing.T) {
+			for i, payload := range payloads {
+				sealed, err := s.Seal(payload)
+				if err != nil {
+					t.Fatalf("payload %d: Seal: %v", i, err)
+				}
+				got, err := s.Open(sealed)
+				if err != nil {
+					t.Fatalf("payload %d: Open: %v", i, err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("payload %d: round trip mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCompressionShrinksRedundantData(t *testing.T) {
+	s, err := New(Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB, highly redundant
+	sealed, err := s.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) >= len(payload)/2 {
+		t.Fatalf("compressed %d → %d, expected at least 2× shrink", len(payload), len(sealed))
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	for name, s := range configs(t) {
+		t.Run(name, func(t *testing.T) {
+			sealed, err := s.Seal([]byte("important database state"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pos := range []int{0, 4, 5, len(sealed) / 2, len(sealed) - 1} {
+				bad := append([]byte(nil), sealed...)
+				bad[pos] ^= 0x01
+				if _, err := s.Open(bad); err == nil {
+					t.Errorf("tampered byte %d accepted", pos)
+				}
+			}
+		})
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := NewPlain()
+	sealed, err := s.Seal([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(sealed); n += 3 {
+		if _, err := s.Open(sealed[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	s1, err := New(Options{Encrypt: true, Password: "correct"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Options{Encrypt: true, Password: "wrong"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := s1.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different password → different MAC key → integrity failure (the
+	// attacker cannot even distinguish "wrong key" from "corrupt").
+	if _, err := s2.Open(sealed); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Open with wrong password = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestEncryptedObjectNeedsPassword(t *testing.T) {
+	enc, err := New(Options{Encrypt: true, Password: "p", MACSeed: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := enc.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewPlain()
+	if _, err := plain.Open(sealed); err == nil {
+		t.Fatal("plain sealer opened an encrypted object")
+	}
+}
+
+func TestEncryptionHidesPlaintext(t *testing.T) {
+	s, err := New(Options{Encrypt: true, Password: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("SSN=000-00-0000 the-secret-row")
+	sealed, err := s.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret[:10]) {
+		t.Fatal("plaintext visible in sealed object")
+	}
+	// Sealing twice must produce different ciphertexts (fresh IV).
+	sealed2, err := s.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sealed, sealed2) {
+		t.Fatal("two seals of the same payload are identical (IV reuse)")
+	}
+}
+
+func TestEncryptWithoutPasswordRejected(t *testing.T) {
+	if _, err := New(Options{Encrypt: true}); err == nil {
+		t.Fatal("New accepted encryption without a password")
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	s := NewPlain()
+	for _, garbage := range [][]byte{nil, []byte("x"), []byte("not an envelope at all, definitely")} {
+		if _, err := s.Open(garbage); err == nil {
+			t.Errorf("garbage %q accepted", garbage)
+		}
+	}
+}
+
+func TestPropertySealOpen(t *testing.T) {
+	for name, s := range configs(t) {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			prop := func(payload []byte) bool {
+				sealed, err := s.Seal(payload)
+				if err != nil {
+					return false
+				}
+				got, err := s.Open(sealed)
+				if err != nil {
+					return false
+				}
+				return bytes.Equal(got, payload)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPBKDF2Deterministic(t *testing.T) {
+	k1 := pbkdf2SHA256([]byte("pw"), []byte("salt"), 100, 16)
+	k2 := pbkdf2SHA256([]byte("pw"), []byte("salt"), 100, 16)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("PBKDF2 not deterministic")
+	}
+	k3 := pbkdf2SHA256([]byte("pw"), []byte("other"), 100, 16)
+	if bytes.Equal(k1, k3) {
+		t.Fatal("different salts produced the same key")
+	}
+	k4 := pbkdf2SHA256([]byte("pw"), []byte("salt"), 100, 40) // > one SHA-256 block
+	if len(k4) != 40 {
+		t.Fatalf("key length = %d, want 40", len(k4))
+	}
+}
+
+func TestPBKDF2KnownVector(t *testing.T) {
+	// RFC 7914 test vector appendix (PBKDF2-HMAC-SHA-256):
+	// P="passwd", S="salt", c=1, dkLen=64 → first 8 bytes 55ac046e56e3089f.
+	k := pbkdf2SHA256([]byte("passwd"), []byte("salt"), 1, 64)
+	want := []byte{0x55, 0xac, 0x04, 0x6e, 0x56, 0xe3, 0x08, 0x9f}
+	if !bytes.Equal(k[:8], want) {
+		t.Fatalf("PBKDF2 vector mismatch: got %x, want %x", k[:8], want)
+	}
+}

@@ -1,0 +1,180 @@
+package vfs
+
+import (
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingObserver captures every event for assertions.
+type recordingObserver struct {
+	mu        sync.Mutex
+	writes    []writeEvent
+	syncs     []string
+	truncates []string
+	removes   []string
+}
+
+type writeEvent struct {
+	path string
+	off  int64
+	data string
+}
+
+func (r *recordingObserver) OnWrite(path string, off int64, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writes = append(r.writes, writeEvent{path: path, off: off, data: string(data)})
+}
+
+func (r *recordingObserver) OnSync(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncs = append(r.syncs, path)
+}
+
+func (r *recordingObserver) OnTruncate(path string, _ int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.truncates = append(r.truncates, path)
+}
+
+func (r *recordingObserver) OnRemove(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removes = append(r.removes, path)
+}
+
+func TestInterceptReportsWrites(t *testing.T) {
+	obs := &recordingObserver{}
+	fsys := NewInterceptFS(NewMemFS(), obs)
+
+	f, err := fsys.OpenFile("pg_xlog/0001", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("rec1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("rec2"), 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove("pg_xlog/0001"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []writeEvent{
+		{path: "pg_xlog/0001", off: 0, data: "rec1"},
+		{path: "pg_xlog/0001", off: 8192, data: "rec2"},
+	}
+	if !reflect.DeepEqual(obs.writes, want) {
+		t.Fatalf("writes = %+v, want %+v", obs.writes, want)
+	}
+	if !reflect.DeepEqual(obs.syncs, []string{"pg_xlog/0001"}) {
+		t.Fatalf("syncs = %v", obs.syncs)
+	}
+	if !reflect.DeepEqual(obs.truncates, []string{"pg_xlog/0001"}) {
+		t.Fatalf("truncates = %v", obs.truncates)
+	}
+	if !reflect.DeepEqual(obs.removes, []string{"pg_xlog/0001"}) {
+		t.Fatalf("removes = %v", obs.removes)
+	}
+}
+
+func TestInterceptLocalWriteHappensBeforeObserver(t *testing.T) {
+	inner := NewMemFS()
+	var sawContent string
+	obs := &funcObserver{onWrite: func(path string, off int64, data []byte) {
+		// At observation time the data must already be readable locally
+		// (paper: write locally, then enqueue).
+		got, err := ReadFile(inner, path)
+		if err != nil {
+			return
+		}
+		sawContent = string(got)
+	}}
+	fsys := NewInterceptFS(inner, obs)
+	if err := WriteFile(fsys, "f", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if sawContent != "durable" {
+		t.Fatalf("observer saw %q, want the already-written content", sawContent)
+	}
+}
+
+func TestInterceptObserverCanBlockWriter(t *testing.T) {
+	release := make(chan struct{})
+	obs := &funcObserver{onWrite: func(string, int64, []byte) { <-release }}
+	fsys := NewInterceptFS(NewMemFS(), obs)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f, err := fsys.OpenFile("wal", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("write returned while observer was blocking")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("write did not return after observer released it")
+	}
+}
+
+func TestInterceptInnerBypassesObserver(t *testing.T) {
+	obs := &recordingObserver{}
+	fsys := NewInterceptFS(NewMemFS(), obs)
+	if err := WriteFile(fsys.Inner(), "f", []byte("quiet")); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.writes) != 0 {
+		t.Fatalf("Inner() writes were observed: %+v", obs.writes)
+	}
+	// But the data is visible through the intercepted view.
+	got, err := ReadFile(fsys, "f")
+	if err != nil || string(got) != "quiet" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestInterceptNilObserver(t *testing.T) {
+	fsys := NewInterceptFS(NewMemFS(), nil)
+	if err := WriteFile(fsys, "f", []byte("x")); err != nil {
+		t.Fatalf("nil observer must behave as no-op: %v", err)
+	}
+}
+
+type funcObserver struct {
+	NopObserver
+	onWrite func(path string, off int64, data []byte)
+}
+
+func (f *funcObserver) OnWrite(path string, off int64, data []byte) {
+	if f.onWrite != nil {
+		f.onWrite(path, off, data)
+	}
+}

@@ -1,0 +1,255 @@
+// Package vfs provides the file-system interposition layer Ginja sits on.
+//
+// The paper implements interception as a FUSE file system; this repository
+// implements the same role in-process: the database engine performs all of
+// its I/O through the FS interface, and InterceptFS forwards every write,
+// sync and truncate to an Observer *before returning to the caller* — so
+// the observer can block the database exactly like the paper's FS
+// Interpreter does when the Safety limit is exceeded (paper §5.1, Alg. 2
+// line 7).
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is the handle the database uses for page- and log-structured I/O.
+// All access is positional (pread/pwrite style), matching how PostgreSQL
+// and InnoDB write WAL pages and data pages.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+
+	// Sync flushes the file to durable storage (fsync).
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size returns the current file size.
+	Size() (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the file-system surface the database engines require.
+type FS interface {
+	// OpenFile opens (creating with os.O_CREATE) the named file.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically renames a file.
+	Rename(oldName, newName string) error
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadDir lists a directory (non-recursive), sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// WriteFile is a convenience helper that creates/overwrites name with data.
+func WriteFile(fsys FS, name string, data []byte) error {
+	if dir := path.Dir(name); dir != "." && dir != "/" {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadFile reads the whole content of name.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size == 0 {
+		return data, nil
+	}
+	if _, err := f.ReadAt(data, 0); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return data, nil
+}
+
+// WriteAt writes data at off in name, creating the file if needed.
+func WriteAt(fsys FS, name string, off int64, data []byte) error {
+	if dir := path.Dir(name); dir != "." && dir != "/" {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Walk returns every file path under root (recursively), sorted.
+func Walk(fsys FS, root string) ([]string, error) {
+	var out []string
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := fsys.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			p := path.Join(dir, e.Name())
+			if e.IsDir() {
+				if err := walk(p); err != nil {
+					return err
+				}
+				continue
+			}
+			out = append(out, p)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// OSFS is an FS rooted at a directory of the host file system.
+type OSFS struct {
+	root string
+}
+
+var _ FS = (*OSFS)(nil)
+
+// NewOSFS returns an FS rooted at dir, creating dir if necessary.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFS{root: abs}, nil
+}
+
+// Root returns the host directory backing this FS.
+func (o *OSFS) Root() string { return o.root }
+
+func (o *OSFS) hostPath(name string) (string, error) {
+	clean := path.Clean("/" + name)
+	if strings.Contains(clean, "..") {
+		return "", &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	return filepath.Join(o.root, filepath.FromSlash(clean)), nil
+}
+
+// OpenFile implements FS.
+func (o *OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	p, err := o.hostPath(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f, name: name}, nil
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	p, err := o.hostPath(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}
+
+// Rename implements FS.
+func (o *OSFS) Rename(oldName, newName string) error {
+	po, err := o.hostPath(oldName)
+	if err != nil {
+		return err
+	}
+	pn, err := o.hostPath(newName)
+	if err != nil {
+		return err
+	}
+	return os.Rename(po, pn)
+}
+
+// Stat implements FS.
+func (o *OSFS) Stat(name string) (fs.FileInfo, error) {
+	p, err := o.hostPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Stat(p)
+}
+
+// ReadDir implements FS.
+func (o *OSFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	p, err := o.hostPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadDir(p)
+}
+
+// MkdirAll implements FS.
+func (o *OSFS) MkdirAll(name string, perm os.FileMode) error {
+	p, err := o.hostPath(name)
+	if err != nil {
+		return err
+	}
+	return os.MkdirAll(p, perm)
+}
+
+type osFile struct {
+	f    *os.File
+	name string
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p, off) }
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+func (f *osFile) Close() error                             { return f.f.Close() }
+func (f *osFile) Sync() error                              { return f.f.Sync() }
+func (f *osFile) Truncate(size int64) error                { return f.f.Truncate(size) }
+func (f *osFile) Name() string                             { return f.name }
+
+func (f *osFile) Size() (int64, error) {
+	fi, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func benchRecord(i int) Record {
+	return Record{
+		Type:  RecordUpdate,
+		TxID:  uint64(i),
+		Table: "stock",
+		Key:   []byte(fmt.Sprintf("s:%04d:%06d", i%100, i)),
+		Value: make([]byte, 120),
+	}
+}
+
+func BenchmarkRecordEncode(b *testing.B) {
+	rec := benchRecord(1)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = rec.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordDecode(b *testing.B) {
+	rec := benchRecord(1)
+	encoded, err := rec.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(encoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterAppendFlush(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		layout Layout
+	}{
+		{"pg-8K", linearLayout(8192, 16<<20)},
+		{"inno-512B", circularLayout(512, 2048+4<<20, 2048, 2)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			w, err := NewWriter(vfs.NewMemFS(), cfg.layout, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(benchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadFrom(b *testing.B) {
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(8192, 16<<20)
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := w.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := ReadFrom(fsys, layout, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 5000 {
+			b.Fatalf("read %d records", len(recs))
+		}
+	}
+}

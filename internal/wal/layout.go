@@ -1,0 +1,78 @@
+package wal
+
+import "fmt"
+
+// Layout describes how the logical LSN space (a contiguous byte stream)
+// maps onto segment files, reproducing the write pattern of a concrete
+// DBMS so that Ginja's processors see realistic file names and offsets.
+type Layout struct {
+	// PageSize is the I/O granularity: flushes always write whole pages.
+	// PostgreSQL uses 8 KiB WAL pages, InnoDB 512-byte log blocks (§4).
+	PageSize int
+	// SegmentSize is the total size of one segment file, including any
+	// reserved header.
+	SegmentSize int64
+	// HeaderSize is the reserved region at the start of each segment file
+	// that log data never touches (InnoDB's 2048-byte log-file header,
+	// whose blocks at offsets 512/1536 hold checkpoint info).
+	HeaderSize int64
+	// Circular selects round-robin reuse of NumFiles segment files
+	// (InnoDB) instead of an unbounded series of new files (PostgreSQL).
+	Circular bool
+	// NumFiles is the number of files in a circular layout.
+	NumFiles int
+	// SegmentPath names the file for segment index idx. For circular
+	// layouts idx is already reduced modulo NumFiles.
+	SegmentPath func(idx int64) string
+}
+
+// Validate checks internal consistency.
+func (l Layout) Validate() error {
+	if l.PageSize <= 0 {
+		return fmt.Errorf("wal: PageSize must be positive, got %d", l.PageSize)
+	}
+	if l.SegmentSize <= l.HeaderSize {
+		return fmt.Errorf("wal: SegmentSize %d must exceed HeaderSize %d", l.SegmentSize, l.HeaderSize)
+	}
+	if l.usableSegment()%int64(l.PageSize) != 0 {
+		return fmt.Errorf("wal: usable segment size %d must be a multiple of PageSize %d",
+			l.usableSegment(), l.PageSize)
+	}
+	if l.Circular && l.NumFiles < 2 {
+		return fmt.Errorf("wal: circular layout needs at least 2 files, got %d", l.NumFiles)
+	}
+	if l.SegmentPath == nil {
+		return fmt.Errorf("wal: SegmentPath is required")
+	}
+	return nil
+}
+
+// usableSegment is the number of log-data bytes per segment file.
+func (l Layout) usableSegment() int64 { return l.SegmentSize - l.HeaderSize }
+
+// Capacity returns the total LSN capacity of a circular layout before
+// wrap-around, or -1 for unbounded linear layouts.
+func (l Layout) Capacity() int64 {
+	if !l.Circular {
+		return -1
+	}
+	return l.usableSegment() * int64(l.NumFiles)
+}
+
+// Locate maps a logical LSN to its segment file and in-file offset.
+func (l Layout) Locate(lsn int64) (path string, offset int64) {
+	seg := lsn / l.usableSegment()
+	within := lsn % l.usableSegment()
+	if l.Circular {
+		seg %= int64(l.NumFiles)
+	}
+	return l.SegmentPath(seg), l.HeaderSize + within
+}
+
+// SegmentIndex returns the (unreduced) segment index containing lsn.
+func (l Layout) SegmentIndex(lsn int64) int64 { return lsn / l.usableSegment() }
+
+// PageStart returns the LSN of the start of the page containing lsn.
+func (l Layout) PageStart(lsn int64) int64 {
+	return lsn - lsn%int64(l.PageSize)
+}

@@ -1,0 +1,91 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// ReadFrom scans the log starting at LSN start and returns every valid
+// record up to the durable tail. The tail is detected by the first torn /
+// corrupt / LSN-mismatching record, so a log rebuilt by Ginja's Recovery
+// (which only restores WAL objects with consecutive timestamps) replays
+// exactly the prefix that is safe.
+func ReadFrom(fsys vfs.FS, layout Layout, start int64) ([]Record, int64, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, 0, err
+	}
+	buf, err := readContiguous(fsys, layout, start)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, consumed := DecodeAllAt(buf, start)
+	return recs, start + int64(consumed), nil
+}
+
+// readContiguous collects the raw log bytes beginning at LSN start,
+// following the layout across segment files until a file is missing or
+// short. For circular layouts it reads at most one full capacity to avoid
+// looping forever.
+func readContiguous(fsys vfs.FS, layout Layout, start int64) ([]byte, error) {
+	var out []byte
+	lsn := start
+	var budget int64 = -1
+	if layout.Circular {
+		budget = layout.Capacity()
+	}
+	for {
+		if budget == 0 {
+			return out, nil
+		}
+		p, off := layout.Locate(lsn)
+		f, err := fsys.OpenFile(p, os.O_RDONLY, 0)
+		if errors.Is(err, fs.ErrNotExist) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Read from off to the end of the segment's data region (or the
+		// end of the file, whichever is smaller).
+		segEnd := layout.SegmentSize
+		if size < segEnd {
+			segEnd = size
+		}
+		if off >= segEnd {
+			f.Close()
+			return out, nil
+		}
+		n := segEnd - off
+		if budget > 0 && n > budget {
+			n = budget
+		}
+		chunk := make([]byte, n)
+		read, err := f.ReadAt(chunk, off)
+		f.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		out = append(out, chunk[:read]...)
+		lsn += int64(read)
+		if budget > 0 {
+			budget -= int64(read)
+		}
+		if int64(read) < n {
+			return out, nil // short file: durable tail reached
+		}
+		// Continue into the next segment only if we consumed this one to
+		// its full data region.
+		if off+int64(read) < layout.SegmentSize {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func linearLayout(pageSize int, segSize int64) Layout {
+	return Layout{
+		PageSize:    pageSize,
+		SegmentSize: segSize,
+		SegmentPath: func(idx int64) string { return fmt.Sprintf("pg_xlog/%016X", idx) },
+	}
+}
+
+func circularLayout(pageSize int, segSize, header int64, files int) Layout {
+	return Layout{
+		PageSize:    pageSize,
+		SegmentSize: segSize,
+		HeaderSize:  header,
+		Circular:    true,
+		NumFiles:    files,
+		SegmentPath: func(idx int64) string { return fmt.Sprintf("ib_logfile%d", idx) },
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Record{
+		{Type: RecordUpdate, TxID: 7, LSN: 100, Table: "stock", Key: []byte("k1"), Value: []byte("v1")},
+		{Type: RecordDelete, TxID: 8, LSN: 0, Table: "t", Key: []byte("gone")},
+		{Type: RecordCommit, TxID: 9, LSN: 55},
+		{Type: RecordCheckpoint, TxID: 0, LSN: 1 << 40},
+		{Type: RecordUpdate, TxID: 1, Table: "", Key: nil, Value: make([]byte, 10000)},
+	}
+	for i, rec := range tests {
+		encoded, err := rec.Encode(nil)
+		if err != nil {
+			t.Fatalf("case %d: Encode: %v", i, err)
+		}
+		if len(encoded) != rec.EncodedSize() {
+			t.Fatalf("case %d: encoded %d bytes, EncodedSize says %d", i, len(encoded), rec.EncodedSize())
+		}
+		got, n, err := Decode(encoded)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if n != len(encoded) {
+			t.Fatalf("case %d: consumed %d, want %d", i, n, len(encoded))
+		}
+		if got.Type != rec.Type || got.TxID != rec.TxID || got.LSN != rec.LSN || got.Table != rec.Table {
+			t.Fatalf("case %d: got %+v, want %+v", i, got, rec)
+		}
+		if string(got.Key) != string(rec.Key) || string(got.Value) != string(rec.Value) {
+			t.Fatalf("case %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestRecordDecodeRejectsCorruption(t *testing.T) {
+	rec := Record{Type: RecordUpdate, TxID: 1, Table: "t", Key: []byte("k"), Value: []byte("v")}
+	encoded, err := rec.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bad magic", func(b []byte) []byte { c := clone(b); c[0] = 0; return c }},
+		{"bad type", func(b []byte) []byte { c := clone(b); c[1] = 99; return c }},
+		{"flipped payload byte", func(b []byte) []byte { c := clone(b); c[headerSize] ^= 0xFF; return c }},
+		{"flipped crc", func(b []byte) []byte { c := clone(b); c[len(c)-1] ^= 0xFF; return c }},
+		{"all zero", func(b []byte) []byte { return make([]byte, len(b)) }},
+	} {
+		if _, _, err := Decode(mutate.fn(encoded)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode = %v, want ErrCorrupt", mutate.name, err)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	prop := func(typ uint8, txid uint64, table string, key, value []byte) bool {
+		rec := Record{
+			Type:  RecordType(typ%4) + RecordUpdate,
+			TxID:  txid,
+			Table: limit(table, maxTableLen),
+			Key:   key,
+			Value: value,
+		}
+		encoded, err := rec.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(encoded)
+		if err != nil || n != len(encoded) {
+			return false
+		}
+		return got.Type == rec.Type && got.TxID == rec.TxID &&
+			got.Table == rec.Table && string(got.Key) == string(rec.Key) &&
+			string(got.Value) == string(rec.Value)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func limit(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func TestDecodeAllStopsAtTorn(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		rec := Record{Type: RecordCommit, TxID: uint64(i), LSN: int64(len(buf))}
+		var err error
+		buf, err = rec.Encode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := len(buf)
+	buf = append(buf, make([]byte, 100)...) // zero tail, like a padded page
+	recs, consumed := DecodeAll(buf)
+	if len(recs) != 5 {
+		t.Fatalf("decoded %d records, want 5", len(recs))
+	}
+	if consumed != full {
+		t.Fatalf("consumed %d, want %d", consumed, full)
+	}
+}
+
+func TestDecodeAllAtRejectsStaleLSN(t *testing.T) {
+	recA := Record{Type: RecordCommit, TxID: 1, LSN: 0}
+	bufA, err := recA.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record claims LSN 0 but we scan from LSN 4096 (a previous circular
+	// cycle left it behind): must be rejected.
+	recs, consumed := DecodeAllAt(bufA, 4096)
+	if len(recs) != 0 || consumed != 0 {
+		t.Fatalf("stale record accepted: %d recs, %d consumed", len(recs), consumed)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	good := linearLayout(512, 8192)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	bad := []Layout{
+		{PageSize: 0, SegmentSize: 8192, SegmentPath: good.SegmentPath},
+		{PageSize: 512, SegmentSize: 0, SegmentPath: good.SegmentPath},
+		{PageSize: 500, SegmentSize: 8192, SegmentPath: good.SegmentPath}, // not a divisor
+		{PageSize: 512, SegmentSize: 8192},                                // no path fn
+		{PageSize: 512, SegmentSize: 8192, Circular: true, NumFiles: 1, SegmentPath: good.SegmentPath},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad layout %d accepted", i)
+		}
+	}
+}
+
+func TestLayoutLocateLinear(t *testing.T) {
+	l := linearLayout(512, 4096)
+	tests := []struct {
+		lsn      int64
+		wantPath string
+		wantOff  int64
+	}{
+		{0, "pg_xlog/0000000000000000", 0},
+		{4095, "pg_xlog/0000000000000000", 4095},
+		{4096, "pg_xlog/0000000000000001", 0},
+		{10000, "pg_xlog/0000000000000002", 10000 - 2*4096},
+	}
+	for _, tt := range tests {
+		p, off := l.Locate(tt.lsn)
+		if p != tt.wantPath || off != tt.wantOff {
+			t.Errorf("Locate(%d) = (%s, %d), want (%s, %d)", tt.lsn, p, off, tt.wantPath, tt.wantOff)
+		}
+	}
+}
+
+func TestLayoutLocateCircular(t *testing.T) {
+	l := circularLayout(512, 4096+2048, 2048, 2)
+	usable := int64(4096)
+	tests := []struct {
+		lsn      int64
+		wantPath string
+		wantOff  int64
+	}{
+		{0, "ib_logfile0", 2048},
+		{usable - 1, "ib_logfile0", 2048 + usable - 1},
+		{usable, "ib_logfile1", 2048},
+		{2 * usable, "ib_logfile0", 2048}, // wrapped
+		{3 * usable, "ib_logfile1", 2048},
+	}
+	for _, tt := range tests {
+		p, off := l.Locate(tt.lsn)
+		if p != tt.wantPath || off != tt.wantOff {
+			t.Errorf("Locate(%d) = (%s, %d), want (%s, %d)", tt.lsn, p, off, tt.wantPath, tt.wantOff)
+		}
+	}
+	if got := l.Capacity(); got != 2*usable {
+		t.Fatalf("Capacity = %d, want %d", got, 2*usable)
+	}
+}
+
+func writeRecords(t *testing.T, w *Writer, n int) []int64 {
+	t.Helper()
+	lsns := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		lsn, err := w.Append(Record{
+			Type:  RecordUpdate,
+			TxID:  uint64(i),
+			Table: "t",
+			Key:   []byte(fmt.Sprintf("key-%04d", i)),
+			Value: []byte(fmt.Sprintf("value-%04d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	return lsns
+}
+
+func TestWriterFlushAndReadBack(t *testing.T) {
+	layouts := map[string]Layout{
+		"linear-pg":     linearLayout(8192, 8192*4),
+		"circular-inno": circularLayout(512, 512*64+2048, 2048, 2),
+	}
+	for name, layout := range layouts {
+		t.Run(name, func(t *testing.T) {
+			fsys := vfs.NewMemFS()
+			w, err := NewWriter(fsys, layout, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeRecords(t, w, 50)
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if w.Pending() != 0 {
+				t.Fatalf("Pending = %d after flush", w.Pending())
+			}
+			recs, end, err := ReadFrom(fsys, layout, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 50 {
+				t.Fatalf("read %d records, want 50", len(recs))
+			}
+			if end != w.FlushedLSN() {
+				t.Fatalf("end = %d, want %d", end, w.FlushedLSN())
+			}
+			for i, r := range recs {
+				if r.TxID != uint64(i) {
+					t.Fatalf("record %d has TxID %d", i, r.TxID)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWriterUnflushedRecordsNotDurable(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(512, 4096)
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 3)
+	recs, _, err := ReadFrom(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("read %d records before flush, want 0", len(recs))
+	}
+}
+
+func TestWriterSpansSegments(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(512, 1024) // tiny segments force spanning
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 100)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := vfs.Walk(fsys, "pg_xlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected multiple segments, got %v", files)
+	}
+	recs, _, err := ReadFrom(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("read %d records, want 100", len(recs))
+	}
+}
+
+func TestWriterReopenAtFlushedLSN(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(512, 4096)
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resume := w.FlushedLSN()
+
+	w2, err := NewWriter(fsys, layout, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Append(Record{Type: RecordCommit, TxID: 999}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadFrom(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("read %d records after reopen, want 11", len(recs))
+	}
+	if last := recs[len(recs)-1]; last.TxID != 999 {
+		t.Fatalf("last record TxID = %d, want 999", last.TxID)
+	}
+}
+
+func TestReadFromMidLog(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(512, 4096)
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := writeRecords(t, w, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadFrom(fsys, layout, lsns[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("read %d records from mid-log, want 10", len(recs))
+	}
+	if recs[0].TxID != 10 {
+		t.Fatalf("first record TxID = %d, want 10", recs[0].TxID)
+	}
+}
+
+func TestCircularWrapRejectsStaleCycle(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	layout := circularLayout(512, 512*8+2048, 2048, 2) // capacity 8 KiB
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill more than one full capacity so the log wraps and overwrites.
+	var lastLSN int64
+	for i := 0; i < 100; i++ {
+		lsn, err := w.Append(Record{Type: RecordUpdate, TxID: uint64(i), Table: "t",
+			Key: []byte("k"), Value: make([]byte, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reading from the most recent record must see it (and only records
+	// of the current cycle — stale data must terminate the scan, not
+	// produce wrong records).
+	recs, _, err := ReadFrom(fsys, layout, lastLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].TxID != 99 {
+		t.Fatalf("recs = %d, first = %+v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.LSN < lastLSN {
+			t.Fatalf("stale record surfaced: %+v", r)
+		}
+	}
+}
+
+func TestWriterPageRewritePattern(t *testing.T) {
+	// Multiple small flushed commits must rewrite the same page: the
+	// file content at page 0 should contain all records even though each
+	// flush wrote the full page.
+	fsys := vfs.NewMemFS()
+	layout := linearLayout(8192, 8192*2)
+	w, err := NewWriter(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(Record{Type: RecordCommit, TxID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := fsys.Stat("pg_xlog/0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 8192 {
+		t.Fatalf("segment size = %d, want exactly one page (8192)", fi.Size())
+	}
+	recs, _, err := ReadFrom(fsys, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("read %d records, want 5", len(recs))
+	}
+}

@@ -1,0 +1,55 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+func benchTerminal(b *testing.B) *terminal {
+	b.Helper()
+	db, err := minidb.Open(vfs.NewMemFS(), pgengine.New(), minidb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig().normalized()
+	if err := Load(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	return &terminal{db: db, cfg: cfg, rng: rand.New(rand.NewSource(7)), home: home{w: 1, d: 1}}
+}
+
+func BenchmarkNewOrder(b *testing.B) {
+	term := benchTerminal(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := term.newOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPayment(b *testing.B) {
+	term := benchTerminal(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := term.payment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullMix(b *testing.B) {
+	term := benchTerminal(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := term.execute(pickTx(term.rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ginja-dr/ginja/internal/minidb"
+)
+
+// Load populates the database with the initial TPC-C data set at the
+// configured scale. It creates every table and fills warehouses,
+// districts, customers, items and stock; orders start empty (they are
+// produced by the workload itself).
+func Load(db *minidb.DB, cfg Config) error {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Bucket counts scale with the warehouse count so the database's
+	// on-disk size grows with the TPC-C scale factor, like a real
+	// deployment — this is what makes the recovery-time experiment
+	// (paper Figure 7) sensitive to the number of warehouses.
+	w := uint32(cfg.Warehouses)
+	for _, table := range Tables() {
+		var buckets uint32
+		switch table {
+		case TableWarehouse:
+			buckets = 4
+		case TableItem:
+			buckets = uint32(cfg.Items/4 + 1)
+		case TableDistrict:
+			buckets = 4 * w
+		case TableCustomer, TableStock:
+			buckets = 32 * w
+		case TableOrders, TableNewOrder, TableHistory:
+			buckets = 64 * w
+		case TableOrderLine:
+			buckets = 128 * w
+		}
+		if err := db.CreateTable(table, buckets); err != nil {
+			return fmt.Errorf("tpcc: create %s: %w", table, err)
+		}
+	}
+
+	// Items are global.
+	for i := 1; i <= cfg.Items; i++ {
+		item := Item{ID: i, Name: randName(rng, "ITEM-"), Price: 1 + rng.Float64()*99}
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put(TableItem, itemKey(i), encode(item))
+		}); err != nil {
+			return fmt.Errorf("tpcc: load item %d: %w", i, err)
+		}
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		wh := Warehouse{ID: w, Name: randName(rng, "WH-"), Tax: rng.Float64() * 0.2}
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put(TableWarehouse, warehouseKey(w), encode(wh))
+		}); err != nil {
+			return fmt.Errorf("tpcc: load warehouse %d: %w", w, err)
+		}
+		// Stock for every item in this warehouse, loaded in chunks to
+		// keep transactions reasonably sized.
+		const chunk = 50
+		for start := 1; start <= cfg.Items; start += chunk {
+			end := start + chunk
+			if end > cfg.Items+1 {
+				end = cfg.Items + 1
+			}
+			w := w
+			if err := db.Update(func(tx *minidb.Txn) error {
+				for i := start; i < end; i++ {
+					s := Stock{IID: i, WID: w, Quantity: 50 + rng.Intn(50)}
+					if err := tx.Put(TableStock, stockKey(w, i), encode(s)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return fmt.Errorf("tpcc: load stock w%d: %w", w, err)
+			}
+		}
+		for d := 1; d <= cfg.Districts; d++ {
+			dist := District{ID: d, WID: w, Tax: rng.Float64() * 0.2, NextOID: 1, LastDlvO: 0}
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put(TableDistrict, districtKey(w, d), encode(dist))
+			}); err != nil {
+				return fmt.Errorf("tpcc: load district %d/%d: %w", w, d, err)
+			}
+			for c := 1; c <= cfg.Customers; c++ {
+				cust := Customer{ID: c, DID: d, WID: w, Name: randName(rng, "CUST-"), Balance: -10}
+				if err := db.Update(func(tx *minidb.Txn) error {
+					return tx.Put(TableCustomer, customerKey(w, d, c), encode(cust))
+				}); err != nil {
+					return fmt.Errorf("tpcc: load customer %d/%d/%d: %w", w, d, c, err)
+				}
+			}
+		}
+	}
+	return nil
+}
