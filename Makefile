@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages (pipeline + metrics registry).
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+# verify is the tier-1 gate (see ROADMAP.md): everything must pass before
+# a change lands.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .

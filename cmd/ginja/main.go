@@ -10,6 +10,7 @@
 //
 //	ginja boot    -data ./db -cloud ./bucket [-engine postgresql]
 //	ginja run     -data ./db -cloud ./bucket -duration 30s [-batch 100 -safety 1000]
+//	ginja run     -data ./db -cloud ./bucket -metrics-addr :9090   # + /metrics /healthz /statusz
 //	ginja recover -data ./db-restored -cloud ./bucket
 //	ginja verify  -cloud ./bucket
 //	ginja status  -cloud ./bucket
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -31,23 +34,29 @@ import (
 	"github.com/ginja-dr/ginja/internal/minidb"
 	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
 	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/vfs"
 	"github.com/ginja-dr/ginja/internal/workload/tpcc"
 )
 
 type options struct {
-	dataDir    string
-	cloudSpec  string
-	cloudToken string
-	engine     string
-	batch      int
-	safety     int
-	uploaders  int
-	compress   bool
-	encrypt    bool
-	password   string
-	duration   time.Duration
-	verbose    bool
+	dataDir     string
+	cloudSpec   string
+	cloudToken  string
+	engine      string
+	batch       int
+	safety      int
+	uploaders   int
+	compress    bool
+	encrypt     bool
+	password    string
+	duration    time.Duration
+	verbose     bool
+	metricsAddr string
+
+	// registry is non-nil when -metrics-addr is set; store() and params()
+	// route telemetry through it.
+	registry *obs.Registry
 }
 
 func main() {
@@ -77,8 +86,13 @@ func run(args []string) error {
 	fs.StringVar(&o.password, "password", "", "password for encryption / MAC keys")
 	fs.DurationVar(&o.duration, "duration", 30*time.Second, "how long to run the demo workload")
 	fs.BoolVar(&o.verbose, "v", false, "log replication events to stderr")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve /metrics (Prometheus), /healthz and /statusz on this address (e.g. :9090)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if o.metricsAddr != "" {
+		o.registry = obs.NewRegistry()
 	}
 
 	ctx := context.Background()
@@ -102,13 +116,24 @@ func run(args []string) error {
 }
 
 func (o options) store() (cloud.ObjectStore, error) {
+	var store cloud.ObjectStore
+	var err error
 	if strings.HasPrefix(o.cloudSpec, "http://") || strings.HasPrefix(o.cloudSpec, "https://") {
 		if o.cloudToken != "" {
-			return s3http.NewClientWithToken(o.cloudSpec, o.cloudToken, nil), nil
+			store = s3http.NewClientWithToken(o.cloudSpec, o.cloudToken, nil)
+		} else {
+			store = s3http.NewClient(o.cloudSpec, nil)
 		}
-		return s3http.NewClient(o.cloudSpec, nil), nil
+	} else {
+		store, err = cloud.NewDiskStore(o.cloudSpec)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return cloud.NewDiskStore(o.cloudSpec)
+	if o.registry != nil {
+		store = obs.InstrumentStore(store, o.registry, "cloud")
+	}
+	return store, nil
 }
 
 func (o options) params() core.Params {
@@ -122,7 +147,25 @@ func (o options) params() core.Params {
 	if o.verbose {
 		p.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
+	p.Metrics = o.registry
 	return p
+}
+
+// serveMetrics exposes the observability endpoints for the lifetime of
+// the surrounding subcommand. It returns a shutdown func (a no-op when
+// -metrics-addr is unset) and fails fast when the address is unusable.
+func serveMetrics(o options, status func() any) (func(), error) {
+	if o.registry == nil {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", o.metricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler(o.registry, status)}
+	go srv.Serve(ln) //nolint:errcheck // closed via srv.Close
+	fmt.Printf("observability: http://%s/metrics /healthz /statusz\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 func (o options) engineAndProc() (minidb.Engine, dbevent.Processor, error) {
@@ -138,25 +181,29 @@ func (o options) engineAndProc() (minidb.Engine, dbevent.Processor, error) {
 	}
 }
 
-func (o options) newGinja() (*core.Ginja, vfs.FS, error) {
+// newGinja builds the middleware plus the store it replicates to. The
+// store must be constructed exactly once per process: InstrumentStore
+// binds the "store:cloud" health check to the instance it wraps, so a
+// second wrap would point /healthz at a store the pipeline never uses.
+func (o options) newGinja() (*core.Ginja, vfs.FS, cloud.ObjectStore, error) {
 	localFS, err := vfs.NewOSFS(o.dataDir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	store, err := o.store()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	_, proc, err := o.engineAndProc()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	g, err := core.New(localFS, store, proc, o.params())
-	return g, localFS, err
+	return g, localFS, store, err
 }
 
 func cmdBoot(ctx context.Context, o options) error {
-	g, _, err := o.newGinja()
+	g, _, _, err := o.newGinja()
 	if err != nil {
 		return err
 	}
@@ -171,15 +218,16 @@ func cmdBoot(ctx context.Context, o options) error {
 }
 
 func cmdRun(ctx context.Context, o options) error {
-	g, _, err := o.newGinja()
+	g, _, store, err := o.newGinja()
 	if err != nil {
 		return err
 	}
+	stopMetrics, err := serveMetrics(o, func() any { return g.Stats() })
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	// Boot if the cloud is empty, otherwise reboot.
-	store, err := o.store()
-	if err != nil {
-		return err
-	}
 	infos, err := store.List(ctx, "")
 	if err != nil {
 		return err
@@ -231,10 +279,15 @@ func cmdRun(ctx context.Context, o options) error {
 }
 
 func cmdRecover(ctx context.Context, o options) error {
-	g, _, err := o.newGinja()
+	g, _, _, err := o.newGinja()
 	if err != nil {
 		return err
 	}
+	stopMetrics, err := serveMetrics(o, func() any { return g.Stats() })
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	start := time.Now()
 	if err := g.Recover(ctx); err != nil {
 		return err
@@ -397,5 +450,6 @@ subcommands:
   pitr      list / restore retained point-in-time generations
 
 common flags: -data DIR -cloud DIR|URL -engine postgresql|mysql
-              -batch B -safety S -compress -encrypt -password PW`)
+              -batch B -safety S -compress -encrypt -password PW
+              -metrics-addr :9090   serve /metrics /healthz /statusz`)
 }

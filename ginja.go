@@ -35,6 +35,8 @@
 package ginja
 
 import (
+	"net/http"
+
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
 	"github.com/ginja-dr/ginja/internal/cloud/s3http"
@@ -43,6 +45,7 @@ import (
 	"github.com/ginja-dr/ginja/internal/minidb"
 	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
 	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
@@ -80,6 +83,50 @@ var NoLossParams = core.NoLoss
 
 // ErrNoDump is returned by Recover when the cloud holds no dump.
 var ErrNoDump = core.ErrNoDump
+
+// Observability. Set Params.Metrics to a *MetricsRegistry and Ginja
+// streams per-stage pipeline latencies, queue-depth gauges, Safety
+// blocked time and cloud-operation telemetry into it; expose it over
+// HTTP with MetricsHandler (Prometheus /metrics, /healthz, /statusz).
+// Stats (above) stays the poll-style snapshot; the registry is the
+// always-on streaming view, and Stats.LastError lets health checks see
+// pipeline failures without internal access.
+type (
+	// MetricsRegistry is a concurrency-safe registry of named counters,
+	// gauges and bounded-memory streaming histograms.
+	MetricsRegistry = obs.Registry
+	// MetricLabels attaches dimensions to an instrument (e.g. op="put").
+	MetricLabels = obs.Labels
+	// MetricCounter is a monotonically increasing value.
+	MetricCounter = obs.Counter
+	// MetricGauge is a value that can go up and down (or be sampled from
+	// a function at export time).
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket, log-scaled streaming histogram.
+	MetricHistogram = obs.Histogram
+	// MetricSnapshot is one instrument's state, as served by /statusz.
+	MetricSnapshot = obs.MetricSnapshot
+	// HealthStatus is the outcome of one registered health check.
+	HealthStatus = obs.HealthStatus
+	// InstrumentedStore wraps any ObjectStore with per-op latency, byte
+	// and error telemetry plus a reachability health check.
+	InstrumentedStore = obs.InstrumentedStore
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// InstrumentStore wraps a store with per-op telemetry recorded into reg
+// under the given backend label, and registers a "store:<backend>"
+// reachability check on /healthz.
+var InstrumentStore = obs.InstrumentStore
+
+// MetricsHandler serves /metrics (Prometheus text format), /healthz and
+// /statusz for a registry. status (may be nil) is sampled per /statusz
+// request — pass func() any { return g.Stats() }.
+func MetricsHandler(r *MetricsRegistry, status func() any) http.Handler {
+	return obs.Handler(r, status)
+}
 
 // Object storage.
 type (
@@ -138,6 +185,11 @@ var LANProfile = cloudsim.LANProfile
 // NewReplicatedStore combines several clouds with majority writes for
 // provider-scale fault tolerance (paper §6).
 var NewReplicatedStore = core.NewReplicatedStore
+
+// NewObservedReplicatedStore is NewReplicatedStore with each provider
+// wrapped in an InstrumentedStore ("replica-0", "replica-1", ...) so
+// /metrics and /healthz report per-replica latency, errors and health.
+var NewObservedReplicatedStore = core.NewObservedReplicatedStore
 
 type (
 	// ReplicatedStore is the multi-cloud store; run Repair after a

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/sealer"
 )
 
@@ -50,34 +51,47 @@ func BenchmarkEncodeDecodeWrites(b *testing.B) {
 
 // BenchmarkPipelineThroughput measures sustained commit-path submissions
 // through the full pipeline (aggregation + sealing + upload to a memory
-// store).
+// store). The "instrumented" variants run with a live metrics registry;
+// compare against the plain runs to measure observability overhead (the
+// disabled path must stay within 5%).
 func BenchmarkPipelineThroughput(b *testing.B) {
-	for _, batch := range []int{10, 100, 1000} {
-		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
-			p := DefaultParams()
-			p.Batch = batch
-			p.Safety = batch * 10
-			p.BatchTimeout = 5 * time.Millisecond
-			params, err := p.Validate()
-			if err != nil {
-				b.Fatal(err)
-			}
-			pipe := newPipeline(NewCloudView(), cloud.NewMemStore(), sealer.NewPlain(), params)
-			pipe.start(0)
-			defer pipe.drainAndStop(10 * time.Second)
-			page := make([]byte, 8192)
-			b.SetBytes(8192)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := pipe.submit("pg_xlog/0001", int64(i%2048)*8192, page); err != nil {
+	for _, bc := range []struct {
+		name    string
+		metrics bool
+	}{
+		{"plain", false},
+		{"instrumented", true},
+	} {
+		for _, batch := range []int{10, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/B=%d", bc.name, batch), func(b *testing.B) {
+				p := DefaultParams()
+				p.Batch = batch
+				p.Safety = batch * 10
+				p.BatchTimeout = 5 * time.Millisecond
+				if bc.metrics {
+					p.Metrics = obs.NewRegistry()
+				}
+				params, err := p.Validate()
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.StopTimer()
-			if !pipe.q.drain(30 * time.Second) {
-				b.Fatal("drain")
-			}
-		})
+				pipe := newPipeline(NewCloudView(), cloud.NewMemStore(), sealer.NewPlain(), params)
+				pipe.start(0)
+				defer pipe.drainAndStop(10 * time.Second)
+				page := make([]byte, 8192)
+				b.SetBytes(8192)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.submit("pg_xlog/0001", int64(i%2048)*8192, page); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if !pipe.q.drain(30 * time.Second) {
+					b.Fatal("drain")
+				}
+			})
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/dbevent"
@@ -58,7 +59,8 @@ type checkpointer struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	stats checkpointStats
+	stats   checkpointStats
+	metrics *checkpointMetrics
 
 	errMu sync.Mutex
 	err   error
@@ -74,6 +76,7 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 		store:    store,
 		seal:     seal,
 		params:   params,
+		metrics:  newCheckpointMetrics(params.Metrics),
 		genAlloc: make(map[int64]int),
 		queue:    make(chan dbObject, 4),
 		ctx:      ctx,
@@ -83,6 +86,11 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 }
 
 func (c *checkpointer) start() {
+	if reg := c.params.Metrics; reg != nil {
+		reg.GaugeFunc(metricCkptQueueLen,
+			"Finished checkpoints/dumps awaiting upload by the CheckpointThread.",
+			nil, func() float64 { return float64(len(c.queue)) })
+	}
 	go func() {
 		defer close(c.done)
 		for obj := range c.queue {
@@ -164,10 +172,14 @@ func (c *checkpointer) finalizeLocked() {
 		// Build the dump synchronously: no database-file write can race
 		// us here because the DBMS is still inside its checkpoint-end
 		// write (§5.3: Ginja stops local DB writes during dump creation).
+		buildStart := time.Now()
 		dump, err := c.buildDump()
 		if err != nil {
 			c.fail(fmt.Errorf("core: building dump: %w", err))
 			return
+		}
+		if c.metrics != nil {
+			c.metrics.build.ObserveDuration(time.Since(buildStart))
 		}
 		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, writes: dump}
 	}
@@ -240,6 +252,7 @@ func (c *checkpointer) buildDump() ([]FileWrite, error) {
 // WAL objects it supersedes — and, for dumps, older DB objects subject to
 // the point-in-time retention policy.
 func (c *checkpointer) upload(obj dbObject) error {
+	uploadStart := time.Now()
 	payload := EncodeWrites(obj.writes)
 	sealed, err := c.seal.Seal(payload)
 	if err != nil {
@@ -258,6 +271,10 @@ func (c *checkpointer) upload(obj dbObject) error {
 		}
 		c.stats.dbObjects.Add(1)
 		c.stats.dbBytes.Add(int64(len(part)))
+		if c.metrics != nil {
+			c.metrics.dbObjects.Inc()
+			c.metrics.dbBytes.Add(float64(len(part)))
+		}
 	}
 	nParts := len(parts)
 	if nParts == 1 {
@@ -268,6 +285,15 @@ func (c *checkpointer) upload(obj dbObject) error {
 		c.stats.dumps.Add(1)
 	} else {
 		c.stats.checkpoints.Add(1)
+	}
+	if c.metrics != nil {
+		if obj.typ == Dump {
+			c.metrics.dumps.Inc()
+			c.metrics.uploadDump.ObserveDuration(time.Since(uploadStart))
+		} else {
+			c.metrics.checkpoints.Inc()
+			c.metrics.uploadCkpt.ObserveDuration(time.Since(uploadStart))
+		}
 	}
 	c.params.logger().Info("db object uploaded",
 		"type", string(obj.typ), "ts", obj.ts, "gen", obj.gen,
@@ -284,6 +310,9 @@ func (c *checkpointer) upload(obj dbObject) error {
 		}
 		c.view.DeleteWAL(w.Ts)
 		c.stats.walDeleted.Add(1)
+		if c.metrics != nil {
+			c.metrics.walDeleted.Inc()
+		}
 		deletedWAL++
 	}
 	if deletedWAL > 0 {
@@ -331,6 +360,9 @@ func (c *checkpointer) collectOldDBObjects() error {
 		}
 		c.view.DeleteDB(d.Ts, d.Gen)
 		c.stats.dbDeleted.Add(1)
+		if c.metrics != nil {
+			c.metrics.dbDeleted.Inc()
+		}
 	}
 	return nil
 }

@@ -48,6 +48,10 @@ type Stats struct {
 	// BlockedTime is the cumulative time DBMS writes spent blocked on the
 	// Safety contract.
 	BlockedTime time.Duration
+	// LastError is the first fatal replication error, rendered as a
+	// string ("" while healthy), so health checks can consume a Stats
+	// snapshot without reaching into internals.
+	LastError string
 }
 
 // Ginja is the disaster-recovery middleware: it observes a database's
@@ -437,6 +441,17 @@ func (g *Ginja) start() {
 	g.ckpt = newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params)
 	g.ckpt.start()
 	g.started = true
+	if reg := g.params.Metrics; reg != nil {
+		// "pipeline" answers /healthz: alive until a fatal replication
+		// error rejects commits (re-registering rebinds it to this
+		// instance when a registry outlives a Ginja).
+		reg.RegisterHealth("pipeline", func() error {
+			if g.closed {
+				return errors.New("core: ginja closed")
+			}
+			return g.Err()
+		})
+	}
 }
 
 // OnWrite implements vfs.Observer: classify the write and route it to the
@@ -496,6 +511,11 @@ func (g *Ginja) Flush(timeout time.Duration) bool {
 	if g.pipe == nil {
 		return true
 	}
+	// A fatally-failed pipeline can never drain; report failure at once
+	// instead of sleeping out the caller's timeout.
+	if g.pipe.lastErr() != nil {
+		return false
+	}
 	return g.pipe.q.drain(timeout)
 }
 
@@ -518,6 +538,9 @@ func (g *Ginja) Stats() Stats {
 		s.DBBytesUploaded = g.ckpt.stats.dbBytes.Load()
 		s.WALObjectsDeleted = g.ckpt.stats.walDeleted.Load()
 		s.DBObjectsDeleted = g.ckpt.stats.dbDeleted.Load()
+	}
+	if err := g.Err(); err != nil {
+		s.LastError = err.Error()
 	}
 	return s
 }

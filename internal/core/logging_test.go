@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,8 +15,27 @@ import (
 	"github.com/ginja-dr/ginja/internal/dbevent"
 )
 
+// syncBuffer is a bytes.Buffer safe to read while Ginja's background
+// goroutines are still logging into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func TestStructuredLoggingEmitsEvents(t *testing.T) {
-	var buf bytes.Buffer
+	var buf syncBuffer
 	params := fastParams()
 	params.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
 
@@ -35,7 +55,11 @@ func TestStructuredLoggingEmitsEvents(t *testing.T) {
 	waitCheckpointUploaded(t, r.g, 1)
 
 	out := buf.String()
-	for _, want := range []string{"ginja boot complete", "db object uploaded", "garbage-collected WAL objects"} {
+	for _, want := range []string{
+		"ginja boot complete", "db object uploaded", "garbage-collected WAL objects",
+		// per-batch trace spans (Debug level), correlated by batch=N
+		"batch aggregated", "wal object uploaded", "batch durable", "batch=",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("log output missing %q:\n%s", want, out)
 		}

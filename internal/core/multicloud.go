@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/obs"
 )
 
 // ReplicatedStore replicates objects across several clouds for
@@ -29,6 +30,22 @@ func NewReplicatedStore(stores ...cloud.ObjectStore) (*ReplicatedStore, error) {
 		return nil, errors.New("core: replicated store needs at least one backend")
 	}
 	return &ReplicatedStore{stores: stores}, nil
+}
+
+// NewObservedReplicatedStore is NewReplicatedStore with every provider
+// wrapped in an obs.InstrumentedStore (backend labels "replica-0",
+// "replica-1", ...), so /metrics carries per-replica op latency/error
+// counters and /healthz reports each replica's reachability — the
+// per-provider availability view of the paper's multi-cloud mode (§6).
+func NewObservedReplicatedStore(reg *obs.Registry, stores ...cloud.ObjectStore) (*ReplicatedStore, error) {
+	if reg == nil {
+		return NewReplicatedStore(stores...)
+	}
+	wrapped := make([]cloud.ObjectStore, len(stores))
+	for i, s := range stores {
+		wrapped[i] = obs.InstrumentStore(s, reg, fmt.Sprintf("replica-%d", i))
+	}
+	return NewReplicatedStore(wrapped...)
 }
 
 // majority returns the write quorum size.

@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/obs"
+)
+
+// TestPipelineMetricsEndToEnd boots a fully instrumented stack (registry
+// in Params.Metrics, store wrapped in InstrumentStore), commits through
+// it and checks that every pipeline stage and the cloud path recorded
+// real observations.
+func TestPipelineMetricsEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := obs.InstrumentStore(cloud.NewMemStore(), reg, "mem")
+	params := fastParams()
+	params.Metrics = reg
+
+	r := newRig(t, store, params,
+		func() minidb.Engine { return pgengine.NewWithSizes(1024, 16*1024, 1024) },
+		func() dbevent.Processor { return dbevent.NewPGProcessor() })
+	if err := r.db.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	const commits = 40
+	for i := 0; i < commits; i++ {
+		r.put(t, "t", fmt.Sprintf("k%03d", i), "v")
+	}
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush timed out")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Counters: every commit was counted, WAL objects reached the cloud.
+	counter := func(name string) float64 {
+		return reg.Counter(name, "", nil).Value()
+	}
+	if got := counter("ginja_updates_total"); got < commits {
+		t.Fatalf("ginja_updates_total = %v, want >= %d", got, commits)
+	}
+	for _, name := range []string{
+		"ginja_batches_total",
+		"ginja_wal_objects_uploaded_total",
+		"ginja_wal_bytes_uploaded_total",
+		"ginja_wal_bytes_raw_total",
+	} {
+		if counter(name) == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+
+	// Per-stage histograms: each stage of submit → ... → ack observed work.
+	for _, stage := range []string{"queue_wait", "aggregate", "seal", "upload", "durable_wait"} {
+		h := reg.Histogram("ginja_pipeline_stage_seconds", "", obs.Labels{"stage": stage}, nil)
+		if h.Count() == 0 {
+			t.Errorf("stage %q recorded no observations", stage)
+		}
+	}
+	if reg.Histogram("ginja_commit_batch_seconds", "", nil, nil).Count() == 0 {
+		t.Error("batch end-to-end histogram empty")
+	}
+	if reg.Histogram("ginja_wal_object_bytes", "", nil, obs.SizeBuckets()).Count() == 0 {
+		t.Error("object size histogram empty")
+	}
+
+	// Instrumented store saw the uploads.
+	puts := reg.Counter("ginja_cloud_ops_total", "", obs.Labels{"backend": "mem", "op": "put"})
+	if puts.Value() == 0 {
+		t.Error("instrumented store recorded no PUTs")
+	}
+
+	// Queue-depth gauges registered (value is racy; existence is not).
+	for _, want := range []string{
+		"ginja_commit_queue_depth",
+		"ginja_upload_channel_depth",
+		`ginja_pipeline_stage_seconds_count{stage="upload"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Healthy instrumented stack: both the pipeline check and the store
+	// check pass, and Stats reports no error.
+	ok, checks := reg.CheckHealth()
+	if !ok {
+		t.Fatalf("health = unhealthy: %+v", checks)
+	}
+	names := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		names[c.Name] = true
+	}
+	if !names["pipeline"] || !names["store:mem"] {
+		t.Fatalf("missing health checks, have %+v", checks)
+	}
+	if st := r.g.Stats(); st.LastError != "" {
+		t.Fatalf("Stats.LastError = %q, want empty", st.LastError)
+	}
+}
+
+// TestCheckpointMetrics drives enough checkpoints that the checkpoint
+// path's counters and durations fire.
+func TestCheckpointMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	params := fastParams()
+	params.Metrics = reg
+
+	r := newRig(t, cloud.NewMemStore(), params,
+		func() minidb.Engine { return pgengine.NewWithSizes(1024, 16*1024, 1024) },
+		func() dbevent.Processor { return dbevent.NewPGProcessor() })
+	if err := r.db.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		r.put(t, "t", fmt.Sprintf("k%03d", i), strings.Repeat("x", 256))
+	}
+	if err := r.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush timed out")
+	}
+
+	ckpts := reg.Counter("ginja_checkpoints_total", "", obs.Labels{"type": "checkpoint"}).Value() +
+		reg.Counter("ginja_checkpoints_total", "", obs.Labels{"type": "dump"}).Value()
+	if ckpts == 0 {
+		t.Fatal("no checkpoint or dump uploads recorded")
+	}
+	if reg.Counter("ginja_db_objects_uploaded_total", "", nil).Value() == 0 {
+		t.Error("no DB object parts recorded")
+	}
+	if reg.Counter("ginja_db_bytes_uploaded_total", "", nil).Value() == 0 {
+		t.Error("no DB bytes recorded")
+	}
+	if reg.Histogram("ginja_checkpoint_upload_seconds", "", obs.Labels{"type": "checkpoint"}, nil).Count()+
+		reg.Histogram("ginja_checkpoint_upload_seconds", "", obs.Labels{"type": "dump"}, nil).Count() == 0 {
+		t.Error("checkpoint upload duration histogram empty")
+	}
+}
+
+// TestStatsLastError surfaces a pipeline failure through Stats and the
+// "pipeline" health check.
+func TestStatsLastError(t *testing.T) {
+	reg := obs.NewRegistry()
+	params := fastParams()
+	params.Metrics = reg
+	params.UploadRetries = 1
+	params.RetryBaseDelay = time.Millisecond
+
+	store := &toggleFailStore{ObjectStore: cloud.NewMemStore()}
+	r := newRig(t, store, params,
+		func() minidb.Engine { return pgengine.NewWithSizes(1024, 16*1024, 1024) },
+		func() dbevent.Processor { return dbevent.NewPGProcessor() })
+	if err := r.db.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	store.fail.Store(true)
+	for i := 0; i < 8; i++ {
+		r.put(t, "t", fmt.Sprintf("k%d", i), "v")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.g.Stats().LastError != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := r.g.Stats()
+	if st.LastError == "" {
+		t.Fatal("Stats.LastError stayed empty after persistent upload failures")
+	}
+	if ok, _ := reg.CheckHealth(); ok {
+		t.Fatal("pipeline health check still passing after fatal pipeline error")
+	}
+}
+
+// toggleFailStore fails every Put while armed.
+type toggleFailStore struct {
+	cloud.ObjectStore
+	fail atomic.Bool
+}
+
+func (s *toggleFailStore) Put(ctx context.Context, name string, data []byte) error {
+	if s.fail.Load() {
+		return errors.New("injected provider failure")
+	}
+	return s.ObjectStore.Put(ctx, name, data)
+}

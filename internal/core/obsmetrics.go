@@ -1,0 +1,118 @@
+package core
+
+import (
+	"github.com/ginja-dr/ginja/internal/obs"
+)
+
+// Metric names exported when Params.Metrics is set. DESIGN.md maps them
+// to the paper's Table 3/4 quantities; README.md carries the catalogue.
+const (
+	metricUpdates        = "ginja_updates_total"
+	metricBatches        = "ginja_batches_total"
+	metricWALObjects     = "ginja_wal_objects_uploaded_total"
+	metricWALBytes       = "ginja_wal_bytes_uploaded_total"
+	metricWALBytesRaw    = "ginja_wal_bytes_raw_total"
+	metricRetries        = "ginja_upload_retries_total"
+	metricBlockedSeconds = "ginja_safety_blocked_seconds_total"
+	metricBlocks         = "ginja_safety_blocks_total"
+	metricStageSeconds   = "ginja_pipeline_stage_seconds"
+	metricBatchSeconds   = "ginja_commit_batch_seconds"
+	metricObjectBytes    = "ginja_wal_object_bytes"
+	metricQueueDepth     = "ginja_commit_queue_depth"
+	metricUploadChDepth  = "ginja_upload_channel_depth"
+
+	metricCheckpoints  = "ginja_checkpoints_total"
+	metricDBObjects    = "ginja_db_objects_uploaded_total"
+	metricDBBytes      = "ginja_db_bytes_uploaded_total"
+	metricGCDeleted    = "ginja_gc_deleted_total"
+	metricCkptBuild    = "ginja_checkpoint_build_seconds"
+	metricCkptUpload   = "ginja_checkpoint_upload_seconds"
+	metricCkptQueueLen = "ginja_checkpoint_queue_depth"
+)
+
+// pipelineMetrics bundles the commit-path instruments. A nil
+// *pipelineMetrics means observability is disabled; every call site
+// guards with a nil check so the disabled cost is one predictable branch.
+type pipelineMetrics struct {
+	updates        *obs.Counter
+	batches        *obs.Counter
+	walObjects     *obs.Counter
+	walBytes       *obs.Counter
+	rawBytes       *obs.Counter
+	retries        *obs.Counter
+	blockedSeconds *obs.Counter
+	blocks         *obs.Counter
+
+	queueWait   *obs.Histogram // submit → aggregator pickup, per update
+	aggregate   *obs.Histogram // merge+split+stamp, per batch
+	seal        *obs.Histogram // per object
+	upload      *obs.Histogram // per object, retries included
+	durableWait *obs.Histogram // aggregator handoff → unlocker release, per batch
+	batchTotal  *obs.Histogram // oldest submit → unlocker release, per batch
+	objectBytes *obs.Histogram // sealed WAL object sizes
+}
+
+func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
+	if reg == nil {
+		return nil
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram(metricStageSeconds,
+			"Commit-pipeline per-stage latency in seconds (submit → aggregate → seal → upload → ack).",
+			obs.Labels{"stage": name}, nil)
+	}
+	return &pipelineMetrics{
+		updates:        reg.Counter(metricUpdates, "Intercepted WAL updates (database commits).", nil),
+		batches:        reg.Counter(metricBatches, "Cloud synchronizations performed (paper Table 3 batches).", nil),
+		walObjects:     reg.Counter(metricWALObjects, "WAL objects uploaded (paper Table 3 #PUTs, commit path).", nil),
+		walBytes:       reg.Counter(metricWALBytes, "Sealed WAL bytes uploaded.", nil),
+		rawBytes:       reg.Counter(metricWALBytesRaw, "Pre-seal WAL payload bytes (compression input).", nil),
+		retries:        reg.Counter(metricRetries, "Transient cloud failures absorbed by upload retries.", nil),
+		blockedSeconds: reg.Counter(metricBlockedSeconds, "Cumulative seconds DBMS commits spent blocked on the Safety contract.", nil),
+		blocks:         reg.Counter(metricBlocks, "Commits that blocked on the Safety contract at least once.", nil),
+		queueWait:      stage("queue_wait"),
+		aggregate:      stage("aggregate"),
+		seal:           stage("seal"),
+		upload:         stage("upload"),
+		durableWait:    stage("durable_wait"),
+		batchTotal: reg.Histogram(metricBatchSeconds,
+			"End-to-end commit batch latency: oldest submit to durable release.", nil, nil),
+		objectBytes: reg.Histogram(metricObjectBytes,
+			"Sealed WAL object sizes in bytes (paper Table 3 object size).", nil, obs.SizeBuckets()),
+	}
+}
+
+// checkpointMetrics bundles the checkpoint-path instruments; nil when
+// observability is disabled.
+type checkpointMetrics struct {
+	checkpoints *obs.Counter
+	dumps       *obs.Counter
+	dbObjects   *obs.Counter
+	dbBytes     *obs.Counter
+	walDeleted  *obs.Counter
+	dbDeleted   *obs.Counter
+
+	build      *obs.Histogram // dump construction duration
+	uploadCkpt *obs.Histogram
+	uploadDump *obs.Histogram
+}
+
+func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &checkpointMetrics{
+		checkpoints: reg.Counter(metricCheckpoints, "DB objects uploaded by type.", obs.Labels{"type": "checkpoint"}),
+		dumps:       reg.Counter(metricCheckpoints, "DB objects uploaded by type.", obs.Labels{"type": "dump"}),
+		dbObjects:   reg.Counter(metricDBObjects, "DB object parts uploaded (checkpoint path PUTs).", nil),
+		dbBytes:     reg.Counter(metricDBBytes, "Sealed DB bytes uploaded.", nil),
+		walDeleted:  reg.Counter(metricGCDeleted, "Objects removed by garbage collection.", obs.Labels{"kind": "wal"}),
+		dbDeleted:   reg.Counter(metricGCDeleted, "Objects removed by garbage collection.", obs.Labels{"kind": "db"}),
+		build: reg.Histogram(metricCkptBuild,
+			"Full-dump construction duration in seconds.", nil, nil),
+		uploadCkpt: reg.Histogram(metricCkptUpload,
+			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "checkpoint"}, nil),
+		uploadDump: reg.Histogram(metricCkptUpload,
+			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "dump"}, nil),
+	}
+}

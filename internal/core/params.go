@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"log/slog"
 	"time"
+
+	"github.com/ginja-dr/ginja/internal/obs"
 )
 
 // Default parameter values. Batch/Safety defaults follow the paper's
@@ -64,8 +66,14 @@ type Params struct {
 	// enable it in production.
 	DisableAggregation bool
 	// Logger receives structured operational events (uploads, garbage
-	// collection, recovery progress, retries). nil disables logging.
+	// collection, recovery progress, retries) including the per-batch
+	// trace spans that follow a commit from FS interception to cloud ack.
+	// nil disables logging.
 	Logger *slog.Logger
+	// Metrics receives live telemetry (per-stage pipeline latencies,
+	// queue-depth gauges, cloud-operation counters) when non-nil; expose
+	// it with obs.Handler. nil disables instrumentation at near-zero cost.
+	Metrics *obs.Registry
 }
 
 // DefaultParams returns the paper-flavoured defaults (B=100, S=1000).

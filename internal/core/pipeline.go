@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,17 +12,25 @@ import (
 	"github.com/ginja-dr/ginja/internal/sealer"
 )
 
-// walUpload is one WAL object headed for the cloud.
+// walUpload is one WAL object headed for the cloud. batch identifies the
+// Aggregator batch that produced it, so a trace can follow a commit from
+// FS interception to cloud ack.
 type walUpload struct {
 	ts    int64
+	batch int64
 	write FileWrite
 }
 
 // batchRec tracks one Aggregator batch so the Unlocker can release its
-// updates from the CommitQueue once all its objects are durable.
+// updates from the CommitQueue once all its objects are durable, and so
+// the batch's trace span can be closed with end-to-end timings.
 type batchRec struct {
-	count int   // updates in the batch
-	maxTs int64 // highest WAL timestamp the batch produced
+	id           int64
+	count        int   // updates in the batch
+	objects      int   // WAL objects produced
+	maxTs        int64 // highest WAL timestamp the batch produced
+	enqueuedAt   time.Time
+	aggregatedAt time.Time
 }
 
 // pipelineStats are the commit-path counters behind Table 3.
@@ -51,7 +60,10 @@ type pipeline struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	stats pipelineStats
+	stats    pipelineStats
+	metrics  *pipelineMetrics
+	batchSeq atomic.Int64
+	trace    bool // emit per-batch/per-object spans via params.Logger
 
 	errMu sync.Mutex
 	err   error
@@ -65,6 +77,8 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 		store:    store,
 		seal:     seal,
 		params:   params,
+		metrics:  newPipelineMetrics(params.Metrics),
+		trace:    params.Logger != nil && params.Logger.Enabled(context.Background(), slog.LevelDebug),
 		uploadCh: make(chan walUpload, params.Uploaders),
 		ackCh:    make(chan int64, params.Uploaders),
 		batchCh:  make(chan batchRec, 64),
@@ -77,6 +91,17 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 // initialFrontier is the highest WAL timestamp already known durable
 // (everything the view held at start).
 func (p *pipeline) start(initialFrontier int64) {
+	if reg := p.params.Metrics; reg != nil {
+		// Re-registering rebinds the sampling closures to this pipeline,
+		// so a registry outliving a Ginja instance keeps reading live
+		// state instead of a stopped pipeline's.
+		reg.GaugeFunc(metricQueueDepth,
+			"Unacknowledged updates in the CommitQueue (bounded by Safety).",
+			nil, func() float64 { return float64(p.q.size()) })
+		reg.GaugeFunc(metricUploadChDepth,
+			"WAL objects buffered between the Aggregator and the Uploader pool.",
+			nil, func() float64 { return float64(len(p.uploadCh)) })
+	}
 	var uploaderWG sync.WaitGroup
 	for i := 0; i < p.params.Uploaders; i++ {
 		uploaderWG.Add(1)
@@ -114,7 +139,15 @@ func (p *pipeline) submit(path string, off int64, data []byte) (time.Duration, e
 	p.stats.updates.Add(1)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	return p.q.put(update{path: path, off: off, data: cp})
+	blocked, err := p.q.put(update{path: path, off: off, data: cp})
+	if m := p.metrics; m != nil {
+		m.updates.Inc()
+		if blocked > 0 {
+			m.blockedSeconds.AddDuration(blocked)
+			m.blocks.Inc()
+		}
+	}
+	return blocked, err
 }
 
 // aggregator implements the Aggregator thread: read batches of up to B
@@ -128,6 +161,16 @@ func (p *pipeline) aggregator() {
 		if !ok {
 			return
 		}
+		m := p.metrics
+		var aggStart time.Time
+		if m != nil || p.trace {
+			aggStart = time.Now()
+		}
+		if m != nil {
+			for _, u := range updates {
+				m.queueWait.ObserveDuration(aggStart.Sub(u.at))
+			}
+		}
 		writes := make([]FileWrite, len(updates))
 		for i, u := range updates {
 			writes[i] = FileWrite{Path: u.path, Offset: u.off, Data: u.data}
@@ -140,19 +183,37 @@ func (p *pipeline) aggregator() {
 		for _, w := range merged {
 			pieces = append(pieces, SplitWrite(w, p.params.MaxObjectSize)...)
 		}
+		batchID := p.batchSeq.Add(1)
 		var maxTs int64
 		for _, w := range pieces {
 			ts := p.view.NextWALTs()
 			maxTs = ts
 			select {
-			case p.uploadCh <- walUpload{ts: ts, write: w}:
+			case p.uploadCh <- walUpload{ts: ts, batch: batchID, write: w}:
 			case <-p.ctx.Done():
 				return
 			}
 		}
 		p.stats.batches.Add(1)
+		if m != nil {
+			m.batches.Inc()
+			m.aggregate.ObserveDuration(time.Since(aggStart))
+		}
+		rec := batchRec{
+			id:           batchID,
+			count:        len(updates),
+			objects:      len(pieces),
+			maxTs:        maxTs,
+			enqueuedAt:   updates[0].at,
+			aggregatedAt: time.Now(),
+		}
+		if p.trace {
+			p.params.logger().Debug("batch aggregated",
+				"batch", batchID, "updates", rec.count, "objects", rec.objects,
+				"max_ts", maxTs, "queue_wait_ms", aggStart.Sub(rec.enqueuedAt).Milliseconds())
+		}
 		select {
-		case p.batchCh <- batchRec{count: len(updates), maxTs: maxTs}:
+		case p.batchCh <- rec:
 		case <-p.ctx.Done():
 			return
 		}
@@ -163,11 +224,23 @@ func (p *pipeline) aggregator() {
 // exponential backoff, then acknowledge the timestamp.
 func (p *pipeline) uploader() {
 	for u := range p.uploadCh {
+		m := p.metrics
+		var t0 time.Time
+		if m != nil || p.trace {
+			t0 = time.Now()
+		}
 		payload := EncodeWrites([]FileWrite{u.write})
 		sealed, err := p.seal.Seal(payload)
 		if err != nil {
 			p.fail(fmt.Errorf("core: seal WAL object ts=%d: %w", u.ts, err))
 			return
+		}
+		var upStart time.Time
+		if m != nil || p.trace {
+			upStart = time.Now()
+			if m != nil {
+				m.seal.ObserveDuration(upStart.Sub(t0))
+			}
 		}
 		name := WALObjectName(u.ts, u.write.Path, u.write.Offset)
 		if err := p.putWithRetry(name, sealed); err != nil {
@@ -180,6 +253,18 @@ func (p *pipeline) uploader() {
 		p.stats.walObjects.Add(1)
 		p.stats.walBytes.Add(int64(len(sealed)))
 		p.stats.rawBytes.Add(int64(len(payload)))
+		if m != nil {
+			m.upload.ObserveDuration(time.Since(upStart))
+			m.walObjects.Inc()
+			m.walBytes.Add(float64(len(sealed)))
+			m.rawBytes.Add(float64(len(payload)))
+			m.objectBytes.Observe(float64(len(sealed)))
+		}
+		if p.trace {
+			p.params.logger().Debug("wal object uploaded",
+				"batch", u.batch, "ts", u.ts, "bytes", len(sealed),
+				"upload_ms", time.Since(upStart).Milliseconds())
+		}
 		select {
 		case p.ackCh <- u.ts:
 		case <-p.ctx.Done():
@@ -205,6 +290,9 @@ func (p *pipeline) putWithRetry(name string, data []byte) error {
 			return err
 		}
 		p.stats.retries.Add(1)
+		if m := p.metrics; m != nil {
+			m.retries.Inc()
+		}
 		select {
 		case <-time.After(delay):
 		case <-p.ctx.Done():
@@ -247,7 +335,18 @@ func (p *pipeline) unlocker(frontier int64) {
 			pending = append(pending, b)
 		}
 		for len(pending) > 0 && pending[0].maxTs <= frontier {
-			p.q.removeFront(pending[0].count)
+			rec := pending[0]
+			p.q.removeFront(rec.count)
+			if m := p.metrics; m != nil {
+				now := time.Now()
+				m.durableWait.ObserveDuration(now.Sub(rec.aggregatedAt))
+				m.batchTotal.ObserveDuration(now.Sub(rec.enqueuedAt))
+			}
+			if p.trace {
+				p.params.logger().Debug("batch durable",
+					"batch", rec.id, "updates", rec.count, "objects", rec.objects,
+					"max_ts", rec.maxTs, "total_ms", time.Since(rec.enqueuedAt).Milliseconds())
+			}
 			pending = pending[1:]
 		}
 	}
@@ -274,9 +373,13 @@ func (p *pipeline) lastErr() error {
 }
 
 // drainAndStop flushes pending uploads (bounded by timeout) and stops all
-// goroutines.
+// goroutines. A pipeline that already failed fatally can never drain —
+// fail() closed the queue and stopped the workers — so waiting out the
+// timeout would only stall shutdown.
 func (p *pipeline) drainAndStop(timeout time.Duration) error {
-	p.q.drain(timeout)
+	if p.lastErr() == nil {
+		p.q.drain(timeout)
+	}
 	p.q.close()
 	p.cancel()
 	p.wg.Wait()

@@ -1,32 +1,70 @@
 // Package metrics provides the lightweight counters, histograms and
 // process-resource sampling the experiment harness uses to reproduce the
 // paper's Tables 3 and 4.
+//
+// For always-on production telemetry use internal/obs instead: its
+// instruments are fixed-size and lock-free on the hot path. This
+// package's Histogram keeps (a bounded reservoir of) raw samples for the
+// exact-percentile reporting the experiment tables need.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 )
 
+// maxSamples bounds Histogram memory: beyond it, new observations replace
+// random reservoir slots (Vitter's Algorithm R), keeping the retained set
+// a uniform sample of everything observed. 16k float64s is 128 KiB.
+const maxSamples = 16384
+
 // Histogram aggregates duration or size samples with quantile support.
+// Count, Mean, Min and Max are exact over all observations; quantiles are
+// computed from the reservoir (exact until maxSamples observations, a
+// uniform-sample estimate after).
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+	rng     *rand.Rand
 }
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+func NewHistogram() *Histogram {
+	// The fixed seed keeps experiment reruns comparable; uniformity of
+	// the reservoir does not depend on seed choice.
+	return &Histogram{rng: rand.New(rand.NewSource(0x617269a))}
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.n++
+	h.sum += v
+	if h.n == 1 || v < h.min {
+		h.min = v
+	}
+	if h.n == 1 || v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+		return
+	}
+	if j := h.rng.Int63n(h.n); j < maxSamples {
+		h.samples[j] = v
+		h.sorted = false
+	}
 }
 
 // ObserveDuration records a duration in milliseconds.
@@ -34,28 +72,28 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples observed (not capped by the
+// reservoir size).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.n)
 }
 
-// Mean returns the sample mean, or 0 when empty.
+// Mean returns the exact sample mean, or 0 when empty.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range h.samples {
-		sum += v
-	}
-	return sum / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1), or 0 when empty.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1), or 0 when empty. The
+// reservoir is sorted lazily, so alternating Observe/Quantile re-sorts at
+// most maxSamples values — bounded work, unlike the unbounded slice this
+// histogram used to retain.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -76,11 +114,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[idx]
 }
 
-// Min returns the smallest sample, or 0 when empty.
-func (h *Histogram) Min() float64 { return h.Quantile(0) }
+// Min returns the smallest sample (exact), or 0 when empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
-// Max returns the largest sample, or 0 when empty.
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
+// Max returns the largest sample (exact), or 0 when empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Summary renders count/mean/p50/p99 in one line.
 func (h *Histogram) Summary(unit string) string {
@@ -96,6 +142,11 @@ type Throughput struct {
 	start time.Time
 	end   time.Time
 }
+
+// minWindow is the smallest elapsed window PerMinute will extrapolate
+// from. Dividing by a few microseconds of elapsed time — routine in fast
+// tests — reports absurd rates, so shorter windows are clamped to this.
+const minWindow = time.Millisecond
 
 // NewThroughput starts a measurement window now.
 func NewThroughput() *Throughput {
@@ -125,7 +176,9 @@ func (t *Throughput) Count() int64 {
 	return t.count
 }
 
-// PerMinute returns the rate in events/minute over the window.
+// PerMinute returns the rate in events/minute over the window. Windows
+// shorter than one millisecond are treated as one millisecond, so the
+// reported rate never exceeds 60000 × count.
 func (t *Throughput) PerMinute() float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -136,6 +189,9 @@ func (t *Throughput) PerMinute() float64 {
 	elapsed := end.Sub(t.start)
 	if elapsed <= 0 {
 		return 0
+	}
+	if elapsed < minWindow {
+		elapsed = minWindow
 	}
 	return float64(t.count) / elapsed.Minutes()
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -60,6 +61,30 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := NewHistogram()
+	const n = 4 * maxSamples
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d (must count beyond the reservoir)", h.Count(), n)
+	}
+	if len(h.samples) != maxSamples {
+		t.Fatalf("reservoir holds %d samples, want cap %d", len(h.samples), maxSamples)
+	}
+	if h.Min() != 0 || h.Max() != float64(n-1) {
+		t.Fatalf("Min/Max = %v/%v, want exact 0/%d", h.Min(), h.Max(), n-1)
+	}
+	if got, want := h.Mean(), float64(n-1)/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want exact %v", got, want)
+	}
+	// Uniform input 0..n-1: the reservoir p50 must land near the middle.
+	if p50 := h.Quantile(0.5); p50 < float64(n)*0.4 || p50 > float64(n)*0.6 {
+		t.Fatalf("p50 = %v, implausible for uniform 0..%d", p50, n-1)
+	}
+}
+
 func TestHistogramDuration(t *testing.T) {
 	h := NewHistogram()
 	h.ObserveDuration(1500 * time.Millisecond)
@@ -89,6 +114,23 @@ func TestThroughput(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	if r2 := tp.PerMinute(); r1 != r2 {
 		t.Fatalf("rate moved after Stop: %v → %v", r1, r2)
+	}
+}
+
+// TestThroughputClampsTinyWindow is the regression test for PerMinute
+// extrapolating from a sub-millisecond window: 10 events observed in a
+// few microseconds must not report millions per minute.
+func TestThroughputClampsTinyWindow(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(10)
+	tp.Stop() // window is microseconds at most
+	rate := tp.PerMinute()
+	if rate <= 0 {
+		t.Fatalf("PerMinute = %v, want > 0", rate)
+	}
+	// With the 1 ms clamp the ceiling is count × 60000.
+	if max := 10 * 60000.0; rate > max {
+		t.Fatalf("PerMinute = %v exceeds clamped ceiling %v", rate, max)
 	}
 }
 

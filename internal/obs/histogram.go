@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a bounded-memory streaming histogram: observations are
+// counted into fixed log-scaled buckets, so memory is O(buckets) no
+// matter how many samples arrive and Observe is lock-free (one atomic add
+// per bucket plus count/sum upkeep). Quantiles are estimated from the
+// bucket a rank falls into, log-interpolated between its bounds — the
+// standard Prometheus-style trade: bounded error (one bucket width) for
+// unbounded uptime.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// NewHistogram returns a standalone histogram (outside any registry) with
+// the given ascending bucket upper bounds; nil uses LatencyBuckets().
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	return newHistogram(bounds)
+}
+
+// LatencyBuckets returns the default duration buckets in seconds:
+// exponential ×2 from 100 µs to ~105 s (21 buckets). They cover local
+// SSD syncs through WAN uploads and multi-second retries.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 21)
+	v := 1e-4
+	for i := range out {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}
+
+// SizeBuckets returns the default byte-size buckets: exponential ×4 from
+// 256 B to 1 GiB (12 buckets) — WAL pages through split dump parts.
+func SizeBuckets() []float64 {
+	out := make([]float64, 12)
+	v := 256.0
+	for i := range out {
+		out[i] = v
+		v *= 4
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the running mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the rank and log-interpolating inside it. Returns 0 when empty.
+// Ranks in the overflow bucket report the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.bounds) { // overflow bucket: best effort
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		// Position of the rank inside this bucket, interpolated on the
+		// log scale when both edges are positive (the buckets are
+		// log-spaced, so that is the natural density assumption).
+		frac := float64(rank-(cum-c)) / float64(c)
+		if lo > 0 {
+			return lo * math.Pow(hi/lo, frac)
+		}
+		return hi * frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCounts returns the per-bucket counts (used by the exporter).
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}

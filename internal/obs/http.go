@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//   - /metrics — Prometheus text exposition format
+//   - /healthz — 200 when every registered health check passes, 503
+//     otherwise, with a JSON body listing each check
+//   - /statusz — JSON: the optional status value (e.g. core.Stats) plus a
+//     full registry snapshot
+//
+// status may be nil; it is sampled per request. The handler is a plain
+// mux, so it can be mounted standalone (cmd/ginja -metrics-addr) or under
+// a larger server.
+func Handler(r *Registry, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, checks := r.CheckHealth()
+		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
+		state := "ok"
+		if !ok {
+			code = http.StatusServiceUnavailable
+			state = "unhealthy"
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string         `json:"status"`
+			Time   time.Time      `json:"time"`
+			Checks []HealthStatus `json:"checks"`
+		}{state, time.Now().UTC(), checks})
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var st any
+		if status != nil {
+			st = status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Time    time.Time        `json:"time"`
+			Status  any              `json:"status,omitempty"`
+			Metrics []MetricSnapshot `json:"metrics"`
+		}{time.Now().UTC(), st, r.Snapshot()})
+	})
+	return mux
+}

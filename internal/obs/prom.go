@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE header each, histograms expanded into cumulative _bucket
+// series with le labels plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range sortedFamilies(r.families) {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range sortedSeries(f.series) {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				err = writeSample(w, f.name, s.key, s.ctr.Value())
+			case kindGauge:
+				err = writeSample(w, f.name, s.key, s.gauge.Value())
+			case kindHistogram:
+				err = writeHistogram(w, f, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, labelKey string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labelKey, formatValue(v))
+	return err
+}
+
+// writeHistogram expands one histogram series: cumulative buckets with the
+// le label merged into the series' own labels, then _sum and _count.
+func writeHistogram(w io.Writer, f *family, s *series) error {
+	counts := s.hist.bucketCounts()
+	var cum int64
+	for i, bound := range f.bounds {
+		cum += counts[i]
+		if err := writeBucket(w, f.name, s.key, formatValue(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if err := writeBucket(w, f.name, s.key, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.key, formatValue(s.hist.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.key, s.hist.Count())
+	return err
+}
+
+func writeBucket(w io.Writer, name, labelKey, le string, cum int64) error {
+	var k string
+	if labelKey == "" {
+		k = `{le="` + le + `"}`
+	} else {
+		k = strings.TrimSuffix(labelKey, "}") + `,le="` + le + `"}`
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, k, cum)
+	return err
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestPrometheusFormatValidity checks every emitted line is either a
+// comment or a grammatically valid sample, across all three kinds.
+func TestPrometheusFormatValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", "operations", Labels{"op": "put", "backend": "s3"}).Add(3)
+	r.Gauge("queue_depth", "queue depth", nil).Set(7)
+	h := r.Histogram("lat_seconds", "latency", Labels{"stage": "upload"}, []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+	h.Observe(100)
+
+	out := promText(t, r)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{backend="s3",op="put"} 3`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{stage="upload",le="0.1"} 1`,
+		`lat_seconds_bucket{stage="upload",le="1"} 1`,
+		`lat_seconds_bucket{stage="upload",le="10"} 2`,
+		`lat_seconds_bucket{stage="upload",le="+Inf"} 3`,
+		`lat_seconds_count{stage="upload"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusEscaping puts every character class the format must
+// escape into label values and HELP text.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "help with \\ backslash\nand newline",
+		Labels{"path": "a\"b\\c\nd"}).Inc()
+	out := promText(t, r)
+	if !strings.Contains(out, `# HELP esc_total help with \\ backslash\nand newline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	// No raw newline may survive inside any single line.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("escaped output produced invalid line: %q", line)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	// 1000 observations at ~10 ms: the p50 estimate must land inside the
+	// bucket containing 0.01 (bounds ...0.0064, 0.0128...).
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.010)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.0064 || p50 > 0.0128 {
+		t.Fatalf("p50 = %v, want within (0.0064, 0.0128]", p50)
+	}
+	if got := h.Mean(); got < 0.0099 || got > 0.0101 {
+		t.Fatalf("Mean = %v, want ~0.010 (sum is exact)", got)
+	}
+	// Overflow: beyond the last bound reports the highest finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentWriters hammers one registry from many goroutines
+// that both register (same names — must converge on shared handles) and
+// update instruments, while a reader exports continuously. Run with -race.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				_ = r.WritePrometheus(&sb)
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("test_ops_total", "ops", Labels{"g": "shared"}).Inc()
+				r.Gauge("test_depth", "depth", nil).Set(float64(i))
+				r.Histogram("test_latency_seconds", "lat", nil, nil).Observe(0.001 * float64(i%50))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	<-scraperDone
+
+	if got := r.Counter("test_ops_total", "ops", Labels{"g": "shared"}).Value(); got != goroutines*perG {
+		t.Fatalf("counter = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("test_latency_seconds", "lat", nil, nil).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %v, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help", Labels{"a": "1", "b": "2"})
+	c2 := r.Counter("x_total", "other help ignored", Labels{"b": "2", "a": "1"})
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same handle regardless of map order")
+	}
+	c3 := r.Counter("x_total", "", Labels{"a": "1", "b": "3"})
+	if c1 == c3 {
+		t.Fatal("different label values must be distinct series")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("clash", "", nil)
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0leading", "has space", "dash-ed", "utf8_héllo"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+	for _, bad := range []string{"", "0x", "__reserved", "la bel"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("label name %q accepted", bad)
+				}
+			}()
+			r.Counter("ok_total", "", Labels{bad: "v"})
+		}()
+	}
+}
+
+func TestGaugeFuncRebinds(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeFunc("depth", "", nil, func() float64 { return 1 })
+	if g.Value() != 1 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+	// A restarted subsystem re-registers with fresh state.
+	r.GaugeFunc("depth", "", nil, func() float64 { return 42 })
+	if g.Value() != 42 {
+		t.Fatalf("Value after rebind = %v, want 42", g.Value())
+	}
+}
+
+func TestCounterAddDuration(t *testing.T) {
+	var c Counter
+	c.AddDuration(1500 * time.Millisecond)
+	c.Add(-5) // negative ignored: counters are monotone
+	if got := c.Value(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestHealthChecks(t *testing.T) {
+	r := NewRegistry()
+	ok, checks := r.CheckHealth()
+	if !ok || len(checks) != 0 {
+		t.Fatal("empty registry must be healthy")
+	}
+	fail := false
+	r.RegisterHealth("a", func() error { return nil })
+	r.RegisterHealth("b", func() error {
+		if fail {
+			return errFail
+		}
+		return nil
+	})
+	ok, checks = r.CheckHealth()
+	if !ok || len(checks) != 2 || !checks[0].OK || !checks[1].OK {
+		t.Fatalf("healthy: ok=%v checks=%+v", ok, checks)
+	}
+	fail = true
+	ok, checks = r.CheckHealth()
+	if ok || checks[1].OK || checks[1].Error == "" {
+		t.Fatalf("unhealthy: ok=%v checks=%+v", ok, checks)
+	}
+}
+
+var errFail = &healthErr{}
+
+type healthErr struct{}
+
+func (*healthErr) Error() string { return "boom" }

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// InstrumentedStore wraps any cloud.ObjectStore and records per-operation
+// telemetry into a Registry:
+//
+//	ginja_cloud_op_seconds{backend,op}     latency histogram
+//	ginja_cloud_ops_total{backend,op}      operation counter
+//	ginja_cloud_op_errors_total{backend,op} error counter (ErrNotFound excluded)
+//	ginja_cloud_bytes_total{backend,direction} payload bytes up/down
+//
+// It also tracks reachability — consecutive failures and the last error —
+// and registers a health check named "store:<backend>", so wrapping each
+// replica of a ReplicatedStore with a distinct backend label yields
+// per-replica health on /healthz.
+type InstrumentedStore struct {
+	inner   cloud.ObjectStore
+	backend string
+
+	ops       map[string]*opInstruments
+	bytesUp   *Counter
+	bytesDown *Counter
+
+	consecutiveErrs atomic.Int64
+	lastMu          sync.Mutex
+	lastErr         error
+	lastSuccess     time.Time
+}
+
+type opInstruments struct {
+	latency *Histogram
+	total   *Counter
+	errs    *Counter
+}
+
+var _ cloud.ObjectStore = (*InstrumentedStore)(nil)
+
+// InstrumentStore wraps inner, registering its instruments and a
+// "store:<backend>" health check in reg. backend is a label value naming
+// the wrapped store (e.g. "s3", "replica-0").
+func InstrumentStore(inner cloud.ObjectStore, reg *Registry, backend string) *InstrumentedStore {
+	s := &InstrumentedStore{
+		inner:   inner,
+		backend: backend,
+		ops:     make(map[string]*opInstruments, 4),
+	}
+	for _, op := range []string{"put", "get", "list", "delete"} {
+		l := Labels{"backend": backend, "op": op}
+		s.ops[op] = &opInstruments{
+			latency: reg.Histogram("ginja_cloud_op_seconds",
+				"Cloud object-store operation latency in seconds.", l, nil),
+			total: reg.Counter("ginja_cloud_ops_total",
+				"Cloud object-store operations issued.", l),
+			errs: reg.Counter("ginja_cloud_op_errors_total",
+				"Cloud object-store operations that failed (not-found excluded).", l),
+		}
+	}
+	s.bytesUp = reg.Counter("ginja_cloud_bytes_total",
+		"Payload bytes transferred to/from the cloud.",
+		Labels{"backend": backend, "direction": "up"})
+	s.bytesDown = reg.Counter("ginja_cloud_bytes_total",
+		"Payload bytes transferred to/from the cloud.",
+		Labels{"backend": backend, "direction": "down"})
+	reg.RegisterHealth("store:"+backend, s.Healthy)
+	return s
+}
+
+// Healthy reports store reachability: nil after the most recent operation
+// succeeded, the last error while one or more operations have failed in a
+// row. A store that has seen no traffic yet is considered healthy.
+func (s *InstrumentedStore) Healthy() error {
+	if s.consecutiveErrs.Load() == 0 {
+		return nil
+	}
+	s.lastMu.Lock()
+	defer s.lastMu.Unlock()
+	return fmt.Errorf("obs: store %s unreachable (%d consecutive failures): %w",
+		s.backend, s.consecutiveErrs.Load(), s.lastErr)
+}
+
+// LastSuccess returns the time of the most recent successful operation
+// (zero if none yet).
+func (s *InstrumentedStore) LastSuccess() time.Time {
+	s.lastMu.Lock()
+	defer s.lastMu.Unlock()
+	return s.lastSuccess
+}
+
+// record finishes one operation's accounting. Not-found is a normal
+// answer, not a failure; context cancellation is the caller shutting
+// down, so it counts as neither success nor failure for reachability.
+func (s *InstrumentedStore) record(op string, start time.Time, err error) {
+	m := s.ops[op]
+	m.total.Inc()
+	m.latency.ObserveDuration(time.Since(start))
+	switch {
+	case err == nil || errors.Is(err, cloud.ErrNotFound):
+		s.consecutiveErrs.Store(0)
+		s.lastMu.Lock()
+		s.lastSuccess = time.Now()
+		s.lastMu.Unlock()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.errs.Inc()
+	default:
+		m.errs.Inc()
+		s.consecutiveErrs.Add(1)
+		s.lastMu.Lock()
+		s.lastErr = err
+		s.lastMu.Unlock()
+	}
+}
+
+// Put implements cloud.ObjectStore.
+func (s *InstrumentedStore) Put(ctx context.Context, name string, data []byte) error {
+	start := time.Now()
+	err := s.inner.Put(ctx, name, data)
+	s.record("put", start, err)
+	if err == nil {
+		s.bytesUp.Add(float64(len(data)))
+	}
+	return err
+}
+
+// Get implements cloud.ObjectStore.
+func (s *InstrumentedStore) Get(ctx context.Context, name string) ([]byte, error) {
+	start := time.Now()
+	data, err := s.inner.Get(ctx, name)
+	s.record("get", start, err)
+	if err == nil {
+		s.bytesDown.Add(float64(len(data)))
+	}
+	return data, err
+}
+
+// List implements cloud.ObjectStore.
+func (s *InstrumentedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	start := time.Now()
+	infos, err := s.inner.List(ctx, prefix)
+	s.record("list", start, err)
+	return infos, err
+}
+
+// Delete implements cloud.ObjectStore.
+func (s *InstrumentedStore) Delete(ctx context.Context, name string) error {
+	start := time.Now()
+	err := s.inner.Delete(ctx, name)
+	s.record("delete", start, err)
+	return err
+}
+
+// Inner returns the wrapped store (tests, repair tooling).
+func (s *InstrumentedStore) Inner() cloud.ObjectStore { return s.inner }
