@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+# Per-target budget for fuzz-smoke (Go -fuzztime syntax).
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race verify fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -11,13 +14,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages (pipeline + metrics registry).
+# Race-check the concurrency-heavy packages: pipeline + metrics registry,
+# the simulated cloud (virtual-clock latency/outage state), and the
+# deterministic simulation driver.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/cloud/... ./internal/sim/...
+
+# fuzz-smoke gives each wire-format fuzz target a short budget on top of
+# the checked-in corpus (internal/core/testdata/fuzz/). Reproduce a
+# finding with: go test ./internal/core -run 'FuzzX/<entry>'
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseWALObjectName$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseDBObjectName$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeWrites$$' -fuzztime $(FUZZTIME)
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race
+verify: build vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

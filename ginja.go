@@ -46,6 +46,7 @@ import (
 	"github.com/ginja-dr/ginja/internal/minidb/innoengine"
 	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
 	"github.com/ginja-dr/ginja/internal/obs"
+	"github.com/ginja-dr/ginja/internal/simclock"
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
@@ -83,6 +84,27 @@ var NoLossParams = core.NoLoss
 
 // ErrNoDump is returned by Recover when the cloud holds no dump.
 var ErrNoDump = core.ErrNoDump
+
+// Deterministic time. Params.Clock (and SimOptions.Clock) accept any
+// Clock; nil means the wall clock. A SimClock runs the whole stack —
+// TB/TS timers, retry backoff, checkpoint scheduling, simulated-cloud
+// latency — in virtual time for deterministic simulation testing (see
+// DESIGN.md §10 and internal/sim for the fault-schedule driver).
+type (
+	// Clock supplies every timer and timestamp Ginja takes.
+	Clock = simclock.Clock
+	// ClockTimer is the resettable timer a Clock hands out.
+	ClockTimer = simclock.Timer
+	// SimClock is the virtual clock: time advances only when the test
+	// driver (or its Pump) fires pending timers.
+	SimClock = simclock.SimClock
+)
+
+// RealClock returns the wall-clock Clock (the nil-Params.Clock default).
+var RealClock = simclock.Real
+
+// NewSimClock returns a virtual clock starting at a fixed epoch.
+var NewSimClock = simclock.NewSim
 
 // Observability. Set Params.Metrics to a *MetricsRegistry and Ginja
 // streams per-stage pipeline latencies, queue-depth gauges, Safety

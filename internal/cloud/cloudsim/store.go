@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
 // ErrOutage is returned for every operation while the simulated provider
@@ -31,6 +33,10 @@ type Options struct {
 	FailureRate float64
 	// Seed seeds the jitter/failure RNG for reproducible runs.
 	Seed int64
+	// Clock supplies the latency-model sleeps. nil means the wall clock;
+	// deterministic simulations install a *simclock.SimClock so modelled
+	// latency costs virtual time instead of real time.
+	Clock simclock.Clock
 }
 
 // Store wraps an ObjectStore with the behavioural model. It also keeps a
@@ -40,8 +46,10 @@ type Store struct {
 	inner cloud.ObjectStore
 	opts  Options
 	rng   *lockedRand
+	clk   simclock.Clock
 
-	down atomic.Bool
+	down     atomic.Bool
+	failBits atomic.Uint64 // current FailureRate as math.Float64bits
 
 	mu          sync.Mutex
 	putModelled cloud.LatencyStats
@@ -58,7 +66,12 @@ func New(inner cloud.ObjectStore, opts Options) *Store {
 	if opts.TimeScale == 0 {
 		opts.TimeScale = 1
 	}
-	return &Store{inner: inner, opts: opts, rng: newLockedRand(opts.Seed)}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Real()
+	}
+	s := &Store{inner: inner, opts: opts, rng: newLockedRand(opts.Seed), clk: opts.Clock}
+	s.failBits.Store(math.Float64bits(opts.FailureRate))
+	return s
 }
 
 // StartOutage makes every subsequent operation fail with ErrOutage until
@@ -70,6 +83,13 @@ func (s *Store) EndOutage() { s.down.Store(false) }
 
 // Down reports whether the simulated provider is currently unavailable.
 func (s *Store) Down() bool { return s.down.Load() }
+
+// SetFailureRate changes the transient-failure probability at runtime, so
+// fault schedules can open and close flaky windows mid-run.
+func (s *Store) SetFailureRate(rate float64) { s.failBits.Store(math.Float64bits(rate)) }
+
+// FailureRate returns the current transient-failure probability.
+func (s *Store) FailureRate() float64 { return math.Float64frombits(s.failBits.Load()) }
 
 // PutLatencyModel returns the aggregated *modelled* PUT latencies, i.e.
 // what a real WAN deployment would have observed, independent of TimeScale.
@@ -98,7 +118,7 @@ func (s *Store) gate(ctx context.Context, op string) error {
 	if s.down.Load() {
 		return fmt.Errorf("%s: %w", op, ErrOutage)
 	}
-	if s.opts.FailureRate > 0 && s.rng.Float64() < s.opts.FailureRate {
+	if rate := s.FailureRate(); rate > 0 && s.rng.Float64() < rate {
 		return fmt.Errorf("%s: %w", op, ErrInjected)
 	}
 	return ctx.Err()
@@ -114,14 +134,7 @@ func (s *Store) sleepScaled(ctx context.Context, d time.Duration) error {
 	if scaled <= 0 {
 		return ctx.Err()
 	}
-	timer := time.NewTimer(scaled)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return simclock.SleepCtx(ctx, s.clk, scaled)
 }
 
 func (s *Store) recordPut(d time.Duration) {

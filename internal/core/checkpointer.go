@@ -14,6 +14,7 @@ import (
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/dbevent"
 	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/simclock"
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
@@ -47,6 +48,7 @@ type checkpointer struct {
 	store   cloud.ObjectStore
 	seal    *sealer.Sealer
 	params  Params
+	clk     simclock.Clock
 
 	mu         sync.Mutex
 	collecting bool
@@ -76,6 +78,7 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 		store:    store,
 		seal:     seal,
 		params:   params,
+		clk:      params.clock(),
 		metrics:  newCheckpointMetrics(params.Metrics),
 		genAlloc: make(map[int64]int),
 		queue:    make(chan dbObject, 4),
@@ -102,11 +105,20 @@ func (c *checkpointer) start() {
 	}()
 }
 
-// stop flushes the queue and terminates the CheckpointThread.
-func (c *checkpointer) stop() error {
+// stop flushes the queue (bounded by timeout) and terminates the
+// CheckpointThread. If the drain cannot finish — e.g. the cloud is gone
+// and retries are unbounded — the context is cancelled so the upload loop
+// exits instead of hanging shutdown forever.
+func (c *checkpointer) stop(timeout time.Duration) error {
 	close(c.queue)
-	<-c.done
+	t := c.clk.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-c.done:
+	case <-t.C():
+	}
 	c.cancel()
+	<-c.done
 	return c.lastErr()
 }
 
@@ -172,14 +184,14 @@ func (c *checkpointer) finalizeLocked() {
 		// Build the dump synchronously: no database-file write can race
 		// us here because the DBMS is still inside its checkpoint-end
 		// write (§5.3: Ginja stops local DB writes during dump creation).
-		buildStart := time.Now()
+		buildStart := c.clk.Now()
 		dump, err := c.buildDump()
 		if err != nil {
 			c.fail(fmt.Errorf("core: building dump: %w", err))
 			return
 		}
 		if c.metrics != nil {
-			c.metrics.build.ObserveDuration(time.Since(buildStart))
+			c.metrics.build.ObserveDuration(c.clk.Since(buildStart))
 		}
 		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, writes: dump}
 	}
@@ -252,7 +264,7 @@ func (c *checkpointer) buildDump() ([]FileWrite, error) {
 // WAL objects it supersedes — and, for dumps, older DB objects subject to
 // the point-in-time retention policy.
 func (c *checkpointer) upload(obj dbObject) error {
-	uploadStart := time.Now()
+	uploadStart := c.clk.Now()
 	payload := EncodeWrites(obj.writes)
 	sealed, err := c.seal.Seal(payload)
 	if err != nil {
@@ -289,10 +301,10 @@ func (c *checkpointer) upload(obj dbObject) error {
 	if c.metrics != nil {
 		if obj.typ == Dump {
 			c.metrics.dumps.Inc()
-			c.metrics.uploadDump.ObserveDuration(time.Since(uploadStart))
+			c.metrics.uploadDump.ObserveDuration(c.clk.Since(uploadStart))
 		} else {
 			c.metrics.checkpoints.Inc()
-			c.metrics.uploadCkpt.ObserveDuration(time.Since(uploadStart))
+			c.metrics.uploadCkpt.ObserveDuration(c.clk.Since(uploadStart))
 		}
 	}
 	c.params.logger().Info("db object uploaded",
@@ -380,10 +392,8 @@ func (c *checkpointer) deleteObject(name string) error {
 		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
 			return fmt.Errorf("core: delete %s: %w", name, err)
 		}
-		select {
-		case <-c.ctx.Done():
+		if simclock.SleepCtx(c.ctx, c.clk, delay) != nil {
 			return fmt.Errorf("core: delete %s: %w", name, err)
-		case <-timeAfter(delay):
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
@@ -404,10 +414,8 @@ func (c *checkpointer) putWithRetry(name string, data []byte) error {
 		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
 			return err
 		}
-		select {
-		case <-c.ctx.Done():
+		if simclock.SleepCtx(c.ctx, c.clk, delay) != nil {
 			return err
-		case <-timeAfter(delay):
 		}
 		if delay < maxRetryDelay {
 			delay *= 2

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
 // ErrQueueClosed is returned by Put after the queue has been closed.
@@ -23,10 +25,17 @@ type update struct {
 // 7); nextBatch hands up to B updates to the Aggregator, waiting for a
 // full batch or the Batch timeout TB (lines 9-12). Items are only removed
 // by the Unlocker once their uploads are safe (lines 20-22).
+//
+// All timers and timestamps come from the configured Clock, so the TB/TS
+// machinery runs identically under the wall clock and under a virtual
+// simulation clock.
 type commitQueue struct {
+	clk simclock.Clock
+
 	mu      sync.Mutex
 	notFull *sync.Cond // Put waiters (Safety)
 	more    *sync.Cond // Aggregator waiting for a batch
+	emptied *sync.Cond // drain waiters (queue fully acknowledged)
 
 	items []update
 	taken int // items[:taken] already handed to the Aggregator
@@ -38,8 +47,8 @@ type commitQueue struct {
 
 	tbExpired bool
 	tsExpired bool
-	tbTimer   *time.Timer
-	tsTimer   *time.Timer
+	tbTimer   simclock.Timer
+	tsTimer   simclock.Timer
 	closed    bool
 
 	// blockedTotal accumulates the time commits spent blocked on Safety —
@@ -49,6 +58,7 @@ type commitQueue struct {
 
 func newCommitQueue(p Params) *commitQueue {
 	q := &commitQueue{
+		clk:           p.clock(),
 		batch:         p.Batch,
 		safety:        p.Safety,
 		batchTimeout:  p.BatchTimeout,
@@ -56,8 +66,14 @@ func newCommitQueue(p Params) *commitQueue {
 	}
 	q.notFull = sync.NewCond(&q.mu)
 	q.more = sync.NewCond(&q.mu)
-	q.tbTimer = time.AfterFunc(q.batchTimeout, q.onTB)
-	q.tsTimer = time.AfterFunc(q.safetyTimeout, q.onTS)
+	q.emptied = sync.NewCond(&q.mu)
+	// Both timers are armed lazily — TB only while unsent items are
+	// pending, TS only while any item is unacknowledged — so an idle queue
+	// schedules no timers at all.
+	q.tbTimer = q.clk.AfterFunc(q.batchTimeout, q.onTB)
+	q.tbTimer.Stop()
+	q.tsTimer = q.clk.AfterFunc(q.safetyTimeout, q.onTS)
+	q.tsTimer.Stop()
 	return q
 }
 
@@ -73,7 +89,9 @@ func (q *commitQueue) onTB() {
 		q.tbExpired = true
 		q.more.Broadcast()
 	}
-	q.tbTimer.Reset(q.batchTimeout)
+	// Not rearmed here: tbExpired stays sticky until the Aggregator takes
+	// the partial batch (nextBatch rearms if unsent items remain), and put
+	// arms the timer again when the queue goes from empty to non-empty.
 }
 
 // onTS fires the Safety timeout: if the oldest pending update has waited
@@ -84,19 +102,22 @@ func (q *commitQueue) onTS() {
 	if q.closed {
 		return
 	}
-	if len(q.items) > 0 && time.Since(q.items[0].at) >= q.safetyTimeout {
+	if len(q.items) > 0 && q.clk.Since(q.items[0].at) >= q.safetyTimeout {
 		q.tsExpired = true
 		q.notFull.Broadcast() // waiters re-check and keep blocking
+		// Stay expired without re-arming: only removeFront clears the
+		// condition, and it re-arms for the new front item.
+		return
 	}
 	q.rearmTSLocked()
 }
 
 func (q *commitQueue) rearmTSLocked() {
 	if len(q.items) == 0 {
-		q.tsTimer.Reset(q.safetyTimeout)
+		q.tsTimer.Stop()
 		return
 	}
-	d := time.Until(q.items[0].at.Add(q.safetyTimeout))
+	d := q.clk.Until(q.items[0].at.Add(q.safetyTimeout))
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
@@ -111,17 +132,20 @@ func (q *commitQueue) put(u update) (time.Duration, error) {
 	if q.closed {
 		return 0, ErrQueueClosed
 	}
-	u.at = time.Now()
+	u.at = q.clk.Now()
 	q.items = append(q.items, u)
+	if len(q.items)-q.taken == 1 {
+		q.tbTimer.Reset(q.batchTimeout)
+	}
 	if len(q.items) == 1 {
 		q.rearmTSLocked()
 	}
 	q.more.Broadcast()
 	var blocked time.Duration
 	for !q.closed && (len(q.items) > q.safety || q.tsExpired) {
-		start := time.Now()
+		start := q.clk.Now()
 		q.notFull.Wait()
-		blocked += time.Since(start)
+		blocked += q.clk.Since(start)
 	}
 	q.blockedTotal += blocked
 	if q.closed {
@@ -149,7 +173,11 @@ func (q *commitQueue) nextBatch() ([]update, bool) {
 			q.taken += n
 			q.tbExpired = false
 			if !q.closed {
-				q.tbTimer.Reset(q.batchTimeout)
+				if len(q.items)-q.taken > 0 {
+					q.tbTimer.Reset(q.batchTimeout)
+				} else {
+					q.tbTimer.Stop()
+				}
 			}
 			return out, true
 		}
@@ -179,6 +207,9 @@ func (q *commitQueue) removeFront(n int) {
 		q.rearmTSLocked()
 	}
 	q.notFull.Broadcast()
+	if len(q.items) == 0 {
+		q.emptied.Broadcast()
+	}
 }
 
 // size returns the number of unacknowledged updates.
@@ -196,21 +227,28 @@ func (q *commitQueue) blockedDuration() time.Duration {
 }
 
 // drain waits until every enqueued update has been acknowledged and
-// removed, or the timeout elapses.
+// removed, or the timeout elapses. It parks on a condition variable that
+// removeFront signals when the queue empties — no polling — with a
+// clock-driven timer bounding the wait, so it is cheap in production and
+// instantaneous under a simulation clock.
 func (q *commitQueue) drain(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		q.mu.Lock()
-		empty := len(q.items) == 0
-		q.mu.Unlock()
-		if empty {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return true
 	}
+	timedOut := false
+	t := q.clk.AfterFunc(timeout, func() {
+		q.mu.Lock()
+		timedOut = true
+		q.emptied.Broadcast()
+		q.mu.Unlock()
+	})
+	defer t.Stop()
+	for len(q.items) > 0 && !timedOut && !q.closed {
+		q.emptied.Wait()
+	}
+	return len(q.items) == 0
 }
 
 // close wakes every waiter with ErrQueueClosed and stops the timers. The
@@ -226,4 +264,5 @@ func (q *commitQueue) close() {
 	q.tsTimer.Stop()
 	q.notFull.Broadcast()
 	q.more.Broadcast()
+	q.emptied.Broadcast()
 }

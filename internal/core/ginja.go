@@ -10,6 +10,7 @@ import (
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/dbevent"
 	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/simclock"
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
@@ -361,10 +362,8 @@ func (g *Ginja) putWithRetry(ctx context.Context, name string, data []byte) erro
 		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
 			return err
 		}
-		select {
-		case <-ctx.Done():
+		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
 			return err
-		case <-timeAfter(delay):
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
@@ -383,10 +382,8 @@ func (g *Ginja) listWithRetry(ctx context.Context) ([]cloud.ObjectInfo, error) {
 		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
 			return nil, err
 		}
-		select {
-		case <-ctx.Done():
+		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
 			return nil, err
-		case <-timeAfter(delay):
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
@@ -407,10 +404,8 @@ func (g *Ginja) getWithRetry(ctx context.Context, name string) ([]byte, error) {
 		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
 			return nil, err
 		}
-		select {
-		case <-ctx.Done():
+		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
 			return nil, err
-		case <-timeAfter(delay):
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
@@ -557,7 +552,7 @@ func (g *Ginja) Close() error {
 	if err := g.pipe.drainAndStop(30 * time.Second); err != nil && !errors.Is(err, ErrQueueClosed) {
 		firstErr = err
 	}
-	if err := g.ckpt.stop(); err != nil && firstErr == nil {
+	if err := g.ckpt.stop(30 * time.Second); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

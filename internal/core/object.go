@@ -87,17 +87,20 @@ func ParseDBObjectName(name string) (ts int64, gen int, typ DBObjectType, size i
 	if !ok {
 		return 0, 0, "", 0, 0, fmt.Errorf("core: %q is not a DB object name", name)
 	}
+	// Only values DBObjectName can emit count as suffixes (part ≥ 0,
+	// gen > 0); anything else — ".p-2", ".g0" — is not a suffix and must
+	// fail the field parse below rather than silently round-trip wrong.
 	part = -1
 	if i := strings.LastIndex(rest, ".p"); i >= 0 {
 		p, perr := strconv.Atoi(rest[i+2:])
-		if perr == nil {
+		if perr == nil && p >= 0 {
 			part = p
 			rest = rest[:i]
 		}
 	}
 	if i := strings.LastIndex(rest, ".g"); i >= 0 {
 		g, gerr := strconv.Atoi(rest[i+2:])
-		if gerr == nil {
+		if gerr == nil && g > 0 {
 			gen = g
 			rest = rest[:i]
 		}
@@ -174,6 +177,13 @@ func DecodeWrites(buf []byte) ([]FileWrite, error) {
 		return nil, ErrBadWriteList
 	}
 	count := int(binary.LittleEndian.Uint32(buf[4:8]))
+	// The smallest entry (empty path, empty data) is 19 bytes, so a count
+	// the buffer cannot possibly hold is malformed — and must not size an
+	// allocation (a 4-byte header would otherwise demand gigabytes).
+	const minEntrySize = 1 + 2 + 8 + 8
+	if count > (len(buf)-8)/minEntrySize {
+		return nil, ErrBadWriteList
+	}
 	writes := make([]FileWrite, 0, count)
 	off := 8
 	for i := 0; i < count; i++ {
@@ -181,6 +191,9 @@ func DecodeWrites(buf []byte) ([]FileWrite, error) {
 			return nil, ErrBadWriteList
 		}
 		flags := buf[off]
+		if flags&^1 != 0 {
+			return nil, ErrBadWriteList
+		}
 		pathLen := int(binary.LittleEndian.Uint16(buf[off+1 : off+3]))
 		off += 3
 		if off+pathLen+16 > len(buf) {

@@ -308,3 +308,96 @@ func TestSplitBytes(t *testing.T) {
 		t.Fatalf("splitBytes(nil) = %d parts, want 1 empty", len(got))
 	}
 }
+
+// FuzzParseWALObjectName checks that any name the parser accepts
+// round-trips: re-encoding the parsed fields and re-parsing yields the
+// same fields. Names the parser rejects are simply skipped — the property
+// under test is "accepted implies faithfully representable".
+func FuzzParseWALObjectName(f *testing.F) {
+	f.Add("WAL/12_pg_xlog/000000010000000000000000_0")
+	f.Add("WAL/1__2")
+	f.Add("WAL/-3_a_b_c_-9")
+	f.Add("WAL/007_x_08")
+	f.Add("not a wal name")
+	f.Fuzz(func(t *testing.T, name string) {
+		ts, file, off, err := ParseWALObjectName(name)
+		if err != nil {
+			return
+		}
+		re := WALObjectName(ts, file, off)
+		ts2, file2, off2, err := ParseWALObjectName(re)
+		if err != nil {
+			t.Fatalf("re-encoded name %q (from %q) does not parse: %v", re, name, err)
+		}
+		if ts2 != ts || file2 != file || off2 != off {
+			t.Fatalf("round trip changed fields: %q -> (%d,%q,%d) -> %q -> (%d,%q,%d)",
+				name, ts, file, off, re, ts2, file2, off2)
+		}
+	})
+}
+
+// FuzzParseDBObjectName checks the same accepted-implies-round-trips
+// property for DB object names, including the .g<gen> and .p<part>
+// suffixes.
+func FuzzParseDBObjectName(f *testing.F) {
+	f.Add("DB/5_dump_123")
+	f.Add("DB/5_checkpoint_123")
+	f.Add("DB/5_dump_123.g2")
+	f.Add("DB/5_dump_123.p0")
+	f.Add("DB/5_dump_123.g2.p7")
+	f.Add("DB/5_dump_123.p-2")
+	f.Add("DB/5_dump_123.g0")
+	f.Add("DB/-1_dump_-2")
+	f.Fuzz(func(t *testing.T, name string) {
+		ts, gen, typ, size, part, err := ParseDBObjectName(name)
+		if err != nil {
+			return
+		}
+		if gen < 0 || part < -1 {
+			t.Fatalf("parse %q produced unencodable fields gen=%d part=%d", name, gen, part)
+		}
+		re := DBObjectName(ts, gen, typ, size, part)
+		ts2, gen2, typ2, size2, part2, err := ParseDBObjectName(re)
+		if err != nil {
+			t.Fatalf("re-encoded name %q (from %q) does not parse: %v", re, name, err)
+		}
+		if ts2 != ts || gen2 != gen || typ2 != typ || size2 != size || part2 != part {
+			t.Fatalf("round trip changed fields: %q -> (%d,%d,%s,%d,%d) -> %q -> (%d,%d,%s,%d,%d)",
+				name, ts, gen, typ, size, part, re, ts2, gen2, typ2, size2, part2)
+		}
+	})
+}
+
+// FuzzDecodeWrites checks that the write-list wire format is canonical:
+// any buffer DecodeWrites accepts re-encodes to the identical bytes, and
+// the decoder never panics or over-allocates on adversarial input (a
+// forged count field must not size an allocation).
+func FuzzDecodeWrites(f *testing.F) {
+	f.Add([]byte("GJWL"))
+	f.Add(EncodeWrites(nil))
+	f.Add(EncodeWrites([]FileWrite{{Path: "base/1", Offset: 42, Data: []byte("hello")}}))
+	f.Add(EncodeWrites([]FileWrite{
+		{Path: "", Offset: -1, Data: nil},
+		{Path: "pg_xlog/0", Offset: 1 << 40, Data: bytes.Repeat([]byte{7}, 32), Whole: true},
+	}))
+	// Forged count: header claims 4 billion entries in a 12-byte buffer.
+	forged := append([]byte("GJWL"), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	f.Add(forged)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		writes, err := DecodeWrites(data)
+		if err != nil {
+			return
+		}
+		re := EncodeWrites(writes)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+		writes2, err := DecodeWrites(re)
+		if err != nil {
+			t.Fatalf("re-encoded buffer does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(writes, writes2) {
+			t.Fatalf("round trip changed writes: %+v vs %+v", writes, writes2)
+		}
+	})
+}

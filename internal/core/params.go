@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/obs"
+	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
 // Default parameter values. Batch/Safety defaults follow the paper's
@@ -74,6 +75,12 @@ type Params struct {
 	// queue-depth gauges, cloud-operation counters) when non-nil; expose
 	// it with obs.Handler. nil disables instrumentation at near-zero cost.
 	Metrics *obs.Registry
+	// Clock supplies every timer and timestamp Ginja takes: the Batch and
+	// Safety timeouts, upload-retry backoff and checkpoint scheduling all
+	// draw from it. nil means the wall clock; deterministic simulation
+	// tests install a *simclock.SimClock to run those paths in virtual
+	// time (see internal/sim).
+	Clock simclock.Clock
 }
 
 // DefaultParams returns the paper-flavoured defaults (B=100, S=1000).

@@ -10,6 +10,7 @@ import (
 
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
 // walUpload is one WAL object headed for the cloud. batch identifies the
@@ -47,6 +48,7 @@ type pipelineStats struct {
 // → Unlocker (paper Figure 3, implementing Algorithm 2).
 type pipeline struct {
 	q      *commitQueue
+	clk    simclock.Clock
 	view   *CloudView
 	store  cloud.ObjectStore
 	seal   *sealer.Sealer
@@ -73,6 +75,7 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 	ctx, cancel := context.WithCancel(context.Background())
 	return &pipeline{
 		q:        newCommitQueue(params),
+		clk:      params.clock(),
 		view:     view,
 		store:    store,
 		seal:     seal,
@@ -164,7 +167,7 @@ func (p *pipeline) aggregator() {
 		m := p.metrics
 		var aggStart time.Time
 		if m != nil || p.trace {
-			aggStart = time.Now()
+			aggStart = p.clk.Now()
 		}
 		if m != nil {
 			for _, u := range updates {
@@ -197,7 +200,7 @@ func (p *pipeline) aggregator() {
 		p.stats.batches.Add(1)
 		if m != nil {
 			m.batches.Inc()
-			m.aggregate.ObserveDuration(time.Since(aggStart))
+			m.aggregate.ObserveDuration(p.clk.Since(aggStart))
 		}
 		rec := batchRec{
 			id:           batchID,
@@ -205,7 +208,7 @@ func (p *pipeline) aggregator() {
 			objects:      len(pieces),
 			maxTs:        maxTs,
 			enqueuedAt:   updates[0].at,
-			aggregatedAt: time.Now(),
+			aggregatedAt: p.clk.Now(),
 		}
 		if p.trace {
 			p.params.logger().Debug("batch aggregated",
@@ -227,7 +230,7 @@ func (p *pipeline) uploader() {
 		m := p.metrics
 		var t0 time.Time
 		if m != nil || p.trace {
-			t0 = time.Now()
+			t0 = p.clk.Now()
 		}
 		payload := EncodeWrites([]FileWrite{u.write})
 		sealed, err := p.seal.Seal(payload)
@@ -237,7 +240,7 @@ func (p *pipeline) uploader() {
 		}
 		var upStart time.Time
 		if m != nil || p.trace {
-			upStart = time.Now()
+			upStart = p.clk.Now()
 			if m != nil {
 				m.seal.ObserveDuration(upStart.Sub(t0))
 			}
@@ -254,7 +257,7 @@ func (p *pipeline) uploader() {
 		p.stats.walBytes.Add(int64(len(sealed)))
 		p.stats.rawBytes.Add(int64(len(payload)))
 		if m != nil {
-			m.upload.ObserveDuration(time.Since(upStart))
+			m.upload.ObserveDuration(p.clk.Since(upStart))
 			m.walObjects.Inc()
 			m.walBytes.Add(float64(len(sealed)))
 			m.rawBytes.Add(float64(len(payload)))
@@ -263,7 +266,7 @@ func (p *pipeline) uploader() {
 		if p.trace {
 			p.params.logger().Debug("wal object uploaded",
 				"batch", u.batch, "ts", u.ts, "bytes", len(sealed),
-				"upload_ms", time.Since(upStart).Milliseconds())
+				"upload_ms", p.clk.Since(upStart).Milliseconds())
 		}
 		select {
 		case p.ackCh <- u.ts:
@@ -293,12 +296,10 @@ func (p *pipeline) putWithRetry(name string, data []byte) error {
 		if m := p.metrics; m != nil {
 			m.retries.Inc()
 		}
-		select {
-		case <-time.After(delay):
-		case <-p.ctx.Done():
+		if simclock.SleepCtx(p.ctx, p.clk, delay) != nil {
 			return err
 		}
-		if delay < 5*time.Second {
+		if delay < maxRetryDelay {
 			delay *= 2
 		}
 	}
@@ -338,14 +339,14 @@ func (p *pipeline) unlocker(frontier int64) {
 			rec := pending[0]
 			p.q.removeFront(rec.count)
 			if m := p.metrics; m != nil {
-				now := time.Now()
+				now := p.clk.Now()
 				m.durableWait.ObserveDuration(now.Sub(rec.aggregatedAt))
 				m.batchTotal.ObserveDuration(now.Sub(rec.enqueuedAt))
 			}
 			if p.trace {
 				p.params.logger().Debug("batch durable",
 					"batch", rec.id, "updates", rec.count, "objects", rec.objects,
-					"max_ts", rec.maxTs, "total_ms", time.Since(rec.enqueuedAt).Milliseconds())
+					"max_ts", rec.maxTs, "total_ms", p.clk.Since(rec.enqueuedAt).Milliseconds())
 			}
 			pending = pending[1:]
 		}

@@ -1,9 +1,20 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/simclock"
+)
 
 // maxRetryDelay caps exponential backoff between upload retries.
 const maxRetryDelay = 5 * time.Second
 
-// timeAfter is an indirection point so tests could stub delays if needed.
-var timeAfter = time.After
+// clock returns the configured Clock, defaulting to the wall clock. Every
+// timer and timestamp in core must go through this — never the time
+// package directly — so simulations stay in virtual time.
+func (p Params) clock() simclock.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return simclock.Real()
+}

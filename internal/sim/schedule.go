@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// EventKind names one scripted fault transition.
+type EventKind string
+
+// Fault-schedule event kinds.
+const (
+	// OutageStart takes the whole provider down (every operation fails).
+	OutageStart EventKind = "outage-start"
+	// OutageEnd restores the provider.
+	OutageEnd EventKind = "outage-end"
+	// TransientStart opens a flaky window: operations fail with
+	// probability Rate.
+	TransientStart EventKind = "transient-start"
+	// TransientEnd closes the flaky window.
+	TransientEnd EventKind = "transient-end"
+)
+
+// Event is one fault transition at a virtual timestamp.
+type Event struct {
+	// At is the virtual time offset from simulation start.
+	At   time.Duration
+	Kind EventKind
+	// Rate is the failure probability for TransientStart events.
+	Rate float64
+}
+
+// Schedule is a fully deterministic description of one simulation run:
+// how many workload steps to execute, when the primary site crashes, and
+// which cloud faults occur at which virtual timestamps. Everything is
+// derived from Seed, so printing the schedule is enough to replay a
+// failing run.
+type Schedule struct {
+	Seed int64
+	// Steps is the number of workload steps (puts, deletes, checkpoints,
+	// flushes, think pauses).
+	Steps int
+	// CrashAfterStep crashes the primary after this many steps have
+	// completed (Steps means "no mid-run crash": the disaster strikes
+	// after the workload, with whatever is still in flight).
+	CrashAfterStep int
+	// Events are the cloud fault transitions, sorted by At.
+	Events []Event
+}
+
+// eventHorizon bounds the virtual window fault events are drawn from.
+const eventHorizon = 30 * time.Second
+
+// Generate derives the fault schedule for a seed. The same seed always
+// yields the same schedule.
+func Generate(seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	steps := 30 + rng.Intn(60)
+	s := &Schedule{
+		Seed:           seed,
+		Steps:          steps,
+		CrashAfterStep: rng.Intn(steps + 1),
+	}
+	// Non-overlapping outage windows. Durations are drawn long enough, on
+	// some seeds, to outlast the Safety timeout and force TS blocking.
+	cursor := time.Duration(0)
+	for n := rng.Intn(3); n > 0; n-- {
+		start := cursor + time.Duration(rng.Int63n(int64(eventHorizon/2)))
+		dur := 500*time.Millisecond + time.Duration(rng.Int63n(int64(15*time.Second)))
+		s.Events = append(s.Events,
+			Event{At: start, Kind: OutageStart},
+			Event{At: start + dur, Kind: OutageEnd})
+		cursor = start + dur + 100*time.Millisecond
+	}
+	// Non-overlapping transient-failure windows (independent cursor: a
+	// flaky window may coincide with an outage; the outage dominates).
+	cursor = 0
+	for n := rng.Intn(3); n > 0; n-- {
+		start := cursor + time.Duration(rng.Int63n(int64(eventHorizon/2)))
+		dur := 200*time.Millisecond + time.Duration(rng.Int63n(int64(8*time.Second)))
+		rate := 0.2 + 0.6*rng.Float64()
+		s.Events = append(s.Events,
+			Event{At: start, Kind: TransientStart, Rate: rate},
+			Event{At: start + dur, Kind: TransientEnd})
+		cursor = start + dur + 100*time.Millisecond
+	}
+	sortEvents(s.Events)
+	return s
+}
+
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].At < evs[j-1].At; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// String renders the schedule as a single replayable line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d steps=%d crash-after-step=%d", s.Seed, s.Steps, s.CrashAfterStep)
+	if len(s.Events) == 0 {
+		b.WriteString(" events=none")
+		return b.String()
+	}
+	b.WriteString(" events=[")
+	for i, ev := range s.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		switch ev.Kind {
+		case TransientStart:
+			fmt.Fprintf(&b, "%s(%.2f)@%s", ev.Kind, ev.Rate, ev.At)
+		default:
+			fmt.Fprintf(&b, "%s@%s", ev.Kind, ev.At)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}

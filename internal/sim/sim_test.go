@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGenerateDeterministic: the same seed must always produce the same
+// schedule — that is the whole replay story.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: schedule not deterministic:\n%s\n%s", seed, a, b)
+		}
+		if a.Steps < 30 || a.Steps >= 90 {
+			t.Fatalf("seed %d: steps %d out of range", seed, a.Steps)
+		}
+		if a.CrashAfterStep < 0 || a.CrashAfterStep > a.Steps {
+			t.Fatalf("seed %d: crash-after-step %d out of [0,%d]", seed, a.CrashAfterStep, a.Steps)
+		}
+	}
+}
+
+// TestGenerateWellFormed: fault windows must be properly paired and
+// ordered so outages always end.
+func TestGenerateWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		outageOpen, transientOpen := 0, 0
+		last := time.Duration(-1)
+		for _, ev := range s.Events {
+			if ev.At < last {
+				t.Fatalf("seed %d: events not sorted: %s", seed, s)
+			}
+			last = ev.At
+			switch ev.Kind {
+			case OutageStart:
+				outageOpen++
+			case OutageEnd:
+				outageOpen--
+			case TransientStart:
+				transientOpen++
+				if ev.Rate < 0.2 || ev.Rate > 0.8 {
+					t.Fatalf("seed %d: transient rate %v out of range", seed, ev.Rate)
+				}
+			case TransientEnd:
+				transientOpen--
+			}
+			if outageOpen < 0 || outageOpen > 1 || transientOpen < 0 || transientOpen > 1 {
+				t.Fatalf("seed %d: unbalanced fault windows: %s", seed, s)
+			}
+		}
+		if outageOpen != 0 || transientOpen != 0 {
+			t.Fatalf("seed %d: fault window left open: %s", seed, s)
+		}
+	}
+}
+
+// TestScheduleString renders a replayable one-liner.
+func TestScheduleString(t *testing.T) {
+	s := &Schedule{
+		Seed:           7,
+		Steps:          40,
+		CrashAfterStep: 12,
+		Events: []Event{
+			{At: 2 * time.Second, Kind: OutageStart},
+			{At: 5 * time.Second, Kind: OutageEnd},
+		},
+	}
+	got := s.String()
+	for _, want := range []string{"seed=7", "steps=40", "crash-after-step=12", "outage-start@2s", "outage-end@5s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+	if got := (&Schedule{Seed: 1, Steps: 3}).String(); !strings.Contains(got, "events=none") {
+		t.Fatalf("empty schedule String() = %q", got)
+	}
+}
+
+// TestRunCleanSchedule: no faults at all — the invariant must hold and the
+// flushed frontier must be honoured.
+func TestRunCleanSchedule(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Schedule: &Schedule{Seed: 3, Steps: 60, CrashAfterStep: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("clean run committed nothing")
+	}
+	if res.Cut < res.FlushedUpTo {
+		t.Fatalf("cut %d < flushed %d", res.Cut, res.FlushedUpTo)
+	}
+}
+
+// TestRunOutageAcrossCrash: the provider is down from early on and stays
+// down until after the primary would have crashed, so the crash happens
+// with uploads retrying into the void. Recovery on a healed provider must
+// still see a consistent prefix.
+func TestRunOutageAcrossCrash(t *testing.T) {
+	sched := &Schedule{
+		Seed:           11,
+		Steps:          50,
+		CrashAfterStep: 25,
+		Events: []Event{
+			{At: 100 * time.Millisecond, Kind: OutageStart},
+			{At: 25 * time.Second, Kind: OutageEnd},
+		},
+	}
+	res, err := Run(Config{Seed: 11, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("outage run: commits=%d cut=%d flushed=%d blocked=%v retries=%d pipelineErr=%q",
+		res.Commits, res.Cut, res.FlushedUpTo, res.BlockedTime, res.Retries, res.PipelineErr)
+}
+
+// TestRunImmediateCrash: crash before any workload step — recovery of an
+// empty history must yield the empty prefix.
+func TestRunImmediateCrash(t *testing.T) {
+	res, err := Run(Config{Seed: 5, Schedule: &Schedule{Seed: 5, Steps: 30, CrashAfterStep: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 0 || res.Cut != -1 {
+		t.Fatalf("immediate crash: commits=%d cut=%d, want 0 and -1", res.Commits, res.Cut)
+	}
+}
+
+// TestRunTransientFlaky: a long flaky window with a high failure rate; the
+// retry path must absorb it without violating the invariant.
+func TestRunTransientFlaky(t *testing.T) {
+	sched := &Schedule{
+		Seed:           21,
+		Steps:          60,
+		CrashAfterStep: 40,
+		Events: []Event{
+			{At: 50 * time.Millisecond, Kind: TransientStart, Rate: 0.7},
+			{At: 20 * time.Second, Kind: TransientEnd},
+		},
+	}
+	res, err := Run(Config{Seed: 21, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Log("warning: flaky window absorbed no retries (workload may have ended early)")
+	}
+}
+
+// TestRunVirtualTimeCompression: a run spanning many virtual seconds must
+// finish in a small fraction of that wall-clock time — the point of the
+// simulation harness.
+func TestRunVirtualTimeCompression(t *testing.T) {
+	wallStart := time.Now()
+	res, err := Run(Config{Seed: 13})
+	wall := time.Since(wallStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualElapsed < 100*time.Millisecond {
+		t.Fatalf("suspiciously little virtual time elapsed: %v", res.VirtualElapsed)
+	}
+	if wall > res.VirtualElapsed {
+		t.Fatalf("no time compression: wall %v >= virtual %v", wall, res.VirtualElapsed)
+	}
+	t.Logf("virtual %v in wall %v (%.0fx compression)",
+		res.VirtualElapsed, wall, float64(res.VirtualElapsed)/float64(wall))
+}
+
+// TestRunErrorMentionsSchedule: failures must print the replayable
+// schedule line.
+func TestRunErrorMentionsSchedule(t *testing.T) {
+	// An impossible schedule isn't constructible from the outside, so
+	// exercise the error path with a config that fails fast: crash
+	// immediately cannot fail, so instead check the fail() formatting via
+	// the Schedule string embedded in Run's own errors by simulating one.
+	sched := Generate(99)
+	_, err := Run(Config{Seed: 99, Schedule: sched})
+	if err != nil {
+		if !strings.Contains(err.Error(), sched.String()) {
+			t.Fatalf("error does not embed schedule: %v", err)
+		}
+	}
+}

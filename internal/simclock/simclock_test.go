@@ -1,0 +1,174 @@
+package simclock
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	clk := NewSim()
+	var mu sync.Mutex
+	var order []string
+	clk.AfterFunc(30*time.Millisecond, func() { mu.Lock(); order = append(order, "c"); mu.Unlock() })
+	clk.AfterFunc(10*time.Millisecond, func() { mu.Lock(); order = append(order, "a"); mu.Unlock() })
+	clk.AfterFunc(20*time.Millisecond, func() { mu.Lock(); order = append(order, "b"); mu.Unlock() })
+
+	clk.Advance(15 * time.Millisecond)
+	mu.Lock()
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("after 15ms, fired %v", order)
+	}
+	mu.Unlock()
+
+	clk.Advance(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("fired %v", order)
+	}
+	if got := clk.Since(simEpoch); got != 65*time.Millisecond {
+		t.Fatalf("virtual now = %v, want 65ms", got)
+	}
+}
+
+func TestSimClockSameDeadlineFiresInCreationOrder(t *testing.T) {
+	clk := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		clk.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	clk.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fire order %v", order)
+		}
+	}
+}
+
+func TestSimClockTimerStopAndReset(t *testing.T) {
+	clk := NewSim()
+	fired := 0
+	tm := clk.AfterFunc(time.Second, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	clk.Advance(2 * time.Second)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(time.Second)
+	clk.Advance(time.Second)
+	if fired != 1 {
+		t.Fatalf("reset timer fired %d times", fired)
+	}
+	// Reset from inside the callback (how the TB timer re-arms itself).
+	var rearm Timer
+	count := 0
+	rearm = clk.AfterFunc(time.Second, func() {
+		count++
+		if count < 3 {
+			rearm.Reset(time.Second)
+		}
+	})
+	clk.Advance(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("self-rearming timer fired %d times, want 3", count)
+	}
+}
+
+func TestSimClockAfterAndNewTimer(t *testing.T) {
+	clk := NewSim()
+	ch := clk.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any advance")
+	default:
+	}
+	clk.Advance(time.Minute)
+	select {
+	case ts := <-ch:
+		if want := simEpoch.Add(time.Minute); !ts.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestSimClockAdvanceToNext(t *testing.T) {
+	clk := NewSim()
+	if _, ok := clk.AdvanceToNext(); ok {
+		t.Fatal("AdvanceToNext with no timers reported ok")
+	}
+	fired := false
+	clk.AfterFunc(42*time.Second, func() { fired = true })
+	moved, ok := clk.AdvanceToNext()
+	if !ok || moved != 42*time.Second || !fired {
+		t.Fatalf("AdvanceToNext: moved=%v ok=%v fired=%v", moved, ok, fired)
+	}
+	if clk.PendingTimers() != 0 {
+		t.Fatal("timer still pending after firing")
+	}
+}
+
+func TestSimClockSleepWithPump(t *testing.T) {
+	clk := NewSim()
+	stop := clk.Pump()
+	defer stop()
+	start := clk.Now()
+	done := make(chan time.Duration, 3)
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Hour
+		go func() {
+			clk.Sleep(d)
+			done <- clk.Since(start)
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("virtual sleepers never woke under the pump")
+		}
+	}
+	if got := clk.Since(start); got < 3*time.Hour {
+		t.Fatalf("virtual time advanced only %v", got)
+	}
+}
+
+func TestSleepCtxHonoursCancellation(t *testing.T) {
+	clk := NewSim()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ret atomic.Value
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ret.Store(SleepCtx(ctx, clk, time.Hour) == context.Canceled)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SleepCtx ignored context cancellation")
+	}
+	if ret.Load() != true {
+		t.Fatal("SleepCtx did not return the context error")
+	}
+	// And the timer must not linger.
+	if clk.PendingTimers() != 0 {
+		t.Fatalf("%d timers leaked after cancelled SleepCtx", clk.PendingTimers())
+	}
+}
+
+func TestSleepCtxRealClockZeroDuration(t *testing.T) {
+	if err := SleepCtx(context.Background(), Real(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
