@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke (Go -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify fuzz-smoke bench
+.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,17 @@ fuzz-smoke:
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race fuzz-smoke
+verify: build vet test race fuzz-smoke bench-json-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# bench-json measures the cloud data path (dump upload, recovery prefetch,
+# sealer allocs) on the deterministic simulated WAN and records the result
+# in BENCH_datapath.json. Virtual-clock latencies: exact and
+# machine-independent.
+bench-json:
+	$(GO) run ./cmd/ginja-benchjson -out BENCH_datapath.json
+
+bench-json-smoke:
+	$(GO) run ./cmd/ginja-benchjson -smoke

@@ -54,15 +54,28 @@ type checkpointer struct {
 	collecting bool
 	tsAtBegin  int64
 	writes     []FileWrite
-	genAlloc   map[int64]int // highest generation handed out per ts
+
+	// genAlloc holds the highest generation handed out per ts, under its
+	// own lock: the upload goroutine prunes entries while the DBMS thread
+	// may be blocked on the upload queue with c.mu held — sharing c.mu
+	// here would deadlock.
+	genMu    sync.Mutex
+	genAlloc map[int64]int
 
 	queue  chan dbObject
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	stats   checkpointStats
-	metrics *checkpointMetrics
+	// encScratch is the reusable encode buffer for DB-object payloads;
+	// safe because upload runs on the single CheckpointThread goroutine
+	// and Seal never retains its input.
+	encScratch []byte
+
+	stats       checkpointStats
+	metrics     *checkpointMetrics
+	putInflight *inflight
+	delInflight *inflight
 
 	errMu sync.Mutex
 	err   error
@@ -72,19 +85,21 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 	store cloud.ObjectStore, seal *sealer.Sealer, params Params) *checkpointer {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &checkpointer{
-		localFS:  localFS,
-		proc:     proc,
-		view:     view,
-		store:    store,
-		seal:     seal,
-		params:   params,
-		clk:      params.clock(),
-		metrics:  newCheckpointMetrics(params.Metrics),
-		genAlloc: make(map[int64]int),
-		queue:    make(chan dbObject, 4),
-		ctx:      ctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
+		localFS:     localFS,
+		proc:        proc,
+		view:        view,
+		store:       store,
+		seal:        seal,
+		params:      params,
+		clk:         params.clock(),
+		metrics:     newCheckpointMetrics(params.Metrics),
+		putInflight: newInflight(params.Metrics, "put", "checkpoint"),
+		delInflight: newInflight(params.Metrics, "delete", "gc"),
+		genAlloc:    make(map[int64]int),
+		queue:       make(chan dbObject, 4),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
 	}
 }
 
@@ -169,11 +184,13 @@ func (c *checkpointer) finalizeLocked() {
 
 	// Generations must be unique even while earlier objects with the same
 	// ts are still queued for upload (not yet in the view).
+	c.genMu.Lock()
 	gen := c.view.NextDBGen(c.tsAtBegin)
 	if g, ok := c.genAlloc[c.tsAtBegin]; ok && g+1 > gen {
 		gen = g + 1
 	}
 	c.genAlloc[c.tsAtBegin] = gen
+	c.genMu.Unlock()
 	obj := dbObject{ts: c.tsAtBegin, gen: gen, typ: Checkpoint, writes: writes}
 	localSize, err := c.localDBSize()
 	if err != nil {
@@ -260,39 +277,59 @@ func (c *checkpointer) buildDump() ([]FileWrite, error) {
 }
 
 // upload runs on the CheckpointThread (Algorithm 3 lines 17-29): seal and
-// PUT the DB object (split at MaxObjectSize), record it, then delete the
-// WAL objects it supersedes — and, for dumps, older DB objects subject to
-// the point-in-time retention policy.
+// PUT the DB object (split at MaxObjectSize, parts uploaded concurrently
+// under CheckpointUploaders), record it, then delete the WAL objects it
+// supersedes — and, for dumps, older DB objects subject to the
+// point-in-time retention policy. The view learns about the object only
+// after every part is durable, so a failure mid-upload leaves at most
+// orphan parts that recovery prunes and the next dump's GC removes.
 func (c *checkpointer) upload(obj dbObject) error {
 	uploadStart := c.clk.Now()
-	payload := EncodeWrites(obj.writes)
-	sealed, err := c.seal.Seal(payload)
+	c.encScratch = EncodeWritesInto(c.encScratch[:0], obj.writes)
+	sealed, err := c.seal.Seal(c.encScratch)
 	if err != nil {
 		return fmt.Errorf("core: seal DB object ts=%d: %w", obj.ts, err)
 	}
 	size := int64(len(sealed))
 	parts := splitBytes(sealed, c.params.MaxObjectSize)
-	for i, part := range parts {
+	err = runLimited(c.ctx, c.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
 		idx := i
 		if len(parts) == 1 {
 			idx = -1
 		}
 		name := DBObjectName(obj.ts, obj.gen, obj.typ, size, idx)
-		if err := c.putWithRetry(name, part); err != nil {
+		putStart := c.clk.Now()
+		c.putInflight.enter()
+		err := c.putWithRetry(ctx, name, parts[i])
+		c.putInflight.exit()
+		if err != nil {
 			return fmt.Errorf("core: upload %s: %w", name, err)
 		}
 		c.stats.dbObjects.Add(1)
-		c.stats.dbBytes.Add(int64(len(part)))
+		c.stats.dbBytes.Add(int64(len(parts[i])))
 		if c.metrics != nil {
+			c.metrics.partPut.ObserveDuration(c.clk.Since(putStart))
 			c.metrics.dbObjects.Inc()
-			c.metrics.dbBytes.Add(float64(len(part)))
+			c.metrics.dbBytes.Add(float64(len(parts[i])))
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	nParts := len(parts)
 	if nParts == 1 {
 		nParts = 0
 	}
 	c.view.AddDB(DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size, Parts: nParts})
+	// The view now knows about this (ts, gen): NextDBGen covers it, so the
+	// collision-avoidance entry is no longer needed (and would otherwise
+	// accumulate one entry per checkpoint forever).
+	c.genMu.Lock()
+	if g, ok := c.genAlloc[obj.ts]; ok && g <= obj.gen {
+		delete(c.genAlloc, obj.ts)
+	}
+	c.genMu.Unlock()
 	if obj.typ == Dump {
 		c.stats.dumps.Add(1)
 	} else {
@@ -311,13 +348,21 @@ func (c *checkpointer) upload(obj dbObject) error {
 		"type", string(obj.typ), "ts", obj.ts, "gen", obj.gen,
 		"bytes", size, "parts", len(parts))
 
-	// Garbage collection (lines 23-29).
-	deletedWAL := 0
+	// Garbage collection (lines 23-29). Deletes go through the same
+	// bounded pool: each success is recorded in the view individually, so
+	// a failure mid-GC leaves the view accurate about what still exists.
+	var victims []WALObjectInfo
 	for _, w := range c.view.WALObjects() {
-		if w.Ts > obj.ts {
-			continue
+		if w.Ts <= obj.ts {
+			victims = append(victims, w)
 		}
-		if err := c.deleteObject(w.Name()); err != nil {
+	}
+	err = runLimited(c.ctx, c.params.CheckpointUploaders, len(victims), func(ctx context.Context, i int) error {
+		w := victims[i]
+		c.delInflight.enter()
+		err := c.deleteObject(ctx, w.Name())
+		c.delInflight.exit()
+		if err != nil {
 			return err
 		}
 		c.view.DeleteWAL(w.Ts)
@@ -325,11 +370,14 @@ func (c *checkpointer) upload(obj dbObject) error {
 		if c.metrics != nil {
 			c.metrics.walDeleted.Inc()
 		}
-		deletedWAL++
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	if deletedWAL > 0 {
+	if len(victims) > 0 {
 		c.params.logger().Debug("garbage-collected WAL objects",
-			"count", deletedWAL, "up_to_ts", obj.ts)
+			"count", len(victims), "up_to_ts", obj.ts)
 	}
 	if obj.typ == Dump {
 		if err := c.collectOldDBObjects(); err != nil {
@@ -361,38 +409,62 @@ func (c *checkpointer) collectOldDBObjects() error {
 		keep = len(dumps)
 	}
 	cutoff := dumps[len(dumps)-keep]
+	// Flatten every victim's part names into one work list so the pool
+	// stays saturated across object boundaries; a victim leaves the view
+	// only once its last part is gone, so an interrupted GC leaves the
+	// view conservative (object still listed, next dump retries).
+	type dbVictim struct {
+		d         DBObjectInfo
+		remaining atomic.Int64
+	}
+	var (
+		names  []string
+		owners []*dbVictim
+	)
 	for _, d := range objs {
 		if !d.Before(cutoff) {
 			continue
 		}
-		for _, name := range d.PartNames() {
-			if err := c.deleteObject(name); err != nil {
-				return err
-			}
-		}
-		c.view.DeleteDB(d.Ts, d.Gen)
-		c.stats.dbDeleted.Add(1)
-		if c.metrics != nil {
-			c.metrics.dbDeleted.Inc()
+		v := &dbVictim{d: d}
+		pn := d.PartNames()
+		v.remaining.Store(int64(len(pn)))
+		for _, name := range pn {
+			names = append(names, name)
+			owners = append(owners, v)
 		}
 	}
-	return nil
+	return runLimited(c.ctx, c.params.CheckpointUploaders, len(names), func(ctx context.Context, i int) error {
+		c.delInflight.enter()
+		err := c.deleteObject(ctx, names[i])
+		c.delInflight.exit()
+		if err != nil {
+			return err
+		}
+		if v := owners[i]; v.remaining.Add(-1) == 0 {
+			c.view.DeleteDB(v.d.Ts, v.d.Gen)
+			c.stats.dbDeleted.Add(1)
+			if c.metrics != nil {
+				c.metrics.dbDeleted.Inc()
+			}
+		}
+		return nil
+	})
 }
 
-func (c *checkpointer) deleteObject(name string) error {
+func (c *checkpointer) deleteObject(ctx context.Context, name string) error {
 	delay := c.params.RetryBaseDelay
 	for attempt := 0; ; attempt++ {
-		err := c.store.Delete(c.ctx, name)
+		err := c.store.Delete(ctx, name)
 		if err == nil || errors.Is(err, cloud.ErrNotFound) {
 			return nil
 		}
-		if c.ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return fmt.Errorf("core: delete %s: %w", name, err)
 		}
 		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
 			return fmt.Errorf("core: delete %s: %w", name, err)
 		}
-		if simclock.SleepCtx(c.ctx, c.clk, delay) != nil {
+		if simclock.SleepCtx(ctx, c.clk, delay) != nil {
 			return fmt.Errorf("core: delete %s: %w", name, err)
 		}
 		if delay < maxRetryDelay {
@@ -401,20 +473,20 @@ func (c *checkpointer) deleteObject(name string) error {
 	}
 }
 
-func (c *checkpointer) putWithRetry(name string, data []byte) error {
+func (c *checkpointer) putWithRetry(ctx context.Context, name string, data []byte) error {
 	delay := c.params.RetryBaseDelay
 	for attempt := 0; ; attempt++ {
-		err := c.store.Put(c.ctx, name, data)
+		err := c.store.Put(ctx, name, data)
 		if err == nil {
 			return nil
 		}
-		if c.ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return err
 		}
 		if c.params.UploadRetries > 0 && attempt+1 >= c.params.UploadRetries {
 			return err
 		}
-		if simclock.SleepCtx(c.ctx, c.clk, delay) != nil {
+		if simclock.SleepCtx(ctx, c.clk, delay) != nil {
 			return err
 		}
 		if delay < maxRetryDelay {
@@ -446,7 +518,11 @@ func estimateSize(writes []FileWrite) int64 {
 	return n
 }
 
-// splitBytes chops b into chunks of at most max bytes (at least one chunk).
+// splitBytes chops b into chunks of at most max bytes (at least one
+// chunk). Chunks are copies, not sub-slices: a retained part must not pin
+// the whole multi-part sealed buffer (think one 20 MiB part keeping a
+// multi-GB dump alive in a store or retry queue). The single-chunk case
+// returns b itself — the part IS the whole buffer, nothing extra is pinned.
 func splitBytes(b []byte, max int64) [][]byte {
 	if max <= 0 || int64(len(b)) <= max {
 		return [][]byte{b}
@@ -457,7 +533,9 @@ func splitBytes(b []byte, max int64) [][]byte {
 		if end > int64(len(b)) {
 			end = int64(len(b))
 		}
-		out = append(out, b[start:end])
+		part := make([]byte, end-start)
+		copy(part, b[start:end])
+		out = append(out, part)
 	}
 	return out
 }

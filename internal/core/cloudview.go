@@ -213,6 +213,14 @@ func (v *CloudView) LatestDump() (DBObjectInfo, bool) {
 // modes, Algorithm 1 lines 19–26). Unknown object names are reported as an
 // error — a foreign object in the bucket is a configuration problem worth
 // surfacing, not skipping silently.
+//
+// DB objects whose listed parts do not add up to the size declared in
+// their name are pruned: they are the leftovers of an upload interrupted
+// mid-way (a crash or outage between part PUTs — the local view never
+// learned about them, so recovery must not either). Keeping them would
+// make restoreTo fail on a missing part or a MAC mismatch; pruning
+// restores the "view only holds fully durable objects" invariant. The
+// orphan parts themselves stay in the bucket until GC sweeps them.
 func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.mu.Lock()
 	v.wal = make(map[int64]WALObjectInfo, len(infos))
@@ -220,6 +228,7 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.nextTs = 1
 	v.dbSize = 0
 	v.mu.Unlock()
+	listed := make(map[dbKey]int64) // summed on-cloud bytes per DB object
 	for _, info := range infos {
 		switch {
 		case strings.HasPrefix(info.Name, walPrefix):
@@ -238,8 +247,14 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 				parts = part + 1
 			}
 			v.AddDB(DBObjectInfo{Ts: ts, Gen: gen, Type: typ, Size: size, Parts: parts})
+			listed[dbKey{ts: ts, gen: gen}] += info.Size
 		default:
 			return fmt.Errorf("core: unrecognised object %q in cloud listing", info.Name)
+		}
+	}
+	for _, d := range v.DBObjects() {
+		if listed[dbKey{ts: d.Ts, gen: d.Gen}] != d.Size {
+			v.DeleteDB(d.Ts, d.Gen)
 		}
 	}
 	return nil

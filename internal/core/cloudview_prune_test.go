@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// A crash or outage between concurrent part PUTs leaves some parts of a
+// DB object in the bucket but not all. LoadFromList must not surface such
+// an object: its summed part bytes cannot reach the size declared in the
+// name, so it is pruned and recovery falls back to the previous complete
+// object (the consistent-prefix invariant).
+func TestCloudViewLoadFromListPrunesPartialObjects(t *testing.T) {
+	v := NewCloudView()
+	infos := []cloud.ObjectInfo{
+		{Name: "DB/0_dump_900", Size: 900}, // complete single-part dump
+		// Interrupted 3-part dump: part 1 never landed.
+		{Name: "DB/7_dump_3000.p0", Size: 1000},
+		{Name: "DB/7_dump_3000.p2", Size: 1000},
+		{Name: "WAL/1_seg_0", Size: 10},
+	}
+	if err := v.LoadFromList(infos); err != nil {
+		t.Fatal(err)
+	}
+	db := v.DBObjects()
+	if len(db) != 1 || db[0].Ts != 0 {
+		t.Fatalf("DBObjects = %+v, want only the complete ts=0 dump", db)
+	}
+	if got := v.TotalDBSize(); got != 900 {
+		t.Fatalf("TotalDBSize = %d, want 900 (partial object must not count)", got)
+	}
+	if d, ok := v.LatestDump(); !ok || d.Ts != 0 {
+		t.Fatalf("LatestDump = %+v, %v; the partial dump must not be eligible", d, ok)
+	}
+}
+
+func TestCloudViewLoadFromListKeepsCompleteMultiPart(t *testing.T) {
+	v := NewCloudView()
+	infos := []cloud.ObjectInfo{
+		{Name: "DB/7_dump_2500.p0", Size: 1000},
+		{Name: "DB/7_dump_2500.p1", Size: 1000},
+		{Name: "DB/7_dump_2500.p2", Size: 500},
+	}
+	if err := v.LoadFromList(infos); err != nil {
+		t.Fatal(err)
+	}
+	db := v.DBObjects()
+	if len(db) != 1 || db[0].Parts != 3 || db[0].Size != 2500 {
+		t.Fatalf("DBObjects = %+v, want the complete 3-part object", db)
+	}
+}
+
+func TestCloudViewLoadFromListPrunesTruncatedSinglePart(t *testing.T) {
+	v := NewCloudView()
+	// A single-part object whose stored size disagrees with its name
+	// (truncated upload) is equally unusable.
+	infos := []cloud.ObjectInfo{
+		{Name: "DB/3_checkpoint_400", Size: 250},
+	}
+	if err := v.LoadFromList(infos); err != nil {
+		t.Fatal(err)
+	}
+	if db := v.DBObjects(); len(db) != 0 {
+		t.Fatalf("DBObjects = %+v, want truncated object pruned", db)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/sealer"
 	"github.com/ginja-dr/ginja/internal/simclock"
 	"github.com/ginja-dr/ginja/internal/vfs"
@@ -74,6 +75,9 @@ type Ginja struct {
 	ckpt    *checkpointer
 	started bool
 	closed  bool
+
+	recInflight *inflight
+	recFetch    *obs.Histogram // per-object GET during recovery prefetch
 }
 
 var _ vfs.Observer = (*Ginja)(nil)
@@ -93,13 +97,20 @@ func New(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor, params
 	if err != nil {
 		return nil, err
 	}
+	var recFetch *obs.Histogram
+	if params.Metrics != nil {
+		recFetch = params.Metrics.Histogram(metricRecoveryFetch,
+			"Per-object GET duration during recovery prefetch in seconds.", nil, nil)
+	}
 	return &Ginja{
-		localFS: localFS,
-		store:   store,
-		proc:    proc,
-		params:  params,
-		seal:    seal,
-		view:    NewCloudView(),
+		localFS:     localFS,
+		store:       store,
+		proc:        proc,
+		params:      params,
+		seal:        seal,
+		view:        NewCloudView(),
+		recInflight: newInflight(params.Metrics, "get", "recovery"),
+		recFetch:    recFetch,
 	}, nil
 }
 
@@ -159,15 +170,19 @@ func (g *Ginja) Boot(ctx context.Context) error {
 	}
 	size := int64(len(sealed))
 	parts := splitBytes(sealed, g.params.MaxObjectSize)
-	for i, part := range parts {
+	err = runLimited(ctx, g.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
 		idx := i
 		if len(parts) == 1 {
 			idx = -1
 		}
 		name := DBObjectName(0, 0, Dump, size, idx)
-		if err := g.putWithRetry(ctx, name, part); err != nil {
+		if err := g.putWithRetry(ctx, name, parts[i]); err != nil {
 			return fmt.Errorf("core: boot upload %s: %w", name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	nParts := len(parts)
 	if nParts == 1 {
@@ -242,6 +257,14 @@ func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) erro
 
 // restoreTo applies dump + checkpoints + WAL onto target. dumpTs selects a
 // specific dump (-1 = newest).
+//
+// The restore plan — which objects, in which order — is computed up front
+// from the view, then executed with prefetchInOrder: up to
+// RecoveryFetchers parallel GETs hide per-request cloud latency while
+// every object is still applied strictly in plan order (dump, then
+// checkpoints by (Ts, Gen), then the consecutive-timestamp WAL run). Only
+// the downloads overlap; the file-write side is identical to a serial
+// restore.
 func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) error {
 	var dump DBObjectInfo
 	if dumpTs < 0 {
@@ -263,10 +286,16 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		}
 	}
 
-	// 1. The dump (Algorithm 1 lines 27-29).
-	if err := g.applyDBObject(ctx, target, dump); err != nil {
-		return err
+	// An item is one sealed object: the dump, a checkpoint (possibly in
+	// several parts) or a WAL object. Parts concatenate in order before
+	// the envelope opens.
+	type restoreItem struct {
+		label string
+		names []string
 	}
+
+	// 1. The dump (Algorithm 1 lines 27-29).
+	items := []restoreItem{{label: fmt.Sprintf("DB ts=%d", dump.Ts), names: dump.PartNames()}}
 	// 2. Incremental checkpoints after it, in (Ts, Gen) order (lines
 	// 30-36). When restoring to an older generation (dumpTs >= 0), stop
 	// before the next generation's dump.
@@ -287,9 +316,7 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		if nextDump != nil && !d.Before(*nextDump) {
 			continue
 		}
-		if err := g.applyDBObject(ctx, target, d); err != nil {
-			return err
-		}
+		items = append(items, restoreItem{label: fmt.Sprintf("DB ts=%d", d.Ts), names: d.PartNames()})
 		if d.Ts > maxCkptTs {
 			maxCkptTs = d.Ts
 		}
@@ -310,23 +337,54 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		if nextDump != nil && ts > nextDump.Ts {
 			break
 		}
-		data, err := g.getWithRetry(ctx, w.Name())
-		if err != nil {
-			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+		items = append(items, restoreItem{label: w.Name(), names: []string{w.Name()}})
+	}
+
+	// Flatten the plan to one fetch list; itemOf maps each flattened index
+	// back to its item so the applier knows when an object is complete.
+	var (
+		names  []string
+		itemOf []int
+	)
+	for idx, it := range items {
+		for _, n := range it.names {
+			names = append(names, n)
+			itemOf = append(itemOf, idx)
 		}
-		payload, err := g.seal.Open(data)
+	}
+	clk := g.params.clock()
+	fetch := func(ctx context.Context, name string) ([]byte, error) {
+		start := clk.Now()
+		g.recInflight.enter()
+		data, err := g.getWithRetry(ctx, name)
+		g.recInflight.exit()
 		if err != nil {
-			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+			return nil, fmt.Errorf("core: recover %s: %w", name, err)
+		}
+		if g.recFetch != nil {
+			g.recFetch.ObserveDuration(clk.Since(start))
+		}
+		return data, nil
+	}
+	var sealed []byte // parts of the in-progress item, concatenated
+	apply := func(i int, data []byte) error {
+		it := items[itemOf[i]]
+		sealed = append(sealed, data...)
+		if i+1 < len(names) && itemOf[i+1] == itemOf[i] {
+			return nil // more parts of this object still to come
+		}
+		payload, err := g.seal.Open(sealed)
+		sealed = sealed[:0]
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", it.label, err)
 		}
 		writes, err := DecodeWrites(payload)
 		if err != nil {
-			return fmt.Errorf("core: recover %s: %w", w.Name(), err)
+			return fmt.Errorf("core: recover %s: %w", it.label, err)
 		}
-		if err := applyWrites(target, writes); err != nil {
-			return err
-		}
+		return applyWrites(target, writes)
 	}
-	return nil
+	return prefetchInOrder(ctx, g.params.RecoveryFetchers, names, fetch, apply)
 }
 
 // applyDBObject downloads (all parts of) a DB object and applies it.

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the shared bounded-concurrency cloud I/O layer: every data
+// path that moves more than one object to or from the cloud — checkpoint/
+// dump part uploads, garbage-collection deletes, recovery prefetch — runs
+// its requests through runLimited or prefetchInOrder instead of a serial
+// loop. Per-request behaviour (retry, backoff, latency modelling) is
+// unchanged: the helpers only control how many requests are in flight at
+// once, which is what hides per-request cloud latency (the same lever the
+// paper pulls with its five Uploader threads on the WAL commit path).
+
+// runLimited executes n index-addressed tasks with at most workers
+// goroutines in flight, stopping at the first error. Tasks receive a
+// context that is cancelled as soon as any task fails, so retry loops
+// inside a task abort instead of riding out their backoff. The first task
+// error is returned; if the parent context is cancelled before every task
+// completed, that cancellation error is returned instead of silently
+// reporting success on partial work.
+func runLimited(ctx context.Context, workers, n int, task func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := task(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || gctx.Err() != nil {
+					return
+				}
+				if err := task(gctx, i); err != nil {
+					fail(err)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	if int(done.Load()) != n {
+		// Cancelled mid-way by the parent context: some tasks were skipped.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+	return nil
+}
+
+// prefetchInOrder fetches names with up to workers parallel fetchers while
+// delivering the results to apply strictly in index order — the
+// fetch-in-parallel / apply-in-order split that recovery needs: GETs
+// overlap to hide per-request latency, but dump → checkpoints → WAL
+// replay ordering is preserved exactly.
+//
+// A bounded readahead window (2× the worker count) caps how far completed
+// fetches can run ahead of the applier, so prefetching a huge object set
+// cannot buffer the whole backup in memory. Workers acquire a window slot
+// before claiming an index, which guarantees the lowest outstanding index
+// always owns a slot — the applier can always make progress.
+func prefetchInOrder(ctx context.Context, workers int, names []string,
+	fetch func(ctx context.Context, name string) ([]byte, error),
+	apply func(i int, data []byte) error) error {
+	n := len(names)
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for i, name := range names {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			data, err := fetch(ctx, name)
+			if err != nil {
+				return err
+			}
+			if err := apply(i, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	window := workers * 2
+	if window > n {
+		window = n
+	}
+
+	type result struct {
+		data []byte
+		err  error
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel() // runs before wg.Wait: workers parked on the window wake up
+
+	results := make([]chan result, n)
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, window)
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}: // slot released when the applier consumes
+				case <-gctx.Done():
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				data, err := fetch(gctx, names[i])
+				results[i] <- result{data: data, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		var r result
+		select {
+		case r = <-results[i]:
+		case <-gctx.Done():
+			return gctx.Err()
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if err := apply(i, r.data); err != nil {
+			return err
+		}
+		<-sem
+	}
+	return nil
+}

@@ -149,11 +149,24 @@ var ErrBadWriteList = errors.New("core: malformed write list")
 
 // EncodeWrites serializes a write list for upload.
 func EncodeWrites(writes []FileWrite) []byte {
+	return EncodeWritesInto(nil, writes)
+}
+
+// EncodeWritesInto appends the serialized write list to buf (usually
+// scratch[:0]) and returns the extended slice, letting steady-state
+// encoders reuse one buffer instead of allocating per object. The caller
+// must not hand the result to anything that retains it — Sealer.Seal does
+// not.
+func EncodeWritesInto(buf []byte, writes []FileWrite) []byte {
 	size := 8
 	for _, w := range writes {
 		size += 1 + 2 + len(w.Path) + 8 + 8 + len(w.Data)
 	}
-	buf := make([]byte, 0, size)
+	if cap(buf)-len(buf) < size {
+		grown := make([]byte, len(buf), len(buf)+size)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = append(buf, writeListMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(writes)))
 	for _, w := range writes {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/ginja-dr/ginja/internal/obs"
 )
 
@@ -28,7 +30,40 @@ const (
 	metricCkptBuild    = "ginja_checkpoint_build_seconds"
 	metricCkptUpload   = "ginja_checkpoint_upload_seconds"
 	metricCkptQueueLen = "ginja_checkpoint_queue_depth"
+
+	metricCloudInflight = "ginja_cloud_inflight_requests"
+	metricDBPartPut     = "ginja_db_part_put_seconds"
+	metricRecoveryFetch = "ginja_recovery_fetch_seconds"
 )
+
+// inflight tracks the cloud requests currently in flight on one
+// (op, path) pair, exported as a gauge sampled at scrape time. A nil
+// *inflight (observability disabled) counts nothing.
+type inflight struct{ n atomic.Int64 }
+
+func newInflight(reg *obs.Registry, op, path string) *inflight {
+	if reg == nil {
+		return nil
+	}
+	f := &inflight{}
+	reg.GaugeFunc(metricCloudInflight,
+		"Cloud requests currently in flight, by operation and data path.",
+		obs.Labels{"op": op, "path": path},
+		func() float64 { return float64(f.n.Load()) })
+	return f
+}
+
+func (f *inflight) enter() {
+	if f != nil {
+		f.n.Add(1)
+	}
+}
+
+func (f *inflight) exit() {
+	if f != nil {
+		f.n.Add(-1)
+	}
+}
 
 // pipelineMetrics bundles the commit-path instruments. A nil
 // *pipelineMetrics means observability is disabled; every call site
@@ -95,6 +130,7 @@ type checkpointMetrics struct {
 	build      *obs.Histogram // dump construction duration
 	uploadCkpt *obs.Histogram
 	uploadDump *obs.Histogram
+	partPut    *obs.Histogram // per-part DB PUT, retries included
 }
 
 func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
@@ -114,5 +150,7 @@ func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
 			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "checkpoint"}, nil),
 		uploadDump: reg.Histogram(metricCkptUpload,
 			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "dump"}, nil),
+		partPut: reg.Histogram(metricDBPartPut,
+			"Per-part DB object PUT duration in seconds, retries included.", nil, nil),
 	}
 }

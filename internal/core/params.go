@@ -42,6 +42,17 @@ type Params struct {
 	SafetyTimeout time.Duration
 	// Uploaders is the number of parallel upload threads.
 	Uploaders int
+	// CheckpointUploaders bounds the parallel PUTs used for the parts of
+	// one dump/checkpoint DB object, and the parallel DELETEs used by
+	// garbage collection. 0 means "same as Uploaders". The cloudView only
+	// learns about a DB object after every part is durable, so raising
+	// this never weakens the recovery invariants.
+	CheckpointUploaders int
+	// RecoveryFetchers bounds the parallel GETs used to prefetch DB-object
+	// parts and WAL objects during Recover/RecoverAt. Objects are still
+	// applied strictly in (Ts, Gen) / consecutive-timestamp order; only
+	// the downloads overlap. 0 means "same as Uploaders".
+	RecoveryFetchers int
 	// MaxObjectSize splits any larger object into parts (optimises upload
 	// latency, §5.2 footnote).
 	MaxObjectSize int64
@@ -117,6 +128,12 @@ func (p Params) Validate() (Params, error) {
 	if p.Uploaders == 0 {
 		p.Uploaders = d.Uploaders
 	}
+	if p.CheckpointUploaders == 0 {
+		p.CheckpointUploaders = p.Uploaders
+	}
+	if p.RecoveryFetchers == 0 {
+		p.RecoveryFetchers = p.Uploaders
+	}
 	if p.MaxObjectSize == 0 {
 		p.MaxObjectSize = d.MaxObjectSize
 	}
@@ -134,6 +151,12 @@ func (p Params) Validate() (Params, error) {
 	}
 	if p.Uploaders < 1 {
 		return p, fmt.Errorf("core: Uploaders must be ≥ 1, got %d", p.Uploaders)
+	}
+	if p.CheckpointUploaders < 1 {
+		return p, fmt.Errorf("core: CheckpointUploaders must be ≥ 1, got %d", p.CheckpointUploaders)
+	}
+	if p.RecoveryFetchers < 1 {
+		return p, fmt.Errorf("core: RecoveryFetchers must be ≥ 1, got %d", p.RecoveryFetchers)
 	}
 	if p.DumpThreshold < 1 {
 		return p, fmt.Errorf("core: DumpThreshold must be ≥ 1, got %v", p.DumpThreshold)

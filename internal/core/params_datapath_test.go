@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+func TestParamsDatapathKnobsDefaultToUploaders(t *testing.T) {
+	p, err := Params{Uploaders: 7}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CheckpointUploaders != 7 || p.RecoveryFetchers != 7 {
+		t.Fatalf("CheckpointUploaders/RecoveryFetchers = %d/%d, want 7/7 (follow Uploaders)",
+			p.CheckpointUploaders, p.RecoveryFetchers)
+	}
+	p, err = Params{}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CheckpointUploaders != DefaultUploaders || p.RecoveryFetchers != DefaultUploaders {
+		t.Fatalf("zero-value knobs = %d/%d, want the Uploaders default %d",
+			p.CheckpointUploaders, p.RecoveryFetchers, DefaultUploaders)
+	}
+}
+
+func TestParamsDatapathKnobsExplicitValuesKept(t *testing.T) {
+	p, err := Params{Uploaders: 5, CheckpointUploaders: 2, RecoveryFetchers: 9}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CheckpointUploaders != 2 || p.RecoveryFetchers != 9 {
+		t.Fatalf("explicit knobs overridden: %d/%d", p.CheckpointUploaders, p.RecoveryFetchers)
+	}
+}
+
+func TestParamsDatapathKnobsRejectNegative(t *testing.T) {
+	if _, err := (Params{CheckpointUploaders: -1}).Validate(); err == nil {
+		t.Fatal("negative CheckpointUploaders accepted")
+	}
+	if _, err := (Params{RecoveryFetchers: -3}).Validate(); err == nil {
+		t.Fatal("negative RecoveryFetchers accepted")
+	}
+}

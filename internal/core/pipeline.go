@@ -62,9 +62,10 @@ type pipeline struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	stats    pipelineStats
-	metrics  *pipelineMetrics
-	batchSeq atomic.Int64
+	stats       pipelineStats
+	metrics     *pipelineMetrics
+	putInflight *inflight
+	batchSeq    atomic.Int64
 	trace    bool // emit per-batch/per-object spans via params.Logger
 
 	errMu sync.Mutex
@@ -81,6 +82,7 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 		seal:     seal,
 		params:   params,
 		metrics:  newPipelineMetrics(params.Metrics),
+		putInflight: newInflight(params.Metrics, "put", "wal"),
 		trace:    params.Logger != nil && params.Logger.Enabled(context.Background(), slog.LevelDebug),
 		uploadCh: make(chan walUpload, params.Uploaders),
 		ackCh:    make(chan int64, params.Uploaders),
@@ -224,15 +226,24 @@ func (p *pipeline) aggregator() {
 }
 
 // uploader is one Uploader thread: seal and PUT WAL objects, retrying with
-// exponential backoff, then acknowledge the timestamp.
+// exponential backoff, then acknowledge the timestamp. Each uploader keeps
+// a private encode buffer: at high update rates the per-object
+// encode+seal would otherwise be allocation-bound (Seal never retains its
+// input, so reuse across iterations is safe).
 func (p *pipeline) uploader() {
+	var (
+		enc     []byte
+		scratch [1]FileWrite
+	)
 	for u := range p.uploadCh {
 		m := p.metrics
 		var t0 time.Time
 		if m != nil || p.trace {
 			t0 = p.clk.Now()
 		}
-		payload := EncodeWrites([]FileWrite{u.write})
+		scratch[0] = u.write
+		enc = EncodeWritesInto(enc[:0], scratch[:])
+		payload := enc
 		sealed, err := p.seal.Seal(payload)
 		if err != nil {
 			p.fail(fmt.Errorf("core: seal WAL object ts=%d: %w", u.ts, err))
@@ -246,7 +257,10 @@ func (p *pipeline) uploader() {
 			}
 		}
 		name := WALObjectName(u.ts, u.write.Path, u.write.Offset)
-		if err := p.putWithRetry(name, sealed); err != nil {
+		p.putInflight.enter()
+		err = p.putWithRetry(name, sealed)
+		p.putInflight.exit()
+		if err != nil {
 			p.fail(fmt.Errorf("core: upload %s: %w", name, err))
 			return
 		}

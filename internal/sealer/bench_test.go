@@ -10,6 +10,16 @@ func benchPayload() []byte {
 	return bytes.Repeat([]byte("update stock set qty=42 where id=123;"), 220) // ≈8 KiB
 }
 
+func benchDumpPayload() []byte {
+	// A dump-part-like payload: bigger, page-structured.
+	page := append(bytes.Repeat([]byte{0}, 128), bytes.Repeat([]byte("row-data-0123456789"), 47)...)
+	return bytes.Repeat(page, 256) // ≈256 KiB
+}
+
+func benchPayloads() map[string][]byte {
+	return map[string][]byte{"wal8k": benchPayload(), "dump256k": benchDumpPayload()}
+}
+
 func benchConfigs(b *testing.B) map[string]*Sealer {
 	b.Helper()
 	mk := func(o Options) *Sealer {
@@ -28,36 +38,38 @@ func benchConfigs(b *testing.B) map[string]*Sealer {
 }
 
 func BenchmarkSeal(b *testing.B) {
-	payload := benchPayload()
-	for name, s := range benchConfigs(b) {
-		b.Run(name, func(b *testing.B) {
-			b.SetBytes(int64(len(payload)))
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := s.Seal(payload); err != nil {
-					b.Fatal(err)
+	for size, payload := range benchPayloads() {
+		for name, s := range benchConfigs(b) {
+			b.Run(size+"/"+name, func(b *testing.B) {
+				b.SetBytes(int64(len(payload)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Seal(payload); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
 func BenchmarkOpen(b *testing.B) {
-	payload := benchPayload()
-	for name, s := range benchConfigs(b) {
-		b.Run(name, func(b *testing.B) {
-			sealed, err := s.Seal(payload)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.SetBytes(int64(len(payload)))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := s.Open(sealed); err != nil {
+	for size, payload := range benchPayloads() {
+		for name, s := range benchConfigs(b) {
+			b.Run(size+"/"+name, func(b *testing.B) {
+				sealed, err := s.Seal(payload)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.SetBytes(int64(len(payload)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Open(sealed); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

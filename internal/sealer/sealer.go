@@ -23,7 +23,9 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
 )
 
 // Envelope constants.
@@ -72,10 +74,23 @@ type Options struct {
 
 // Sealer seals byte payloads into tamper-evident (optionally compressed
 // and encrypted) cloud objects and opens them back.
+//
+// Seal/Open are allocation-pooled: zlib writer/reader state, HMAC state
+// and compression buffers are recycled via sync.Pool, and the AES block
+// cipher is built once at construction. At high update rates the per-
+// object seal cost would otherwise be dominated by re-allocating that
+// state (a fresh zlib writer alone is several hundred KiB). Both methods
+// remain safe for concurrent use.
 type Sealer struct {
 	opts   Options
 	encKey []byte
 	macKey []byte
+
+	block   cipher.Block // non-nil iff a password is configured
+	macPool sync.Pool    // *hmac states keyed with macKey
+	bufPool sync.Pool    // *bytes.Buffer compression scratch
+	zwPool  sync.Pool    // *zlib.Writer at BestSpeed
+	zrPool  sync.Pool    // io.ReadCloser + zlib.Resetter
 }
 
 // New builds a Sealer. Encryption without a password is rejected.
@@ -89,12 +104,26 @@ func New(opts Options) (*Sealer, error) {
 		// password is also used to generate the MAC key").
 		s.encKey = pbkdf2SHA256([]byte(opts.Password), []byte("ginja-enc"), kdfIterations, keySize)
 		s.macKey = pbkdf2SHA256([]byte(opts.Password), []byte("ginja-mac"), kdfIterations, keySize)
+		block, err := aes.NewCipher(s.encKey)
+		if err != nil {
+			return nil, fmt.Errorf("sealer: %w", err)
+		}
+		s.block = block
 	} else {
 		seed := opts.MACSeed
 		if seed == "" {
 			seed = defaultMACSeed
 		}
 		s.macKey = pbkdf2SHA256([]byte(seed), []byte("ginja-mac"), 1, keySize)
+	}
+	s.macPool.New = func() any { return hmac.New(sha1.New, s.macKey) }
+	s.bufPool.New = func() any { return new(bytes.Buffer) }
+	s.zwPool.New = func() any {
+		zw, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
+		if err != nil {
+			panic(err) // unreachable: BestSpeed is a valid level
+		}
+		return zw
 	}
 	return s, nil
 }
@@ -115,53 +144,70 @@ func (s *Sealer) Compressing() bool { return s.opts.Compress }
 // Encrypting reports whether encryption is enabled.
 func (s *Sealer) Encrypting() bool { return s.opts.Encrypt }
 
-// Seal envelopes payload for upload.
+// sum wraps a pooled HMAC state: reset, feed data, append the tag to dst.
+func (s *Sealer) sum(dst, data []byte) []byte {
+	mac := s.macPool.Get().(hash.Hash)
+	mac.Reset()
+	mac.Write(data) //nolint:errcheck // hash writes never fail
+	dst = mac.Sum(dst)
+	s.macPool.Put(mac)
+	return dst
+}
+
+// Seal envelopes payload for upload. The returned buffer is freshly
+// allocated at exact size — it is never recycled, so callers may retain
+// it — but all intermediate state (compressor, HMAC, scratch) is pooled.
 func (s *Sealer) Seal(payload []byte) ([]byte, error) {
 	var flags byte
 	body := payload
+	var scratch *bytes.Buffer
 	if s.opts.Compress {
-		var buf bytes.Buffer
-		zw, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
-		if err != nil {
-			return nil, fmt.Errorf("sealer: %w", err)
-		}
+		scratch = s.bufPool.Get().(*bytes.Buffer)
+		scratch.Reset()
+		defer s.bufPool.Put(scratch)
+		zw := s.zwPool.Get().(*zlib.Writer)
+		zw.Reset(scratch)
 		if _, err := zw.Write(payload); err != nil {
+			s.zwPool.Put(zw)
 			return nil, fmt.Errorf("sealer: compress: %w", err)
 		}
 		if err := zw.Close(); err != nil {
+			s.zwPool.Put(zw)
 			return nil, fmt.Errorf("sealer: compress: %w", err)
 		}
-		body = buf.Bytes()
+		s.zwPool.Put(zw)
+		body = scratch.Bytes()
 		flags |= flagCompressed
 	}
-	out := make([]byte, 0, len(magic)+1+ivSize+len(body)+macSize)
+	size := len(magic) + 1 + len(body) + macSize
+	if s.opts.Encrypt {
+		size += ivSize
+	}
+	out := make([]byte, 0, size)
 	out = append(out, magic...)
 	if s.opts.Encrypt {
 		flags |= flagEncrypted
 	}
 	out = append(out, flags)
 	if s.opts.Encrypt {
-		iv := make([]byte, ivSize)
-		if _, err := rand.Read(iv); err != nil {
+		var iv [ivSize]byte
+		if _, err := rand.Read(iv[:]); err != nil {
 			return nil, fmt.Errorf("sealer: iv: %w", err)
 		}
-		out = append(out, iv...)
-		block, err := aes.NewCipher(s.encKey)
-		if err != nil {
-			return nil, fmt.Errorf("sealer: %w", err)
-		}
-		enc := make([]byte, len(body))
-		cipher.NewCTR(block, iv).XORKeyStream(enc, body)
-		out = append(out, enc...)
+		out = append(out, iv[:]...)
+		// Encrypt in place: append the plaintext, then XOR the keystream
+		// over the bytes just appended.
+		start := len(out)
+		out = append(out, body...)
+		cipher.NewCTR(s.block, iv[:]).XORKeyStream(out[start:], out[start:])
 	} else {
 		out = append(out, body...)
 	}
-	mac := hmac.New(sha1.New, s.macKey)
-	mac.Write(out) //nolint:errcheck // hash writes never fail
-	return mac.Sum(out), nil
+	return s.sum(out, out), nil
 }
 
-// Open verifies and unwraps a sealed object.
+// Open verifies and unwraps a sealed object. The result never aliases
+// sealed, so callers may reuse their input buffer.
 func (s *Sealer) Open(sealed []byte) ([]byte, error) {
 	if len(sealed) < len(magic)+1+macSize {
 		return nil, ErrFormat
@@ -171,9 +217,8 @@ func (s *Sealer) Open(sealed []byte) ([]byte, error) {
 	}
 	body := sealed[:len(sealed)-macSize]
 	wantMAC := sealed[len(sealed)-macSize:]
-	mac := hmac.New(sha1.New, s.macKey)
-	mac.Write(body) //nolint:errcheck // hash writes never fail
-	if !hmac.Equal(mac.Sum(nil), wantMAC) {
+	var tag [macSize]byte
+	if !hmac.Equal(s.sum(tag[:0], body), wantMAC) {
 		return nil, ErrIntegrity
 	}
 	flags := sealed[len(magic)]
@@ -187,29 +232,54 @@ func (s *Sealer) Open(sealed []byte) ([]byte, error) {
 		}
 		iv := payload[:ivSize]
 		enc := payload[ivSize:]
-		block, err := aes.NewCipher(s.encKey)
-		if err != nil {
-			return nil, fmt.Errorf("sealer: %w", err)
-		}
 		dec := make([]byte, len(enc))
-		cipher.NewCTR(block, iv).XORKeyStream(dec, enc)
+		cipher.NewCTR(s.block, iv).XORKeyStream(dec, enc)
 		payload = dec
 	} else {
 		payload = append([]byte(nil), payload...)
 	}
 	if flags&flagCompressed != 0 {
-		zr, err := zlib.NewReader(bytes.NewReader(payload))
-		if err != nil {
-			return nil, fmt.Errorf("sealer: decompress: %w", err)
-		}
-		defer zr.Close()
-		out, err := io.ReadAll(zr)
+		out, err := s.decompress(payload)
 		if err != nil {
 			return nil, fmt.Errorf("sealer: decompress: %w", err)
 		}
 		payload = out
 	}
 	return payload, nil
+}
+
+// decompress inflates data with a pooled zlib reader, returning a fresh
+// exact-size buffer.
+func (s *Sealer) decompress(data []byte) ([]byte, error) {
+	br := bytes.NewReader(data)
+	var zr io.ReadCloser
+	if pooled := s.zrPool.Get(); pooled != nil {
+		zr = pooled.(io.ReadCloser)
+		if err := zr.(zlib.Resetter).Reset(br, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		zr, err = zlib.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+	}
+	buf := s.bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := buf.ReadFrom(zr)
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	s.zrPool.Put(zr)
+	if err != nil {
+		s.bufPool.Put(buf)
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	s.bufPool.Put(buf)
+	return out, nil
 }
 
 // pbkdf2SHA256 is PBKDF2 (RFC 2898) with HMAC-SHA-256, implemented here

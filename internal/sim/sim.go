@@ -52,6 +52,12 @@ type Result struct {
 	BatchTimeout  time.Duration
 	SafetyTimeout time.Duration
 	UploadRetries int
+	// Data-path parallelism knobs (also seed-derived). MaxObjectSize is
+	// drawn small enough that dumps split into several parts, so the
+	// concurrent part-upload path is exercised under faults.
+	MaxObjectSize       int64
+	CheckpointUploaders int
+	RecoveryFetchers    int
 	// Workload outcome.
 	Commits     int
 	Checkpoints int64
@@ -170,9 +176,18 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		params.UploadRetries = 0 // retry forever, ride the outage out
 	}
+	// The data-path knobs draw from their own stream so that adding them
+	// did not re-roll every existing seed's workload above.
+	prng := rand.New(rand.NewSource(sched.Seed ^ 0x9a7a11e1))
+	params.MaxObjectSize = int64(1024 * (2 + prng.Intn(7))) // 2–8 KiB: dumps split into parts
+	params.CheckpointUploaders = 1 + prng.Intn(5)
+	params.RecoveryFetchers = 1 + prng.Intn(5)
 	res.Batch, res.Safety = params.Batch, params.Safety
 	res.BatchTimeout, res.SafetyTimeout = params.BatchTimeout, params.SafetyTimeout
 	res.UploadRetries = params.UploadRetries
+	res.MaxObjectSize = params.MaxObjectSize
+	res.CheckpointUploaders = params.CheckpointUploaders
+	res.RecoveryFetchers = params.RecoveryFetchers
 
 	// Arm the fault schedule on the virtual clock.
 	applyEvent := func(ev Event) {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -183,5 +184,42 @@ func TestRunErrorMentionsSchedule(t *testing.T) {
 		if !strings.Contains(err.Error(), sched.String()) {
 			t.Fatalf("error does not embed schedule: %v", err)
 		}
+	}
+}
+
+// TestRunFlappingProviderDuringDumps: repeated short outages while the
+// workload checkpoints, with the seed-derived small MaxObjectSize forcing
+// every dump to split into several concurrently-uploaded parts. An outage
+// landing between part PUTs leaves orphan parts in the bucket; the
+// consistent-prefix invariant must survive them (the recovery listing
+// prunes incomplete objects instead of trusting them).
+func TestRunFlappingProviderDuringDumps(t *testing.T) {
+	seeds := []int64{101, 202, 303, 404, 505, 606, 707, 808}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			var events []Event
+			for i := 0; i < 6; i++ {
+				start := time.Duration(i)*4*time.Second + 500*time.Millisecond
+				events = append(events,
+					Event{At: start, Kind: OutageStart},
+					Event{At: start + 900*time.Millisecond, Kind: OutageEnd})
+			}
+			sched := &Schedule{Seed: seed, Steps: 70, CrashAfterStep: 55, Events: events}
+			res, err := Run(Config{Seed: seed, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MaxObjectSize > 8192 {
+				t.Fatalf("MaxObjectSize = %d; the schedule relies on dumps splitting", res.MaxObjectSize)
+			}
+			t.Logf("flapping run: maxObj=%d ckptUploaders=%d fetchers=%d commits=%d ckpts=%d cut=%d flushed=%d retries=%d",
+				res.MaxObjectSize, res.CheckpointUploaders, res.RecoveryFetchers,
+				res.Commits, res.Checkpoints, res.Cut, res.FlushedUpTo, res.Retries)
+		})
 	}
 }
