@@ -282,7 +282,9 @@ func (c *checkpointer) buildDump() ([]FileWrite, error) {
 // supersedes — and, for dumps, older DB objects subject to the
 // point-in-time retention policy. The view learns about the object only
 // after every part is durable, so a failure mid-upload leaves at most
-// orphan parts that recovery prunes and the next dump's GC removes.
+// orphan parts in the bucket; after a restart, LoadFromList records them
+// as orphans (never surfacing them to recovery) and the next dump's GC
+// deletes them (collectOldDBObjects sweeps view.OrphanParts).
 func (c *checkpointer) upload(obj dbObject) error {
 	uploadStart := c.clk.Now()
 	c.encScratch = EncodeWritesInto(c.encScratch[:0], obj.writes)
@@ -305,23 +307,30 @@ func (c *checkpointer) upload(obj dbObject) error {
 		if err != nil {
 			return fmt.Errorf("core: upload %s: %w", name, err)
 		}
-		c.stats.dbObjects.Add(1)
-		c.stats.dbBytes.Add(int64(len(parts[i])))
 		if c.metrics != nil {
 			c.metrics.partPut.ObserveDuration(c.clk.Since(putStart))
-			c.metrics.dbObjects.Inc()
-			c.metrics.dbBytes.Add(float64(len(parts[i])))
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	// Durable-data counters move only once the whole object landed: a
+	// sibling part failure abandons the object, and parts that did make it
+	// are orphans, not durable data.
+	c.stats.dbObjects.Add(int64(len(parts)))
+	c.stats.dbBytes.Add(size)
+	if c.metrics != nil {
+		c.metrics.dbObjects.Add(float64(len(parts)))
+		c.metrics.dbBytes.Add(float64(size))
+	}
 	nParts := len(parts)
 	if nParts == 1 {
 		nParts = 0
 	}
-	c.view.AddDB(DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size, Parts: nParts})
+	if err := c.view.AddDB(DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size, Parts: nParts}); err != nil {
+		return err
+	}
 	// The view now knows about this (ts, gen): NextDBGen covers it, so the
 	// collision-avoidance entry is no longer needed (and would otherwise
 	// accumulate one entry per checkpoint forever).
@@ -387,9 +396,11 @@ func (c *checkpointer) upload(obj dbObject) error {
 	return nil
 }
 
-// collectOldDBObjects deletes DB objects superseded by the newest dump.
-// With PITRGenerations = N, the N most recent dump generations (each dump
-// and its incremental checkpoints) are retained as recovery points (§5.4,
+// collectOldDBObjects deletes DB objects superseded by the newest dump,
+// plus any orphan parts recorded at LoadFromList time (leftovers of
+// uploads a previous incarnation never finished). With
+// PITRGenerations = N, the N most recent dump generations (each dump and
+// its incremental checkpoints) are retained as recovery points (§5.4,
 // point-in-time recovery).
 func (c *checkpointer) collectOldDBObjects() error {
 	objs := c.view.DBObjects() // sorted by (Ts, Gen)
@@ -399,16 +410,6 @@ func (c *checkpointer) collectOldDBObjects() error {
 			dumps = append(dumps, d)
 		}
 	}
-	if len(dumps) == 0 {
-		return nil
-	}
-	// The cutoff is the oldest dump that must survive: keep the newest
-	// dump plus PITRGenerations older ones.
-	keep := 1 + c.params.PITRGenerations
-	if keep > len(dumps) {
-		keep = len(dumps)
-	}
-	cutoff := dumps[len(dumps)-keep]
 	// Flatten every victim's part names into one work list so the pool
 	// stays saturated across object boundaries; a victim leaves the view
 	// only once its last part is gone, so an interrupted GC leaves the
@@ -419,28 +420,50 @@ func (c *checkpointer) collectOldDBObjects() error {
 	}
 	var (
 		names  []string
-		owners []*dbVictim
+		owners []*dbVictim // nil entry = orphan part, not a view object
 	)
-	for _, d := range objs {
-		if !d.Before(cutoff) {
-			continue
+	if len(dumps) > 0 {
+		// The cutoff is the oldest dump that must survive: keep the newest
+		// dump plus PITRGenerations older ones.
+		keep := 1 + c.params.PITRGenerations
+		if keep > len(dumps) {
+			keep = len(dumps)
 		}
-		v := &dbVictim{d: d}
-		pn := d.PartNames()
-		v.remaining.Store(int64(len(pn)))
-		for _, name := range pn {
-			names = append(names, name)
-			owners = append(owners, v)
+		cutoff := dumps[len(dumps)-keep]
+		for _, d := range objs {
+			if !d.Before(cutoff) {
+				continue
+			}
+			v := &dbVictim{d: d}
+			pn := d.PartNames()
+			v.remaining.Store(int64(len(pn)))
+			for _, name := range pn {
+				names = append(names, name)
+				owners = append(owners, v)
+			}
 		}
 	}
-	return runLimited(c.ctx, c.params.CheckpointUploaders, len(names), func(ctx context.Context, i int) error {
+	// Orphan parts ride the same delete pool. They were never in the view,
+	// so success just drops the orphan record — an interrupted sweep
+	// retries the remainder on the next dump.
+	orphans := c.view.OrphanParts()
+	for _, o := range orphans {
+		names = append(names, o.Name)
+		owners = append(owners, nil)
+	}
+	err := runLimited(c.ctx, c.params.CheckpointUploaders, len(names), func(ctx context.Context, i int) error {
 		c.delInflight.enter()
 		err := c.deleteObject(ctx, names[i])
 		c.delInflight.exit()
 		if err != nil {
 			return err
 		}
-		if v := owners[i]; v.remaining.Add(-1) == 0 {
+		v := owners[i]
+		if v == nil {
+			c.view.DropOrphan(names[i])
+			return nil
+		}
+		if v.remaining.Add(-1) == 0 {
 			c.view.DeleteDB(v.d.Ts, v.d.Gen)
 			c.stats.dbDeleted.Add(1)
 			if c.metrics != nil {
@@ -449,6 +472,11 @@ func (c *checkpointer) collectOldDBObjects() error {
 		}
 		return nil
 	})
+	if err == nil && len(orphans) > 0 {
+		c.params.logger().Info("garbage-collected orphan DB parts",
+			"count", len(orphans))
+	}
+	return err
 }
 
 func (c *checkpointer) deleteObject(ctx context.Context, name string) error {

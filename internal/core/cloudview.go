@@ -57,6 +57,19 @@ type dbKey struct {
 	gen int
 }
 
+// OrphanPart is one cloud object recorded by LoadFromList as belonging to
+// an incomplete DB object — the leftover of an upload interrupted mid-way
+// by a crash or outage. Orphans never enter the view proper (recovery
+// ignores them), but they are remembered for two reasons: NextDBGen must
+// never re-issue an orphaned generation (a reuse would let a fresh
+// object share its (ts, gen) slot with orphan parts of a different size),
+// and the next dump's garbage collection deletes them by name.
+type OrphanPart struct {
+	Name string
+	Ts   int64
+	Gen  int
+}
+
 // CloudView is Ginja's local bookkeeping of the objects currently in the
 // cloud (Algorithm 1 line 1). It also owns the WAL timestamp counter that
 // totally orders uploads.
@@ -66,6 +79,14 @@ type CloudView struct {
 	db     map[dbKey]*DBObjectInfo
 	nextTs int64
 	dbSize int64
+
+	// orphans holds the parts of incomplete DB objects found by
+	// LoadFromList, keyed by object name, until GC deletes them.
+	orphans map[string]OrphanPart
+	// orphanGen is the per-ts generation floor imposed by orphans: the
+	// next generation NextDBGen may hand out for that ts, so orphaned
+	// generations are never reused even though they are not in db.
+	orphanGen map[int64]int
 }
 
 // NewCloudView returns an empty view. The WAL timestamp counter starts at
@@ -74,9 +95,11 @@ type CloudView struct {
 // segments (see Boot).
 func NewCloudView() *CloudView {
 	return &CloudView{
-		wal:    make(map[int64]WALObjectInfo),
-		db:     make(map[dbKey]*DBObjectInfo),
-		nextTs: 1,
+		wal:       make(map[int64]WALObjectInfo),
+		db:        make(map[dbKey]*DBObjectInfo),
+		orphans:   make(map[string]OrphanPart),
+		orphanGen: make(map[int64]int),
+		nextTs:    1,
 	}
 }
 
@@ -97,7 +120,10 @@ func (v *CloudView) LastWALTs() int64 {
 }
 
 // NextDBGen returns the next free generation number for DB objects with
-// timestamp ts.
+// timestamp ts. Generations consumed by orphans (incomplete objects found
+// in the cloud listing) count as taken: reusing one would let a fresh
+// object's parts coexist in the bucket with orphan parts of a different
+// size under the same (ts, gen).
 func (v *CloudView) NextDBGen(ts int64) int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -106,6 +132,9 @@ func (v *CloudView) NextDBGen(ts int64) int {
 		if k.ts == ts && k.gen >= gen {
 			gen = k.gen + 1
 		}
+	}
+	if g, ok := v.orphanGen[ts]; ok && g > gen {
+		gen = g
 	}
 	return gen
 }
@@ -120,16 +149,25 @@ func (v *CloudView) AddWAL(info WALObjectInfo) {
 	}
 }
 
-// AddDB records a DB object (or one part of it).
-func (v *CloudView) AddDB(info DBObjectInfo) {
+// AddDB records a DB object (or one part of it). Re-adding an existing
+// (Ts, Gen) is only legal for the same object — identical Size and Type;
+// a mismatch means two distinct objects claim the same slot (a generation
+// collision), and merging their part counts would fabricate a chimeric
+// record, so it is reported instead.
+func (v *CloudView) AddDB(info DBObjectInfo) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	key := dbKey{ts: info.Ts, gen: info.Gen}
 	if existing, ok := v.db[key]; ok {
+		if existing.Size != info.Size || existing.Type != info.Type {
+			return fmt.Errorf(
+				"core: conflicting DB objects at ts=%d gen=%d: have %s size=%d, got %s size=%d",
+				info.Ts, info.Gen, existing.Type, existing.Size, info.Type, info.Size)
+		}
 		if info.Parts > existing.Parts {
 			existing.Parts = info.Parts
 		}
-		return
+		return nil
 	}
 	cp := info
 	v.db[key] = &cp
@@ -137,6 +175,7 @@ func (v *CloudView) AddDB(info DBObjectInfo) {
 	if info.Ts >= v.nextTs {
 		v.nextTs = info.Ts + 1
 	}
+	return nil
 }
 
 // DeleteWAL forgets a WAL object (after its cloud DELETE).
@@ -209,26 +248,77 @@ func (v *CloudView) LatestDump() (DBObjectInfo, bool) {
 	return *best, true
 }
 
+// OrphanParts returns the orphan parts recorded by the last LoadFromList
+// that have not been garbage-collected yet, sorted by name.
+func (v *CloudView) OrphanParts() []OrphanPart {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]OrphanPart, 0, len(v.orphans))
+	for _, o := range v.orphans {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DropOrphan forgets one orphan part after its cloud DELETE. The
+// generation floor for its ts is kept: the name is gone, but never
+// re-issuing an orphaned generation is cheap insurance against a sweep
+// that deleted only some of an orphan set before being interrupted.
+func (v *CloudView) DropOrphan(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.orphans, name)
+}
+
 // LoadFromList rebuilds the view from a cloud listing (Reboot and Recovery
 // modes, Algorithm 1 lines 19–26). Unknown object names are reported as an
 // error — a foreign object in the bucket is a configuration problem worth
 // surfacing, not skipping silently.
 //
-// DB objects whose listed parts do not add up to the size declared in
-// their name are pruned: they are the leftovers of an upload interrupted
-// mid-way (a crash or outage between part PUTs — the local view never
-// learned about them, so recovery must not either). Keeping them would
-// make restoreTo fail on a missing part or a MAC mismatch; pruning
-// restores the "view only holds fully durable objects" invariant. The
-// orphan parts themselves stay in the bucket until GC sweeps them.
+// DB listings are grouped by (ts, gen, declared size) before any of them
+// reaches the view: the size in the name is part of an object's identity,
+// so parts of differently-sized objects that collide on (ts, gen) — say a
+// fresh upload whose slot is shared with the orphan of an interrupted one
+// — can never mix into one chimeric record or veto each other's
+// completeness check.
+//
+// A group whose listed bytes add up to its declared size is complete and
+// enters the view (two complete objects on one (ts, gen) is genuine
+// corruption and surfaces as an AddDB conflict error). Incomplete groups
+// are the leftovers of an upload interrupted mid-way (a crash or outage
+// between part PUTs — the local view never learned about them, so
+// recovery must not either): their parts are recorded as orphans so that
+// NextDBGen never re-issues their generation and the next dump's garbage
+// collection deletes them from the bucket (checkpointer.collectOldDBObjects).
 func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.mu.Lock()
 	v.wal = make(map[int64]WALObjectInfo, len(infos))
 	v.db = make(map[dbKey]*DBObjectInfo)
+	v.orphans = make(map[string]OrphanPart)
+	v.orphanGen = make(map[int64]int)
 	v.nextTs = 1
 	v.dbSize = 0
 	v.mu.Unlock()
-	listed := make(map[dbKey]int64) // summed on-cloud bytes per DB object
+
+	type sizedKey struct {
+		ts   int64
+		gen  int
+		size int64
+	}
+	type dbGroup struct {
+		typ DBObjectType
+		// The unsplit (part < 0) listing, if any — its name is fully
+		// determined by the key, so there is at most one.
+		unsplitName  string
+		unsplitBytes int64
+		// The split (".p<N>") listings.
+		splitNames []string
+		splitBytes int64 // summed on-cloud bytes across split parts
+		maxPart    int
+	}
+	groups := make(map[sizedKey]*dbGroup)
+	var order []sizedKey
 	for _, info := range infos {
 		switch {
 		case strings.HasPrefix(info.Name, walPrefix):
@@ -242,19 +332,71 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 			if err != nil {
 				return err
 			}
-			parts := 0
-			if part >= 0 {
-				parts = part + 1
+			k := sizedKey{ts: ts, gen: gen, size: size}
+			g := groups[k]
+			if g == nil {
+				g = &dbGroup{typ: typ, maxPart: -1}
+				groups[k] = g
+				order = append(order, k)
 			}
-			v.AddDB(DBObjectInfo{Ts: ts, Gen: gen, Type: typ, Size: size, Parts: parts})
-			listed[dbKey{ts: ts, gen: gen}] += info.Size
+			if part < 0 {
+				g.unsplitName = info.Name
+				g.unsplitBytes = info.Size
+			} else {
+				g.splitNames = append(g.splitNames, info.Name)
+				g.splitBytes += info.Size
+				if part > g.maxPart {
+					g.maxPart = part
+				}
+			}
 		default:
 			return fmt.Errorf("core: unrecognised object %q in cloud listing", info.Name)
 		}
 	}
-	for _, d := range v.DBObjects() {
-		if listed[dbKey{ts: d.Ts, gen: d.Gen}] != d.Size {
-			v.DeleteDB(d.Ts, d.Gen)
+	for _, k := range order {
+		g := groups[k]
+		// Completeness: an unsplit object is complete when its stored
+		// bytes match its declared size; a split set is complete when its
+		// parts sum to the declared size (parts of one upload are disjoint
+		// chunks of exactly that many bytes, so any missing or truncated
+		// part falls short). Whichever form is complete enters the view;
+		// everything else in the group becomes an orphan.
+		var complete *DBObjectInfo
+		var orphanNames []string
+		switch {
+		case g.unsplitName != "" && g.unsplitBytes == k.size:
+			complete = &DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: 0}
+			orphanNames = g.splitNames
+		case g.maxPart >= 0 && g.splitBytes == k.size:
+			complete = &DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: g.maxPart + 1}
+			if g.unsplitName != "" {
+				orphanNames = []string{g.unsplitName}
+			}
+		default:
+			orphanNames = g.splitNames
+			if g.unsplitName != "" {
+				orphanNames = append(orphanNames, g.unsplitName)
+			}
+		}
+		if complete != nil {
+			if err := v.AddDB(*complete); err != nil {
+				return err
+			}
+		}
+		if len(orphanNames) > 0 {
+			v.mu.Lock()
+			for _, name := range orphanNames {
+				v.orphans[name] = OrphanPart{Name: name, Ts: k.ts, Gen: k.gen}
+			}
+			if k.gen+1 > v.orphanGen[k.ts] {
+				v.orphanGen[k.ts] = k.gen + 1
+			}
+			// The orphan's ts proves a WAL timestamp at least that high
+			// was once allocated; never re-issue it.
+			if k.ts >= v.nextTs {
+				v.nextTs = k.ts + 1
+			}
+			v.mu.Unlock()
 		}
 	}
 	return nil

@@ -33,6 +33,97 @@ func TestCloudViewLoadFromListPrunesPartialObjects(t *testing.T) {
 	if d, ok := v.LatestDump(); !ok || d.Ts != 0 {
 		t.Fatalf("LatestDump = %+v, %v; the partial dump must not be eligible", d, ok)
 	}
+	orphans := v.OrphanParts()
+	if len(orphans) != 2 {
+		t.Fatalf("OrphanParts = %+v, want the two stranded parts recorded for GC", orphans)
+	}
+	if g := v.NextDBGen(7); g != 1 {
+		t.Fatalf("NextDBGen(7) = %d, want 1: the orphaned generation must not be reused", g)
+	}
+}
+
+// A fresh upload can land at the same (ts, gen) as the orphan of an
+// interrupted one (a restart before the orphan-generation floor existed,
+// or a half-swept bucket). The two have different declared sizes; the
+// complete object must survive the load and only the orphan's parts may
+// be pruned — summing their bytes together (the old (ts, gen)-keyed
+// bookkeeping) would prune the fully durable object and lose the writes
+// whose superseded WAL was already garbage-collected.
+func TestCloudViewLoadFromListSizeCollisionKeepsCompleteObject(t *testing.T) {
+	v := NewCloudView()
+	infos := []cloud.ObjectInfo{
+		// Orphan of an interrupted 3000-byte dump at (ts=7, gen=0).
+		{Name: "DB/7_dump_3000.p0", Size: 1000},
+		{Name: "DB/7_dump_3000.p2", Size: 1000},
+		// Complete 2000-byte dump at the same (ts=7, gen=0).
+		{Name: "DB/7_dump_2000.p0", Size: 1000},
+		{Name: "DB/7_dump_2000.p1", Size: 1000},
+	}
+	if err := v.LoadFromList(infos); err != nil {
+		t.Fatal(err)
+	}
+	db := v.DBObjects()
+	if len(db) != 1 || db[0].Size != 2000 || db[0].Parts != 2 {
+		t.Fatalf("DBObjects = %+v, want only the complete 2000-byte dump", db)
+	}
+	if got := v.TotalDBSize(); got != 2000 {
+		t.Fatalf("TotalDBSize = %d, want 2000", got)
+	}
+	orphans := v.OrphanParts()
+	if len(orphans) != 2 {
+		t.Fatalf("OrphanParts = %+v, want the two 3000-byte parts", orphans)
+	}
+	for _, o := range orphans {
+		if o.Ts != 7 || o.Gen != 0 {
+			t.Fatalf("orphan %+v, want ts=7 gen=0", o)
+		}
+	}
+	if g := v.NextDBGen(7); g != 1 {
+		t.Fatalf("NextDBGen(7) = %d, want 1", g)
+	}
+}
+
+// DropOrphan forgets swept parts but keeps the generation floor.
+func TestCloudViewOrphanGenFloorSurvivesSweep(t *testing.T) {
+	v := NewCloudView()
+	if err := v.LoadFromList([]cloud.ObjectInfo{
+		{Name: "DB/7_dump_3000.p0", Size: 1000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.DBObjects()) != 0 {
+		t.Fatalf("DBObjects = %+v, want none", v.DBObjects())
+	}
+	orphans := v.OrphanParts()
+	if len(orphans) != 1 {
+		t.Fatalf("OrphanParts = %+v, want one", orphans)
+	}
+	v.DropOrphan(orphans[0].Name)
+	if left := v.OrphanParts(); len(left) != 0 {
+		t.Fatalf("OrphanParts after drop = %+v, want none", left)
+	}
+	if g := v.NextDBGen(7); g != 1 {
+		t.Fatalf("NextDBGen(7) = %d after sweep, want 1 (floor retained)", g)
+	}
+}
+
+// Two distinct complete objects claiming the same (ts, gen) — or an AddDB
+// with a different size than the recorded object — is a conflict, not a
+// merge.
+func TestCloudViewAddDBConflict(t *testing.T) {
+	v := NewCloudView()
+	if err := v.AddDB(DBObjectInfo{Ts: 3, Gen: 0, Type: Checkpoint, Size: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddDB(DBObjectInfo{Ts: 3, Gen: 0, Type: Checkpoint, Size: 400, Parts: 2}); err != nil {
+		t.Fatalf("re-adding the same object: %v", err)
+	}
+	if err := v.AddDB(DBObjectInfo{Ts: 3, Gen: 0, Type: Checkpoint, Size: 500}); err == nil {
+		t.Fatal("AddDB with a different size under an existing (ts, gen) must be a conflict")
+	}
+	if err := v.AddDB(DBObjectInfo{Ts: 3, Gen: 0, Type: Dump, Size: 400}); err == nil {
+		t.Fatal("AddDB with a different type under an existing (ts, gen) must be a conflict")
+	}
 }
 
 func TestCloudViewLoadFromListKeepsCompleteMultiPart(t *testing.T) {

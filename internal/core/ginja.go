@@ -188,7 +188,9 @@ func (g *Ginja) Boot(ctx context.Context) error {
 	if nParts == 1 {
 		nParts = 0
 	}
-	g.view.AddDB(DBObjectInfo{Ts: 0, Gen: 0, Type: Dump, Size: size, Parts: nParts})
+	if err := g.view.AddDB(DBObjectInfo{Ts: 0, Gen: 0, Type: Dump, Size: size, Parts: nParts}); err != nil {
+		return err
+	}
 	g.params.logger().Info("ginja boot complete",
 		"wal_objects", len(g.view.WALObjects()), "dump_bytes", size)
 	g.start()

@@ -143,6 +143,32 @@ func prefetchInOrder(ctx context.Context, workers int, names []string,
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel() // runs before wg.Wait: workers parked on the window wake up
 
+	// The first fetch error cancels gctx so in-flight and queued fetches
+	// stop at once instead of riding out retries on a doomed restore. The
+	// applier may then observe a cancellation-flavoured result for an
+	// earlier index before reaching the failed one, so the triggering
+	// error is kept aside and preferred on every error path.
+	var (
+		failMu  sync.Mutex
+		failErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+	firstErr := func(fallback error) error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if failErr != nil {
+			return failErr
+		}
+		return fallback
+	}
+
 	results := make([]chan result, n)
 	for i := range results {
 		results[i] = make(chan result, 1)
@@ -166,6 +192,7 @@ func prefetchInOrder(ctx context.Context, workers int, names []string,
 				data, err := fetch(gctx, names[i])
 				results[i] <- result{data: data, err: err}
 				if err != nil {
+					fail(err)
 					return
 				}
 			}
@@ -176,10 +203,10 @@ func prefetchInOrder(ctx context.Context, workers int, names []string,
 		select {
 		case r = <-results[i]:
 		case <-gctx.Done():
-			return gctx.Err()
+			return firstErr(gctx.Err())
 		}
 		if r.err != nil {
-			return r.err
+			return firstErr(r.err)
 		}
 		if err := apply(i, r.data); err != nil {
 			return err

@@ -176,6 +176,53 @@ func TestPrefetchInOrderFetchError(t *testing.T) {
 	}
 }
 
+// A single failed fetch must cancel the whole prefetch: sibling fetches
+// already in flight (possibly deep in retry/backoff) observe the
+// cancellation instead of riding out their work on a doomed restore —
+// and the error surfaced is the fetch failure, not a cancellation
+// artefact from an earlier index.
+func TestPrefetchInOrderFetchErrorCancelsInFlight(t *testing.T) {
+	boom := errors.New("fetch failed")
+	names := make([]string, 16)
+	var (
+		first     atomic.Bool
+		cancelled atomic.Int64
+	)
+	inflight := make(chan struct{}, len(names))
+	err := prefetchInOrder(context.Background(), 4, names,
+		func(ctx context.Context, _ string) ([]byte, error) {
+			if first.CompareAndSwap(false, true) {
+				// Fail only once sibling fetches are in flight, so the
+				// test really exercises cancelling them.
+				for i := 0; i < 2; i++ {
+					select {
+					case <-inflight:
+					case <-time.After(2 * time.Second):
+						t.Error("sibling fetches never started")
+						return nil, boom
+					}
+				}
+				return nil, boom
+			}
+			inflight <- struct{}{}
+			select {
+			case <-ctx.Done():
+				cancelled.Add(1)
+				return nil, ctx.Err()
+			case <-time.After(2 * time.Second):
+				t.Error("in-flight fetch not cancelled after sibling failure")
+				return nil, nil
+			}
+		},
+		func(int, []byte) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fetch error", err)
+	}
+	if cancelled.Load() < 2 {
+		t.Fatalf("only %d in-flight fetches observed cancellation", cancelled.Load())
+	}
+}
+
 func TestPrefetchInOrderApplyErrorStopsEverything(t *testing.T) {
 	boom := errors.New("apply failed")
 	names := make([]string, 32)

@@ -14,6 +14,7 @@ import (
 	"github.com/ginja-dr/ginja/internal/dbevent"
 	"github.com/ginja-dr/ginja/internal/minidb"
 	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
 // partOutageStore lets a test cut the provider off mid multi-part DB
@@ -126,6 +127,120 @@ func TestConcurrentPartUploadOutageMidDump(t *testing.T) {
 		}
 		if want := fmt.Sprintf("balance-%d", i*100); string(v) != want {
 			t.Fatalf("recovered %s = %q, want %q", key, v, want)
+		}
+	}
+}
+
+// TestOrphanPartsSweptByNextDumpGC takes the aftermath of an outage mid
+// part upload — orphan parts stranded in the bucket — through disaster
+// recovery and verifies the next dump's garbage collection deletes them:
+// LoadFromList records the orphans (without surfacing them to recovery)
+// and collectOldDBObjects sweeps them, so crash-window garbage does not
+// leak forever and the orphaned (ts, gen) slot is never handed out again
+// while its parts are still in the bucket.
+func TestOrphanPartsSweptByNextDumpGC(t *testing.T) {
+	store := &partOutageStore{ObjectStore: cloud.NewMemStore()}
+	params := fastParams()
+	params.MaxObjectSize = 2048
+	params.DumpThreshold = 1.0 // every checkpoint becomes a dump
+	params.CheckpointUploaders = 4
+	params.UploadRetries = 2
+
+	r := newRig(t, store, params,
+		func() minidb.Engine { return pgengine.NewWithSizes(1024, 16*1024, 1024) },
+		func() dbevent.Processor { return dbevent.NewPGProcessor() })
+	if err := r.db.CreateTable("accounts", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.put(t, "accounts", fmt.Sprintf("acct-%03d", i), fmt.Sprintf("balance-%d", i*100))
+	}
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush timed out")
+	}
+	store.allowed.Store(1)
+	store.armed.Store(true)
+	if err := r.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.g.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpointer never reported the failed part upload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	store.armed.Store(false)
+
+	// Recover on a fresh machine, keeping the Ginja handle: its view must
+	// have recorded the stranded parts as orphans.
+	freshFS := vfs.NewMemFS()
+	g2, err := core.New(freshFS, store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Recover(context.Background()); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	t.Cleanup(func() { g2.Close() })
+	orphans := g2.View().OrphanParts()
+	if len(orphans) == 0 {
+		t.Fatal("recovery recorded no orphans; test exercised nothing")
+	}
+	db2, err := minidb.Open(g2.FS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive checkpoints until the accumulated cloud DB size crosses the
+	// dump threshold: that dump's GC must sweep the recorded orphans.
+	// Each round dirties every row so the incremental checkpoints carry
+	// real volume.
+	deadline = time.Now().Add(10 * time.Second)
+	for round := 0; ; round++ {
+		for i := 0; i < 50; i++ {
+			if err := db2.Update(func(tx *minidb.Txn) error {
+				return tx.Put("accounts", []byte(fmt.Sprintf("acct-%03d", i)),
+					[]byte(fmt.Sprintf("balance-%d-%d", i*100, round)))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db2.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		swept := false
+		for !swept && !time.Now().After(deadline) {
+			if err := g2.Err(); err != nil {
+				t.Fatalf("replication failed after recovery: %v", err)
+			}
+			if g2.Stats().Dumps == 0 {
+				break // no dump yet: grow the cloud DB size another round
+			}
+			infos, err := store.List(context.Background(), "DB/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			present := make(map[string]bool, len(infos))
+			for _, info := range infos {
+				present[info.Name] = true
+			}
+			left := 0
+			for _, o := range orphans {
+				if present[o.Name] {
+					left++
+				}
+			}
+			swept = left == 0 && len(g2.View().OrphanParts()) == 0
+			if !swept {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		if swept {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphan parts still in the bucket after %d rounds (dumps=%d, view records %d orphans)",
+				round+1, g2.Stats().Dumps, len(g2.View().OrphanParts()))
 		}
 	}
 }

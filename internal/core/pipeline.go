@@ -66,7 +66,7 @@ type pipeline struct {
 	metrics     *pipelineMetrics
 	putInflight *inflight
 	batchSeq    atomic.Int64
-	trace    bool // emit per-batch/per-object spans via params.Logger
+	trace       bool // emit per-batch/per-object spans via params.Logger
 
 	errMu sync.Mutex
 	err   error
@@ -75,20 +75,20 @@ type pipeline struct {
 func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, params Params) *pipeline {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &pipeline{
-		q:        newCommitQueue(params),
-		clk:      params.clock(),
-		view:     view,
-		store:    store,
-		seal:     seal,
-		params:   params,
-		metrics:  newPipelineMetrics(params.Metrics),
+		q:           newCommitQueue(params),
+		clk:         params.clock(),
+		view:        view,
+		store:       store,
+		seal:        seal,
+		params:      params,
+		metrics:     newPipelineMetrics(params.Metrics),
 		putInflight: newInflight(params.Metrics, "put", "wal"),
-		trace:    params.Logger != nil && params.Logger.Enabled(context.Background(), slog.LevelDebug),
-		uploadCh: make(chan walUpload, params.Uploaders),
-		ackCh:    make(chan int64, params.Uploaders),
-		batchCh:  make(chan batchRec, 64),
-		ctx:      ctx,
-		cancel:   cancel,
+		trace:       params.Logger != nil && params.Logger.Enabled(context.Background(), slog.LevelDebug),
+		uploadCh:    make(chan walUpload, params.Uploaders),
+		ackCh:       make(chan int64, params.Uploaders),
+		batchCh:     make(chan batchRec, 64),
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 }
 
