@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke (Go -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke
+.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ fuzz-smoke:
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race fuzz-smoke bench-json-smoke
+verify: build vet test race fuzz-smoke bench-json-smoke bench-commit-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -44,3 +44,13 @@ bench-json:
 
 bench-json-smoke:
 	$(GO) run ./cmd/ginja-benchjson -smoke
+
+# bench-commit measures the commit path before/after WAL batch packing —
+# throughput, batch-latency quantiles, PUTs-per-batch, allocs-per-commit
+# and the costmodel $/day projection — and records BENCH_commitpath.json.
+# Deterministic: latencies are virtual time on the simulated 40 ms WAN.
+bench-commit:
+	$(GO) run ./cmd/ginja-benchjson -path commit -out BENCH_commitpath.json
+
+bench-commit-smoke:
+	$(GO) run ./cmd/ginja-benchjson -path commit -smoke

@@ -1,16 +1,21 @@
-// Command ginja-benchjson benchmarks the cloud data path — multi-part
-// dump upload, disaster-recovery prefetch, sealer allocation profile —
-// on the deterministic simulated WAN and writes the result as JSON.
+// Command ginja-benchjson benchmarks one of Ginja's cloud paths on the
+// deterministic simulated WAN and writes the result as JSON:
+//
+//   - -path datapath (default): multi-part dump upload, disaster-recovery
+//     prefetch and the sealer allocation profile → BENCH_datapath.json
+//   - -path commit: WAL batch packing — commit throughput, batch-latency
+//     quantiles, PUTs-per-batch, allocs-per-commit and the costmodel
+//     $/day projection, packed vs unpacked → BENCH_commitpath.json
 //
 // Usage:
 //
-//	ginja-benchjson [-out BENCH_datapath.json] [-parallel 5] [-smoke]
+//	ginja-benchjson [-path datapath|commit] [-out FILE] [-parallel 5] [-smoke]
 //
 // All latencies are virtual time on the simulated clock, so the numbers
-// are exact and machine-independent: the serial-vs-parallel speedup is
-// purely the latency hiding won by the bounded-concurrency I/O pool.
-// -smoke runs a smaller scenario and prints to stdout without writing a
-// file (used by `make verify` as a cheap end-to-end check).
+// are exact and machine-independent; only the allocation profiles run on
+// the real clock (they count allocations, not time). -smoke runs a
+// smaller scenario and prints to stdout without writing a file (used by
+// `make verify` as a cheap end-to-end check).
 package main
 
 import (
@@ -31,21 +36,61 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ginja-benchjson", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_datapath.json", "output file")
-	parallel := fs.Int("parallel", 5, "parallelism of the parallel run (serial run is always 1)")
+	path := fs.String("path", "datapath", "which path to benchmark: datapath or commit")
+	out := fs.String("out", "", "output file (default BENCH_<path>.json)")
+	parallel := fs.Int("parallel", 5, "datapath only: parallelism of the parallel run (serial run is always 1)")
 	smoke := fs.Bool("smoke", false, "small scenario, print to stdout, write no file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := experiments.DatapathOptions{Parallel: *parallel}
-	if *smoke {
-		opts.Rows = 60
-		opts.MaxObjectSize = 8 << 10
-	}
-	res, err := experiments.RunDatapath(opts)
-	if err != nil {
-		return err
+	var (
+		res        any
+		defaultOut string
+		err        error
+	)
+	switch *path {
+	case "datapath":
+		defaultOut = "BENCH_datapath.json"
+		opts := experiments.DatapathOptions{Parallel: *parallel}
+		if *smoke {
+			opts.Rows = 60
+			opts.MaxObjectSize = 8 << 10
+		}
+		var r *experiments.DatapathResult
+		if r, err = experiments.RunDatapath(opts); err != nil {
+			return err
+		}
+		fmt.Printf("dump upload: %8.1f ms serial -> %8.1f ms at parallelism %d (%.2fx, %d parts)\n",
+			r.Serial.DumpUploadMs, r.Parallel.DumpUploadMs, r.Parallel.Parallelism,
+			r.DumpSpeedup, r.Parallel.DumpParts)
+		fmt.Printf("recovery:    %8.1f ms serial -> %8.1f ms at parallelism %d (%.2fx, %d objects)\n",
+			r.Serial.RecoveryMs, r.Parallel.RecoveryMs, r.Parallel.Parallelism,
+			r.RecoverySpeedup, r.Parallel.RecoveryObjects)
+		fmt.Printf("sealer:      %.1f allocs/op seal, %.1f allocs/op open (compressed path)\n",
+			r.SealAllocsPerOp, r.OpenAllocsPerOp)
+		res = r
+	case "commit":
+		defaultOut = "BENCH_commitpath.json"
+		opts := experiments.CommitpathOptions{}
+		if *smoke {
+			opts.Commits = 150
+		}
+		var r *experiments.CommitpathResult
+		if r, err = experiments.RunCommitpath(opts); err != nil {
+			return err
+		}
+		fmt.Printf("commit path: %7.0f commits/s unpacked -> %7.0f commits/s packed (%.2fx)\n",
+			r.Unpacked.CommitsPerSec, r.Packed.CommitsPerSec, r.ThroughputSpeedup)
+		fmt.Printf("PUTs/batch:  %7.1f unpacked -> %7.1f packed (%.1fx fewer PUTs)\n",
+			r.Unpacked.PutsPerBatch, r.Packed.PutsPerBatch, r.PutReduction)
+		fmt.Printf("batch p50/p99: %.0f/%.0f ms unpacked -> %.0f/%.0f ms packed\n",
+			r.Unpacked.P50BatchMs, r.Unpacked.P99BatchMs, r.Packed.P50BatchMs, r.Packed.P99BatchMs)
+		fmt.Printf("cost model:  $%.3f/day unpacked -> $%.3f/day packed; %.2f allocs/commit\n",
+			r.Unpacked.DollarsPerDay, r.Packed.DollarsPerDay, r.AllocsPerCommit)
+		res = r
+	default:
+		return fmt.Errorf("unknown -path %q (want datapath or commit)", *path)
 	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -54,22 +99,17 @@ func run(args []string) error {
 	}
 	data = append(data, '\n')
 
-	fmt.Printf("dump upload: %8.1f ms serial -> %8.1f ms at parallelism %d (%.2fx, %d parts)\n",
-		res.Serial.DumpUploadMs, res.Parallel.DumpUploadMs, res.Parallel.Parallelism,
-		res.DumpSpeedup, res.Parallel.DumpParts)
-	fmt.Printf("recovery:    %8.1f ms serial -> %8.1f ms at parallelism %d (%.2fx, %d objects)\n",
-		res.Serial.RecoveryMs, res.Parallel.RecoveryMs, res.Parallel.Parallelism,
-		res.RecoverySpeedup, res.Parallel.RecoveryObjects)
-	fmt.Printf("sealer:      %.1f allocs/op seal, %.1f allocs/op open (compressed path)\n",
-		res.SealAllocsPerOp, res.OpenAllocsPerOp)
-
 	if *smoke {
 		os.Stdout.Write(data)
 		return nil
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	file := *out
+	if file == "" {
+		file = defaultOut
+	}
+	if err := os.WriteFile(file, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Println("wrote", *out)
+	fmt.Println("wrote", file)
 	return nil
 }

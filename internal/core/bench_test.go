@@ -95,6 +95,61 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitPath measures the steady-state submit→upload hot path
+// with small scattered commits — the workload the zero-allocation work
+// targets. allocs/op is the acceptance number: the packed path must stay
+// ≤ 2 allocs per commit (pooled submit copies, reused batch/plan scratch,
+// pooled per-object write lists; what remains is the amortized per-object
+// seal + store cost). The unpacked variant is the ablation baseline.
+func BenchmarkCommitPath(b *testing.B) {
+	for _, bc := range []struct {
+		name           string
+		disablePacking bool
+	}{
+		{"packed", false},
+		{"unpacked", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			p := DefaultParams()
+			p.Batch = 50
+			p.Safety = 1000
+			p.BatchTimeout = 5 * time.Millisecond
+			p.DisablePacking = bc.disablePacking
+			params, err := p.Validate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := newPipeline(NewCloudView(), cloud.NewMemStore(), sealer.NewPlain(), params)
+			pipe.start(0)
+			defer pipe.drainAndStop(10 * time.Second)
+			payload := make([]byte, 256)
+			submit := func(i int) {
+				if _, err := pipe.submit("pg_xlog/0001", int64(i%4096)*8192, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm the pools and grow the reusable scratch to steady state
+			// before measuring.
+			for i := 0; i < 500; i++ {
+				submit(i)
+			}
+			if !pipe.q.drain(10 * time.Second) {
+				b.Fatal("warm-up drain")
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submit(i)
+			}
+			b.StopTimer()
+			if !pipe.q.drain(30 * time.Second) {
+				b.Fatal("drain")
+			}
+		})
+	}
+}
+
 func BenchmarkCloudViewNextTs(b *testing.B) {
 	v := NewCloudView()
 	b.RunParallel(func(pb *testing.PB) {

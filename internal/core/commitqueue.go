@@ -17,7 +17,17 @@ type update struct {
 	off  int64
 	data []byte
 	at   time.Time
+	// pooled, when non-nil, is the recyclable buffer backing data; the
+	// queue returns it to walBufPool once the update is released (its
+	// object durable), making the steady-state submit copy allocation-free.
+	pooled *[]byte
 }
+
+// walBufPool recycles the per-update payload copies made in
+// pipeline.submit. A buffer is only returned to the pool by removeFront,
+// i.e. after the update's WAL object is durable in the cloud — by then no
+// aggregated write, encode buffer or sealed object aliases it.
+var walBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // commitQueue is the paper's CommitQueue (§6): capacity-S holding area for
 // pending WAL writes. Put blocks while more than S updates are
@@ -29,6 +39,12 @@ type update struct {
 // All timers and timestamps come from the configured Clock, so the TB/TS
 // machinery runs identically under the wall clock and under a virtual
 // simulation clock.
+//
+// Storage is a single slice with a head index: removeFront advances head
+// instead of reslicing, so once every pending update is released the
+// backing array is reused from position 0. Under steady load the queue
+// therefore stops allocating entirely (reslicing items[n:] would leak
+// front capacity and force a fresh backing array every few batches).
 type commitQueue struct {
 	clk simclock.Clock
 
@@ -38,7 +54,8 @@ type commitQueue struct {
 	emptied *sync.Cond // drain waiters (queue fully acknowledged)
 
 	items []update
-	taken int // items[:taken] already handed to the Aggregator
+	head  int // items[head:] are pending (unacknowledged)
+	taken int // items[:taken] already handed to the Aggregator (taken ≥ head)
 
 	batch         int
 	safety        int
@@ -77,6 +94,9 @@ func newCommitQueue(p Params) *commitQueue {
 	return q
 }
 
+// liveLocked returns the number of unacknowledged updates. Callers hold mu.
+func (q *commitQueue) liveLocked() int { return len(q.items) - q.head }
+
 // onTB fires the Batch timeout: if updates are pending and unsent, let the
 // Aggregator take a partial batch (TaskTB, Algorithm 2 lines 23-25).
 func (q *commitQueue) onTB() {
@@ -102,7 +122,7 @@ func (q *commitQueue) onTS() {
 	if q.closed {
 		return
 	}
-	if len(q.items) > 0 && q.clk.Since(q.items[0].at) >= q.safetyTimeout {
+	if q.liveLocked() > 0 && q.clk.Since(q.items[q.head].at) >= q.safetyTimeout {
 		q.tsExpired = true
 		q.notFull.Broadcast() // waiters re-check and keep blocking
 		// Stay expired without re-arming: only removeFront clears the
@@ -113,11 +133,11 @@ func (q *commitQueue) onTS() {
 }
 
 func (q *commitQueue) rearmTSLocked() {
-	if len(q.items) == 0 {
+	if q.liveLocked() == 0 {
 		q.tsTimer.Stop()
 		return
 	}
-	d := q.clk.Until(q.items[0].at.Add(q.safetyTimeout))
+	d := q.clk.Until(q.items[q.head].at.Add(q.safetyTimeout))
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
@@ -137,12 +157,12 @@ func (q *commitQueue) put(u update) (time.Duration, error) {
 	if len(q.items)-q.taken == 1 {
 		q.tbTimer.Reset(q.batchTimeout)
 	}
-	if len(q.items) == 1 {
+	if q.liveLocked() == 1 {
 		q.rearmTSLocked()
 	}
 	q.more.Broadcast()
 	var blocked time.Duration
-	for !q.closed && (len(q.items) > q.safety || q.tsExpired) {
+	for !q.closed && (q.liveLocked() > q.safety || q.tsExpired) {
 		start := q.clk.Now()
 		q.notFull.Wait()
 		blocked += q.clk.Since(start)
@@ -155,10 +175,11 @@ func (q *commitQueue) put(u update) (time.Duration, error) {
 }
 
 // nextBatch blocks until B unsent updates exist (or TB expired with at
-// least one pending, or the queue is closing) and hands them out without
-// removing them. It returns ok=false when the queue is closed and fully
-// drained of unsent items.
-func (q *commitQueue) nextBatch() ([]update, bool) {
+// least one pending, or the queue is closing) and copies them into buf
+// (usually the caller's reused batch slice) without removing them. It
+// returns ok=false when the queue is closed and fully drained of unsent
+// items.
+func (q *commitQueue) nextBatch(buf []update) ([]update, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
@@ -168,8 +189,7 @@ func (q *commitQueue) nextBatch() ([]update, bool) {
 			if n > q.batch {
 				n = q.batch
 			}
-			out := make([]update, n)
-			copy(out, q.items[q.taken:q.taken+n])
+			out := append(buf[:0], q.items[q.taken:q.taken+n]...)
 			q.taken += n
 			q.tbExpired = false
 			if !q.closed {
@@ -189,25 +209,47 @@ func (q *commitQueue) nextBatch() ([]update, bool) {
 }
 
 // removeFront releases the oldest n updates after the Unlocker has
-// confirmed their durability, unblocking DBMS writers and resetting the
-// Safety timeout (Algorithm 2 lines 20-22).
+// confirmed their durability, unblocking DBMS writers, recycling their
+// pooled payload buffers and resetting the Safety timeout (Algorithm 2
+// lines 20-22).
 func (q *commitQueue) removeFront(n int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if n > len(q.items) {
-		n = len(q.items)
+	if n > q.liveLocked() {
+		n = q.liveLocked()
 	}
-	q.items = q.items[n:]
-	q.taken -= n
-	if q.taken < 0 {
-		q.taken = 0
+	for i := q.head; i < q.head+n; i++ {
+		if bp := q.items[i].pooled; bp != nil {
+			walBufPool.Put(bp)
+		}
+		q.items[i] = update{} // drop references for GC / pool safety
+	}
+	q.head += n
+	if q.taken < q.head {
+		q.taken = q.head
+	}
+	switch {
+	case q.head == len(q.items):
+		// Fully drained: rewind so the backing array is reused from 0.
+		q.items = q.items[:0]
+		q.taken, q.head = 0, 0
+	case q.head >= 256 && q.head*2 >= cap(q.items):
+		// Long-lived backlog: compact so the array stays bounded by ~2×
+		// the live set instead of growing with total throughput.
+		m := copy(q.items, q.items[q.head:])
+		for i := m; i < len(q.items); i++ {
+			q.items[i] = update{}
+		}
+		q.items = q.items[:m]
+		q.taken -= q.head
+		q.head = 0
 	}
 	q.tsExpired = false
 	if !q.closed {
 		q.rearmTSLocked()
 	}
 	q.notFull.Broadcast()
-	if len(q.items) == 0 {
+	if q.liveLocked() == 0 {
 		q.emptied.Broadcast()
 	}
 }
@@ -216,7 +258,7 @@ func (q *commitQueue) removeFront(n int) {
 func (q *commitQueue) size() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.liveLocked()
 }
 
 // blockedDuration returns the cumulative time Put callers spent blocked.
@@ -234,7 +276,7 @@ func (q *commitQueue) blockedDuration() time.Duration {
 func (q *commitQueue) drain(timeout time.Duration) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.liveLocked() == 0 {
 		return true
 	}
 	timedOut := false
@@ -245,10 +287,10 @@ func (q *commitQueue) drain(timeout time.Duration) bool {
 		q.mu.Unlock()
 	})
 	defer t.Stop()
-	for len(q.items) > 0 && !timedOut && !q.closed {
+	for q.liveLocked() > 0 && !timedOut && !q.closed {
 		q.emptied.Wait()
 	}
-	return len(q.items) == 0
+	return q.liveLocked() == 0
 }
 
 // close wakes every waiter with ErrQueueClosed and stops the timers. The

@@ -38,6 +38,13 @@ type Stats struct {
 	WALBytesRaw int64
 	// UploadRetries counts transient cloud failures absorbed.
 	UploadRetries int64
+	// PackedWALObjects counts uploaded WAL objects carrying more than one
+	// write (batch packing); WALObjectsUploaded − PackedWALObjects are
+	// single-write objects.
+	PackedWALObjects int64
+	// SplitWALWrites counts writes larger than MaxObjectSize that had to
+	// be split across objects.
+	SplitWALWrites int64
 	// Checkpoints / Dumps are uploaded DB objects by type.
 	Checkpoints int64
 	Dumps       int64
@@ -414,6 +421,9 @@ func (g *Ginja) applyDBObject(ctx context.Context, target vfs.FS, d DBObjectInfo
 // (used by Boot; steady-state uploads retry inside the pipeline).
 func (g *Ginja) putWithRetry(ctx context.Context, name string, data []byte) error {
 	delay := g.params.RetryBaseDelay
+	if delay < minRetryDelay {
+		delay = minRetryDelay
+	}
 	for attempt := 0; ; attempt++ {
 		err := g.store.Put(ctx, name, data)
 		if err == nil || ctx.Err() != nil {
@@ -434,6 +444,9 @@ func (g *Ginja) putWithRetry(ctx context.Context, name string, data []byte) erro
 // listWithRetry lists the store, absorbing transient cloud failures.
 func (g *Ginja) listWithRetry(ctx context.Context) ([]cloud.ObjectInfo, error) {
 	delay := g.params.RetryBaseDelay
+	if delay < minRetryDelay {
+		delay = minRetryDelay
+	}
 	for attempt := 0; ; attempt++ {
 		infos, err := g.store.List(ctx, "")
 		if err == nil || ctx.Err() != nil {
@@ -456,6 +469,9 @@ func (g *Ginja) listWithRetry(ctx context.Context) ([]cloud.ObjectInfo, error) {
 // returned immediately.
 func (g *Ginja) getWithRetry(ctx context.Context, name string) ([]byte, error) {
 	delay := g.params.RetryBaseDelay
+	if delay < minRetryDelay {
+		delay = minRetryDelay
+	}
 	for attempt := 0; ; attempt++ {
 		data, err := g.store.Get(ctx, name)
 		if err == nil || errors.Is(err, cloud.ErrNotFound) || ctx.Err() != nil {
@@ -584,6 +600,8 @@ func (g *Ginja) Stats() Stats {
 		s.WALBytesUploaded = g.pipe.stats.walBytes.Load()
 		s.WALBytesRaw = g.pipe.stats.rawBytes.Load()
 		s.UploadRetries = g.pipe.stats.retries.Load()
+		s.PackedWALObjects = g.pipe.stats.packedObjects.Load()
+		s.SplitWALWrites = g.pipe.stats.splitWrites.Load()
 		s.BlockedTime = g.pipe.q.blockedDuration()
 	}
 	if g.ckpt != nil {

@@ -33,7 +33,9 @@ const (
 
 // WALObjectName formats WAL/<ts>_<filename>_<offset> (§5.2). ts establishes
 // the total order, filename is the local WAL segment the content belongs
-// to, offset is its position in that segment.
+// to, offset is its position in that segment. For packed multi-write
+// objects (PackWrites) the name describes only the first write in the
+// body; recovery always applies the full decoded write list.
 func WALObjectName(ts int64, filename string, offset int64) string {
 	return fmt.Sprintf("%s%d_%s_%d", walPrefix, ts, filename, offset)
 }
@@ -298,6 +300,65 @@ func MergeWrites(writes []FileWrite) []FileWrite {
 		}
 	}
 	return append(out, whole...)
+}
+
+// PackWrites plans the minimum number of WAL objects for a batch: writes
+// are greedily packed, in order, into multi-write objects of up to maxSize
+// payload bytes each, and writes larger than maxSize are split into
+// maxSize pieces first (the 20 MB object-size cap, §5.2 footnote). The
+// wire format has always carried a write *list* per object; packing is
+// what turns a batch of B scattered small commits into one seal + one PUT
+// instead of one per write-run — the request-count lever the paper's cost
+// model (§7.1) divides by B.
+//
+// Name-vs-body contract: a packed object is named after its FIRST write
+// (WAL/<ts>_<filename>_<offset>), but its body is authoritative — recovery
+// decodes and applies every write in the list, so the name is only an
+// ordering key plus a human-readable hint. maxSize ≤ 0 packs everything
+// into a single object.
+func PackWrites(writes []FileWrite, maxSize int64) [][]FileWrite {
+	return AppendPackWrites(nil, writes, maxSize)
+}
+
+// AppendPackWrites is PackWrites appending into dst (usually plan[:0]),
+// reusing both the outer slice and the per-object inner slices so a
+// steady-state aggregator plans each batch without allocating. The caller
+// must consume or copy the plan before the next call with the same dst.
+func AppendPackWrites(dst [][]FileWrite, writes []FileWrite, maxSize int64) [][]FileWrite {
+	plan := dst[:0]
+	var curBytes int64
+	add := func(w FileWrite) {
+		n := int64(len(w.Data))
+		if len(plan) == 0 || (maxSize > 0 && curBytes > 0 && curBytes+n > maxSize) {
+			if k := len(plan); k < cap(plan) {
+				plan = plan[:k+1]
+				plan[k] = plan[k][:0]
+			} else {
+				plan = append(plan, nil)
+			}
+			curBytes = 0
+		}
+		i := len(plan) - 1
+		plan[i] = append(plan[i], w)
+		curBytes += n
+	}
+	for _, w := range writes {
+		if maxSize <= 0 || int64(len(w.Data)) <= maxSize || w.Whole {
+			add(w)
+			continue
+		}
+		// Oversized write: split into maxSize pieces. The pieces stream
+		// through add like ordinary writes, so the final partial piece can
+		// still share its object with subsequent small writes.
+		for start := int64(0); start < int64(len(w.Data)); start += maxSize {
+			end := start + maxSize
+			if end > int64(len(w.Data)) {
+				end = int64(len(w.Data))
+			}
+			add(FileWrite{Path: w.Path, Offset: w.Offset + start, Data: w.Data[start:end]})
+		}
+	}
+	return plan
 }
 
 // SplitWrite chops a single write into pieces of at most maxSize bytes

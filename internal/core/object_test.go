@@ -380,6 +380,17 @@ func FuzzDecodeWrites(f *testing.F) {
 		{Path: "", Offset: -1, Data: nil},
 		{Path: "pg_xlog/0", Offset: 1 << 40, Data: bytes.Repeat([]byte{7}, 32), Whole: true},
 	}))
+	// A packed multi-write body as the Aggregator now produces them: one
+	// object carrying a whole batch of small scattered writes (the seed
+	// steers the fuzzer toward long write lists).
+	packed := PackWrites([]FileWrite{
+		{Path: "pg_xlog/0001", Offset: 0, Data: []byte("commit-a")},
+		{Path: "pg_xlog/0002", Offset: 8192, Data: []byte("commit-b")},
+		{Path: "base/16384/2608", Offset: 0, Data: bytes.Repeat([]byte{3}, 24)},
+		{Path: "pg_xlog/0001", Offset: 512, Data: []byte("c")},
+		{Path: "pg_xlog/0003", Offset: 1 << 33, Data: []byte("tail"), Whole: false},
+	}, 1<<20)
+	f.Add(EncodeWrites(packed[0]))
 	// Forged count: header claims 4 billion entries in a 12-byte buffer.
 	forged := append([]byte("GJWL"), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
 	f.Add(forged)

@@ -22,6 +22,8 @@ const (
 	metricObjectBytes    = "ginja_wal_object_bytes"
 	metricQueueDepth     = "ginja_commit_queue_depth"
 	metricUploadChDepth  = "ginja_upload_channel_depth"
+	metricWritesPerObj   = "ginja_wal_writes_per_object"
+	metricPutsPerBatch   = "ginja_wal_puts_per_batch"
 
 	metricCheckpoints  = "ginja_checkpoints_total"
 	metricDBObjects    = "ginja_db_objects_uploaded_total"
@@ -85,6 +87,19 @@ type pipelineMetrics struct {
 	durableWait *obs.Histogram // aggregator handoff → unlocker release, per batch
 	batchTotal  *obs.Histogram // oldest submit → unlocker release, per batch
 	objectBytes *obs.Histogram // sealed WAL object sizes
+
+	writesPerObject *obs.Histogram // writes packed into each WAL object
+	putsPerBatch    *obs.Histogram // WAL objects (PUTs) minted per batch
+}
+
+// countBuckets returns power-of-two boundaries suited to small counts
+// (writes per object, PUTs per batch): 1, 2, 4, … 1024.
+func countBuckets() []float64 {
+	b := make([]float64, 0, 11)
+	for v := float64(1); v <= 1024; v *= 2 {
+		b = append(b, v)
+	}
+	return b
 }
 
 func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
@@ -114,6 +129,10 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 			"End-to-end commit batch latency: oldest submit to durable release.", nil, nil),
 		objectBytes: reg.Histogram(metricObjectBytes,
 			"Sealed WAL object sizes in bytes (paper Table 3 object size).", nil, obs.SizeBuckets()),
+		writesPerObject: reg.Histogram(metricWritesPerObj,
+			"WAL writes packed into each uploaded object (1 = unpacked).", nil, countBuckets()),
+		putsPerBatch: reg.Histogram(metricPutsPerBatch,
+			"WAL objects (cloud PUTs) minted per Aggregator batch.", nil, countBuckets()),
 	}
 }
 

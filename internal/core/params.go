@@ -75,8 +75,16 @@ type Params struct {
 	// DisableAggregation turns off the coalescing of page rewrites before
 	// upload (one object per intercepted write). Exists only for the
 	// ablation benchmarks quantifying how much aggregation saves; never
-	// enable it in production.
+	// enable it in production. It implies DisablePacking, preserving its
+	// one-object-per-write contract.
 	DisableAggregation bool
+	// DisablePacking turns off WAL batch packing: instead of filling
+	// multi-write objects up to MaxObjectSize (one PUT per batch in the
+	// common case), each merged write-run becomes its own WAL object — the
+	// pre-packing behaviour. Exists only for the ablation benchmarks
+	// (BENCH_commitpath.json) quantifying what packing saves; never enable
+	// it in production.
+	DisablePacking bool
 	// Logger receives structured operational events (uploads, garbage
 	// collection, recovery progress, retries) including the per-batch
 	// trace spans that follow a commit from FS interception to cloud ack.

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"log/slog"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,12 +18,19 @@ import (
 
 // walUpload is one WAL object headed for the cloud. batch identifies the
 // Aggregator batch that produced it, so a trace can follow a commit from
-// FS interception to cloud ack.
+// FS interception to cloud ack. writes is the packed write list forming
+// the object body, leased from walWritesPool; the uploader returns it to
+// the pool once the body is encoded.
 type walUpload struct {
-	ts    int64
-	batch int64
-	write FileWrite
+	ts     int64
+	batch  int64
+	writes *[]FileWrite
 }
+
+// walWritesPool recycles the per-object write lists the Aggregator hands
+// to the Uploader pool, so planning a batch into packed objects allocates
+// nothing in steady state.
+var walWritesPool = sync.Pool{New: func() any { return new([]FileWrite) }}
 
 // batchRec tracks one Aggregator batch so the Unlocker can release its
 // updates from the CommitQueue once all its objects are durable, and so
@@ -36,12 +46,14 @@ type batchRec struct {
 
 // pipelineStats are the commit-path counters behind Table 3.
 type pipelineStats struct {
-	walObjects atomic.Int64
-	walBytes   atomic.Int64 // sealed (uploaded) bytes
-	rawBytes   atomic.Int64 // pre-seal payload bytes
-	batches    atomic.Int64
-	updates    atomic.Int64
-	retries    atomic.Int64
+	walObjects    atomic.Int64
+	walBytes      atomic.Int64 // sealed (uploaded) bytes
+	rawBytes      atomic.Int64 // pre-seal payload bytes
+	batches       atomic.Int64
+	updates       atomic.Int64
+	retries       atomic.Int64
+	packedObjects atomic.Int64 // WAL objects carrying more than one write
+	splitWrites   atomic.Int64 // writes split across objects (> MaxObjectSize)
 }
 
 // pipeline wires the CommitQueue to the cloud: Aggregator → Uploader pool
@@ -67,6 +79,16 @@ type pipeline struct {
 	putInflight *inflight
 	batchSeq    atomic.Int64
 	trace       bool // emit per-batch/per-object spans via params.Logger
+
+	// Aggregator scratch, reused across batches (the Aggregator is a
+	// single goroutine). Together with the pooled submit copies and
+	// per-object write lists this keeps the steady-state commit hot path
+	// allocation-free.
+	batchBuf  []update
+	writesBuf []FileWrite
+	sortIdx   []int32
+	mergedBuf []FileWrite
+	plan      [][]FileWrite
 
 	errMu sync.Mutex
 	err   error
@@ -136,15 +158,18 @@ func (p *pipeline) start(initialFrontier int64) {
 }
 
 // submit is called from the intercepted WAL write; it blocks per the
-// Safety contract and returns the time spent blocked.
+// Safety contract and returns the time spent blocked. The payload is
+// copied into a pooled buffer that the CommitQueue recycles once the
+// update's object is durable, so steady-state submission allocates
+// nothing.
 func (p *pipeline) submit(path string, off int64, data []byte) (time.Duration, error) {
 	if err := p.lastErr(); err != nil {
 		return 0, err
 	}
 	p.stats.updates.Add(1)
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	blocked, err := p.q.put(update{path: path, off: off, data: cp})
+	bp := walBufPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], data...)
+	blocked, err := p.q.put(update{path: path, off: off, data: *bp, pooled: bp})
 	if m := p.metrics; m != nil {
 		m.updates.Inc()
 		if blocked > 0 {
@@ -155,17 +180,96 @@ func (p *pipeline) submit(path string, off int64, data []byte) (time.Duration, e
 	return blocked, err
 }
 
+// coalesce merges one batch's writes without copying payload bytes: an
+// index sort orders them by (path, offset) — stable, so writes to the
+// same region keep their arrival order — exact page rewrites keep only
+// the newest copy, and a later write fully covering an earlier one
+// supersedes it in place. Any other overlap shape (partial overlaps,
+// whole-file entries) returns nil and the caller falls back to the
+// general copying MergeWrites; the result is identical, only the
+// allocation profile differs. WAL workloads are appends and whole-page
+// rewrites, so the zero-copy path is the one that runs in practice.
+func (p *pipeline) coalesce(ws []FileWrite) []FileWrite {
+	idx := p.sortIdx[:0]
+	for i := range ws {
+		idx = append(idx, int32(i))
+	}
+	slices.SortStableFunc(idx, func(a, b int32) int {
+		wa, wb := &ws[a], &ws[b]
+		if c := strings.Compare(wa.Path, wb.Path); c != 0 {
+			return c
+		}
+		return cmp.Compare(wa.Offset, wb.Offset)
+	})
+	p.sortIdx = idx
+	merged := p.mergedBuf[:0]
+	defer func() { p.mergedBuf = merged[:0] }()
+	for _, i := range idx {
+		w := ws[i]
+		if w.Whole {
+			return nil
+		}
+		if n := len(merged); n > 0 {
+			prev := &merged[n-1]
+			if prev.Path == w.Path && w.Offset < prev.End() {
+				if w.Offset == prev.Offset && len(w.Data) >= len(prev.Data) {
+					// The newer write covers the older one completely:
+					// last-writer-wins without touching any bytes.
+					*prev = w
+					continue
+				}
+				return nil // partial overlap: needs byte-level composition
+			}
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}
+
+// appendUnpacked plans one single-write object per split piece — the
+// pre-packing behaviour, kept for the DisablePacking/DisableAggregation
+// ablations that quantify what packing saves.
+func appendUnpacked(dst [][]FileWrite, writes []FileWrite, maxSize int64) [][]FileWrite {
+	plan := dst[:0]
+	add := func(w FileWrite) {
+		if k := len(plan); k < cap(plan) {
+			plan = plan[:k+1]
+			plan[k] = append(plan[k][:0], w)
+		} else {
+			plan = append(plan, []FileWrite{w})
+		}
+	}
+	for _, w := range writes {
+		if maxSize <= 0 || int64(len(w.Data)) <= maxSize || w.Whole {
+			add(w)
+			continue
+		}
+		for start := int64(0); start < int64(len(w.Data)); start += maxSize {
+			end := start + maxSize
+			if end > int64(len(w.Data)) {
+				end = int64(len(w.Data))
+			}
+			add(FileWrite{Path: w.Path, Offset: w.Offset + start, Data: w.Data[start:end]})
+		}
+	}
+	return plan
+}
+
 // aggregator implements the Aggregator thread: read batches of up to B
-// updates, coalesce page rewrites, split oversized runs, stamp timestamps
-// and hand the objects to the uploaders (Algorithm 2 lines 9-16).
+// updates, coalesce page rewrites, pack the batch into the minimum number
+// of WAL objects (up to MaxObjectSize each), stamp timestamps and hand
+// the objects to the uploaders (Algorithm 2 lines 9-16). A full batch of
+// B scattered small commits becomes ceil(batch bytes / MaxObjectSize)
+// objects — usually one — instead of one per write-run.
 func (p *pipeline) aggregator() {
 	defer close(p.uploadCh)
 	defer close(p.batchCh)
 	for {
-		updates, ok := p.q.nextBatch()
+		updates, ok := p.q.nextBatch(p.batchBuf)
 		if !ok {
 			return
 		}
+		p.batchBuf = updates // keep the grown capacity for the next batch
 		m := p.metrics
 		var aggStart time.Time
 		if m != nil || p.trace {
@@ -176,38 +280,63 @@ func (p *pipeline) aggregator() {
 				m.queueWait.ObserveDuration(aggStart.Sub(u.at))
 			}
 		}
-		writes := make([]FileWrite, len(updates))
-		for i, u := range updates {
-			writes[i] = FileWrite{Path: u.path, Offset: u.off, Data: u.data}
+		writes := p.writesBuf[:0]
+		for _, u := range updates {
+			writes = append(writes, FileWrite{Path: u.path, Offset: u.off, Data: u.data})
 		}
+		p.writesBuf = writes
 		merged := writes
 		if !p.params.DisableAggregation {
-			merged = MergeWrites(writes)
+			if merged = p.coalesce(writes); merged == nil {
+				merged = MergeWrites(writes)
+			}
 		}
-		var pieces []FileWrite
-		for _, w := range merged {
-			pieces = append(pieces, SplitWrite(w, p.params.MaxObjectSize)...)
+		maxSize := p.params.MaxObjectSize
+		if maxSize > 0 {
+			for _, w := range merged {
+				if !w.Whole && int64(len(w.Data)) > maxSize {
+					p.stats.splitWrites.Add(1)
+				}
+			}
+		}
+		// DisableAggregation keeps its documented "one object per
+		// intercepted write" contract, so it implies unpacked planning.
+		if p.params.DisablePacking || p.params.DisableAggregation {
+			p.plan = appendUnpacked(p.plan, merged, maxSize)
+		} else {
+			p.plan = AppendPackWrites(p.plan, merged, maxSize)
 		}
 		batchID := p.batchSeq.Add(1)
 		var maxTs int64
-		for _, w := range pieces {
+		for _, group := range p.plan {
 			ts := p.view.NextWALTs()
 			maxTs = ts
+			if len(group) > 1 {
+				p.stats.packedObjects.Add(1)
+			}
+			if m != nil {
+				m.writesPerObject.Observe(float64(len(group)))
+			}
+			ws := walWritesPool.Get().(*[]FileWrite)
+			*ws = append((*ws)[:0], group...)
 			select {
-			case p.uploadCh <- walUpload{ts: ts, batch: batchID, write: w}:
+			case p.uploadCh <- walUpload{ts: ts, batch: batchID, writes: ws}:
 			case <-p.ctx.Done():
+				*ws = (*ws)[:0]
+				walWritesPool.Put(ws)
 				return
 			}
 		}
 		p.stats.batches.Add(1)
 		if m != nil {
 			m.batches.Inc()
+			m.putsPerBatch.Observe(float64(len(p.plan)))
 			m.aggregate.ObserveDuration(p.clk.Since(aggStart))
 		}
 		rec := batchRec{
 			id:           batchID,
 			count:        len(updates),
-			objects:      len(pieces),
+			objects:      len(p.plan),
 			maxTs:        maxTs,
 			enqueuedAt:   updates[0].at,
 			aggregatedAt: p.clk.Now(),
@@ -229,20 +358,22 @@ func (p *pipeline) aggregator() {
 // exponential backoff, then acknowledge the timestamp. Each uploader keeps
 // a private encode buffer: at high update rates the per-object
 // encode+seal would otherwise be allocation-bound (Seal never retains its
-// input, so reuse across iterations is safe).
+// input, so reuse across iterations is safe). The leased write list goes
+// back to walWritesPool as soon as the body is encoded.
 func (p *pipeline) uploader() {
-	var (
-		enc     []byte
-		scratch [1]FileWrite
-	)
+	var enc []byte
 	for u := range p.uploadCh {
 		m := p.metrics
 		var t0 time.Time
 		if m != nil || p.trace {
 			t0 = p.clk.Now()
 		}
-		scratch[0] = u.write
-		enc = EncodeWritesInto(enc[:0], scratch[:])
+		ws := *u.writes
+		first := ws[0]
+		nWrites := len(ws)
+		enc = EncodeWritesInto(enc[:0], ws)
+		*u.writes = ws[:0]
+		walWritesPool.Put(u.writes)
 		payload := enc
 		sealed, err := p.seal.Seal(payload)
 		if err != nil {
@@ -256,7 +387,7 @@ func (p *pipeline) uploader() {
 				m.seal.ObserveDuration(upStart.Sub(t0))
 			}
 		}
-		name := WALObjectName(u.ts, u.write.Path, u.write.Offset)
+		name := WALObjectName(u.ts, first.Path, first.Offset)
 		p.putInflight.enter()
 		err = p.putWithRetry(name, sealed)
 		p.putInflight.exit()
@@ -265,7 +396,7 @@ func (p *pipeline) uploader() {
 			return
 		}
 		p.view.AddWAL(WALObjectInfo{
-			Ts: u.ts, Filename: u.write.Path, Offset: u.write.Offset, Size: int64(len(sealed)),
+			Ts: u.ts, Filename: first.Path, Offset: first.Offset, Size: int64(len(sealed)),
 		})
 		p.stats.walObjects.Add(1)
 		p.stats.walBytes.Add(int64(len(sealed)))
@@ -279,7 +410,7 @@ func (p *pipeline) uploader() {
 		}
 		if p.trace {
 			p.params.logger().Debug("wal object uploaded",
-				"batch", u.batch, "ts", u.ts, "bytes", len(sealed),
+				"batch", u.batch, "ts", u.ts, "writes", nWrites, "bytes", len(sealed),
 				"upload_ms", p.clk.Since(upStart).Milliseconds())
 		}
 		select {
@@ -292,9 +423,15 @@ func (p *pipeline) uploader() {
 
 // putWithRetry uploads with exponential backoff. UploadRetries = 0 retries
 // until the pipeline shuts down — a transient cloud hiccup must delay, not
-// lose, the backup.
+// lose, the backup. The delay is floored at minRetryDelay: a zero
+// RetryBaseDelay (a caller bypassing Validate's defaults) would otherwise
+// stay zero through every doubling and turn the retry loop into a hot
+// spin against a down provider.
 func (p *pipeline) putWithRetry(name string, data []byte) error {
 	delay := p.params.RetryBaseDelay
+	if delay < minRetryDelay {
+		delay = minRetryDelay
+	}
 	for attempt := 0; ; attempt++ {
 		err := p.store.Put(p.ctx, name, data)
 		if err == nil {
@@ -319,6 +456,69 @@ func (p *pipeline) putWithRetry(name string, data []byte) error {
 	}
 }
 
+// ackRing tracks acknowledged WAL timestamps beyond the consecutive
+// frontier in a ring bitmap. The window it needs is bounded by the
+// objects simultaneously in flight (uploadCh buffer plus one per
+// uploader): the Aggregator blocks minting further timestamps once the
+// channel is full, so an unbounded acked-timestamp map — which under a
+// long outage with parallel uploaders grows without limit — is never
+// necessary. The ring still grows (doubling) if an ack lands beyond the
+// window, so sizing is a fast path, not a correctness assumption.
+type ackRing struct {
+	bits  []uint64
+	start int   // ring bit index of base
+	base  int64 // first timestamp the window covers (frontier+1)
+}
+
+func newAckRing(base int64, minBits int) *ackRing {
+	words := 1
+	for words*64 < minBits {
+		words *= 2
+	}
+	return &ackRing{bits: make([]uint64, words), base: base}
+}
+
+func (r *ackRing) capBits() int { return len(r.bits) * 64 }
+
+// set marks ts acknowledged. Timestamps below the window base (duplicate
+// acks of released objects) are ignored.
+func (r *ackRing) set(ts int64) {
+	if ts < r.base {
+		return
+	}
+	for int(ts-r.base) >= r.capBits() {
+		r.grow()
+	}
+	pos := (r.start + int(ts-r.base)) % r.capBits()
+	r.bits[pos/64] |= 1 << (pos % 64)
+}
+
+func (r *ackRing) grow() {
+	nb := make([]uint64, len(r.bits)*2)
+	for i := 0; i < r.capBits(); i++ {
+		pos := (r.start + i) % r.capBits()
+		if r.bits[pos/64]&(1<<(pos%64)) != 0 {
+			nb[i/64] |= 1 << (i % 64)
+		}
+	}
+	r.bits = nb
+	r.start = 0
+}
+
+// advance consumes the contiguous acknowledged run at the window base and
+// returns the new frontier (the last consecutive acknowledged timestamp).
+func (r *ackRing) advance() int64 {
+	for {
+		pos := r.start
+		if r.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return r.base - 1
+		}
+		r.bits[pos/64] &^= 1 << (pos % 64)
+		r.start = (r.start + 1) % r.capBits()
+		r.base++
+	}
+}
+
 // unlocker implements the Unlocker thread: advance the contiguous-
 // timestamp frontier as acknowledgements arrive and release batches from
 // the CommitQueue in FIFO order. Releasing only up to the *consecutive*
@@ -326,7 +526,7 @@ func (p *pipeline) putWithRetry(name string, data []byte) error {
 // uploads (§5.3: "Ginja blocks the DBMS until all WAL objects with
 // consecutive ts values are uploaded").
 func (p *pipeline) unlocker(frontier int64) {
-	acked := make(map[int64]bool)
+	acked := newAckRing(frontier+1, 4*p.params.Uploaders+64)
 	var pending []batchRec
 	ackCh := p.ackCh
 	batchCh := p.batchCh
@@ -337,11 +537,8 @@ func (p *pipeline) unlocker(frontier int64) {
 				ackCh = nil
 				continue
 			}
-			acked[ts] = true
-			for acked[frontier+1] {
-				frontier++
-				delete(acked, frontier)
-			}
+			acked.set(ts)
+			frontier = acked.advance()
 		case b, ok := <-batchCh:
 			if !ok {
 				batchCh = nil

@@ -58,7 +58,7 @@ func TestSimTBFiresAtExactDeadline(t *testing.T) {
 	}
 
 	clk.Advance(time.Millisecond) // onTB fires synchronously here
-	batch, ok := q.nextBatch()    // must not block: partial batch released
+	batch, ok := q.nextBatch(nil)    // must not block: partial batch released
 	if !ok || len(batch) != 2 {
 		t.Fatalf("nextBatch after TB = (%d items, %v), want 2 items", len(batch), ok)
 	}
@@ -81,12 +81,12 @@ func TestSimTBRearmsPerBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if batch, ok := q.nextBatch(); !ok || len(batch) != 2 { // full batch, no TB needed
+	if batch, ok := q.nextBatch(nil); !ok || len(batch) != 2 { // full batch, no TB needed
 		t.Fatalf("first batch = (%d, %v)", len(batch), ok)
 	}
 	// One unsent item remains: TB must be armed and release it at +100ms.
 	clk.Advance(100 * time.Millisecond)
-	if batch, ok := q.nextBatch(); !ok || len(batch) != 1 {
+	if batch, ok := q.nextBatch(nil); !ok || len(batch) != 1 {
 		t.Fatalf("TB batch = (%d, %v), want the 1 leftover item", len(batch), ok)
 	}
 }

@@ -9,6 +9,11 @@ import (
 // maxRetryDelay caps exponential backoff between upload retries.
 const maxRetryDelay = 5 * time.Second
 
+// minRetryDelay floors the backoff: a zero RetryBaseDelay (possible when a
+// caller constructs Params without Validate) would double to zero forever
+// and turn every retry loop into a busy spin against a down provider.
+const minRetryDelay = time.Millisecond
+
 // clock returns the configured Clock, defaulting to the wall clock. Every
 // timer and timestamp in core must go through this — never the time
 // package directly — so simulations stay in virtual time.

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/costmodel"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/obs"
+	"github.com/ginja-dr/ginja/internal/simclock"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// This file measures the commit path — the pipeline that every database
+// update crosses — before and after WAL batch packing. The workload is
+// the paper's worst case for request-count billing: B small commits
+// scattered across WAL offsets, each of which used to become its own
+// sealed object and its own ~40 ms PUT. With packing the whole batch
+// rides one object, so both the virtual-time throughput and the
+// costmodel's CWAL_PUT term improve by the measured commits-per-PUT
+// factor. Everything latency-shaped runs on the simulated WAN in virtual
+// time (deterministic, machine-independent); only the allocation profile
+// is measured on the real clock, where the runtime's counters live.
+
+// CommitpathOptions configures the packed-vs-unpacked measurement.
+type CommitpathOptions struct {
+	// Commits is how many small updates the workload submits.
+	Commits int
+	// Batch is Ginja's B (Safety is fixed at 2×B so throughput is bound
+	// by upload round trips, not by an over-generous queue).
+	Batch int
+	// PayloadBytes sizes each commit's WAL write.
+	PayloadBytes int
+}
+
+func (o CommitpathOptions) withDefaults() CommitpathOptions {
+	if o.Commits == 0 {
+		o.Commits = 600
+	}
+	if o.Batch == 0 {
+		o.Batch = 50
+	}
+	if o.PayloadBytes == 0 {
+		o.PayloadBytes = 256
+	}
+	return o
+}
+
+// CommitpathRun is one measured configuration.
+type CommitpathRun struct {
+	Packing bool `json:"packing"`
+	Commits int  `json:"commits"`
+	// VirtualMs is the virtual time from the first submit until every
+	// commit was durable in the simulated cloud.
+	VirtualMs float64 `json:"virtual_ms"`
+	// CommitsPerSec is commit throughput in virtual time.
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// P50BatchMs/P99BatchMs are commit-batch latency quantiles: oldest
+	// submit → durable release (the paper's user-visible commit delay).
+	P50BatchMs float64 `json:"p50_batch_ms"`
+	P99BatchMs float64 `json:"p99_batch_ms"`
+	// Batches and WALObjects come from Stats; PutsPerBatch is their ratio
+	// (the acceptance number: ≤ ceil(batch bytes / MaxObjectSize) packed).
+	Batches      int64   `json:"batches"`
+	WALObjects   int64   `json:"wal_objects"`
+	PutsPerBatch float64 `json:"puts_per_batch"`
+	// CommitsPerPut is the effective B of the §7.1 cost model: how many
+	// updates share one billable PUT.
+	CommitsPerPut float64 `json:"commits_per_put"`
+	// DollarsPerDay evaluates the costmodel for the paper's evaluation
+	// deployment with the measured CommitsPerPut as the effective batch.
+	DollarsPerDay float64 `json:"dollars_per_day"`
+}
+
+// CommitpathResult is the machine-readable content of
+// BENCH_commitpath.json.
+type CommitpathResult struct {
+	Unpacked CommitpathRun `json:"unpacked"`
+	Packed   CommitpathRun `json:"packed"`
+	// ThroughputSpeedup is packed/unpacked commits-per-second.
+	ThroughputSpeedup float64 `json:"throughput_speedup"`
+	// PutReduction is unpacked/packed PUTs for the same workload.
+	PutReduction float64 `json:"put_reduction"`
+	// AllocsPerCommit is the steady-state submit→upload allocation count
+	// per commit on the packed hot path (pooled submit copies, reused
+	// batch scratch, pooled object write lists), measured with the
+	// runtime's allocation counters against an in-memory store.
+	AllocsPerCommit float64 `json:"allocs_per_commit"`
+}
+
+// measureCommitpath drives Commits small scattered writes through the
+// full stack (intercepted FS → pipeline → simulated WAN) and reports
+// throughput, latency quantiles and PUT accounting.
+func measureCommitpath(opts CommitpathOptions, packing bool) (CommitpathRun, error) {
+	run := CommitpathRun{Packing: packing, Commits: opts.Commits}
+	clk := simclock.NewSim()
+	stopPump := clk.Pump()
+	defer stopPump()
+
+	store := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{
+		Profile: datapathProfile(), // 40 ms RTT, jitter-free
+		Clock:   clk,
+		Seed:    1,
+	})
+	reg := obs.NewRegistry()
+
+	params := core.DefaultParams()
+	params.Clock = clk
+	params.Batch = opts.Batch
+	params.Safety = 2 * opts.Batch
+	params.BatchTimeout = 50 * time.Millisecond
+	params.SafetyTimeout = 2 * time.Minute
+	params.RetryBaseDelay = 20 * time.Millisecond
+	params.DisablePacking = !packing
+	params.Metrics = reg
+
+	ctx := context.Background()
+	g, err := core.New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return run, err
+	}
+	if err := g.Boot(ctx); err != nil {
+		return run, fmt.Errorf("boot: %w", err)
+	}
+	fsys := g.FS()
+	payload := make([]byte, opts.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	t0 := clk.Now()
+	for i := 0; i < opts.Commits; i++ {
+		// Scattered offsets: aggregation cannot coalesce, so each commit
+		// is its own write-run — the case packing exists for.
+		off := int64(i%4096) * 8192
+		if err := vfs.WriteAt(fsys, "pg_xlog/000000010000000000000001", off, payload); err != nil {
+			return run, fmt.Errorf("commit %d: %w", i, err)
+		}
+	}
+	if !g.Flush(10 * time.Minute) {
+		return run, fmt.Errorf("flush did not drain")
+	}
+	elapsed := clk.Since(t0)
+	run.VirtualMs = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		run.CommitsPerSec = float64(opts.Commits) / elapsed.Seconds()
+	}
+
+	stats := g.Stats()
+	run.Batches = stats.Batches
+	run.WALObjects = stats.WALObjectsUploaded
+	if run.Batches > 0 {
+		run.PutsPerBatch = float64(run.WALObjects) / float64(run.Batches)
+	}
+	if run.WALObjects > 0 {
+		run.CommitsPerPut = float64(opts.Commits) / float64(run.WALObjects)
+	}
+	batchLatency := reg.Histogram("ginja_commit_batch_seconds",
+		"End-to-end commit batch latency: oldest submit to durable release.", nil, nil)
+	run.P50BatchMs = batchLatency.Quantile(0.50) * 1000
+	run.P99BatchMs = batchLatency.Quantile(0.99) * 1000
+
+	// The §7.1 cost model with the measured effective batch: CWAL_PUT is
+	// the term packing attacks (W × month / B_effective × CPUT).
+	dep := costmodel.PaperEvaluationDeployment()
+	dep.Batch = run.CommitsPerPut
+	if dep.Batch < 1 {
+		dep.Batch = 1
+	}
+	run.DollarsPerDay = costmodel.Monthly(dep, cloud.AmazonS3May2017()).Total() / 30
+
+	if err := g.Close(); err != nil {
+		return run, fmt.Errorf("close: %w", err)
+	}
+	return run, nil
+}
+
+// commitAllocProfile measures steady-state allocations per commit on the
+// packed hot path using the runtime's counters (works outside `go test`;
+// BenchmarkCommitPath is the in-harness twin). It runs on the real clock
+// against an in-memory store so nothing but the commit path allocates.
+func commitAllocProfile(opts CommitpathOptions) (float64, error) {
+	params := core.DefaultParams()
+	params.Batch = opts.Batch
+	params.Safety = 20 * opts.Batch
+	params.BatchTimeout = 5 * time.Millisecond
+	g, err := core.New(vfs.NewMemFS(), cloud.NewMemStore(), dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return 0, err
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		return 0, err
+	}
+	defer g.Close()
+	fsys := g.FS()
+	payload := make([]byte, opts.PayloadBytes)
+	// Hold one open WAL segment and pre-extend it, as a DBMS does: the
+	// measured loop then crosses only interception → classify → submit →
+	// pipeline, not per-call open/close or file growth.
+	const segment = "pg_xlog/000000010000000000000001"
+	if err := fsys.MkdirAll("pg_xlog", 0o755); err != nil {
+		return 0, err
+	}
+	f, err := fsys.OpenFile(segment, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	commit := func(i int) error {
+		_, err := f.WriteAt(payload, int64(i%512)*8192)
+		return err
+	}
+	if err := commit(512); err != nil { // pre-extend past the highest offset
+		return 0, err
+	}
+	for i := 0; i < 500; i++ { // warm the pools and grow the scratch
+		if err := commit(i); err != nil {
+			return 0, err
+		}
+	}
+	if !g.Flush(30 * time.Second) {
+		return 0, fmt.Errorf("warm-up flush did not drain")
+	}
+	const iters = 4000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := commit(i); err != nil {
+			return 0, err
+		}
+	}
+	if !g.Flush(30 * time.Second) {
+		return 0, fmt.Errorf("flush did not drain")
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / iters, nil
+}
+
+// RunCommitpath measures the unpacked baseline and the packed commit path
+// on identical deterministic scenarios and reports the speedups.
+func RunCommitpath(opts CommitpathOptions) (*CommitpathResult, error) {
+	opts = opts.withDefaults()
+	unpacked, err := measureCommitpath(opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("unpacked run: %w", err)
+	}
+	packed, err := measureCommitpath(opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("packed run: %w", err)
+	}
+	res := &CommitpathResult{Unpacked: unpacked, Packed: packed}
+	if unpacked.CommitsPerSec > 0 {
+		res.ThroughputSpeedup = packed.CommitsPerSec / unpacked.CommitsPerSec
+	}
+	if packed.WALObjects > 0 {
+		res.PutReduction = float64(unpacked.WALObjects) / float64(packed.WALObjects)
+	}
+	res.AllocsPerCommit, err = commitAllocProfile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -67,6 +67,10 @@ type Result struct {
 	BlockedTime time.Duration // virtual time commits spent blocked on Safety/TS
 	Retries     int64
 	PipelineErr string // fatal replication error on the crashed primary, if any
+	// Commit-path packing activity on the crashed primary: total WAL
+	// objects uploaded and how many carried a packed multi-write body.
+	WALObjects       int64
+	PackedWALObjects int64
 	// VirtualElapsed is how much virtual time the run spanned.
 	VirtualElapsed time.Duration
 }
@@ -296,6 +300,8 @@ func Run(cfg Config) (*Result, error) {
 	res.BlockedTime = stats.BlockedTime
 	res.Retries = stats.UploadRetries
 	res.PipelineErr = stats.LastError
+	res.WALObjects = stats.WALObjectsUploaded
+	res.PackedWALObjects = stats.PackedWALObjects
 	_ = g.Close()
 
 	// The replacement site sees a healthy provider (the schedule's faults
