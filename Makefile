@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke (Go -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke
+.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ fuzz-smoke:
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race fuzz-smoke bench-json-smoke bench-commit-smoke
+verify: build vet test race fuzz-smoke bench-data-smoke bench-commit-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -43,6 +43,18 @@ bench-json:
 	$(GO) run ./cmd/ginja-benchjson -out BENCH_datapath.json
 
 bench-json-smoke:
+	$(GO) run ./cmd/ginja-benchjson -smoke
+
+# bench-data is the streamed-datapath gate: ginja-benchjson exits non-zero
+# if the dump's peak resident bytes exceed 2 × CheckpointUploaders ×
+# MaxObjectSize, if the dump did not actually split into parts, if bytes
+# stayed queued after close, or if legacy whole-sealed objects stopped
+# recovering. The smoke variant runs the small scenario and is part of
+# `make verify`.
+bench-data:
+	$(GO) run ./cmd/ginja-benchjson -out BENCH_datapath.json
+
+bench-data-smoke:
 	$(GO) run ./cmd/ginja-benchjson -smoke
 
 # bench-commit measures the commit path before/after WAL batch packing —

@@ -69,6 +69,17 @@ func run(args []string) error {
 			r.RecoverySpeedup, r.Parallel.RecoveryObjects)
 		fmt.Printf("sealer:      %.1f allocs/op seal, %.1f allocs/op open (compressed path)\n",
 			r.SealAllocsPerOp, r.OpenAllocsPerOp)
+		s := r.Streaming
+		fmt.Printf("streaming:   peak %d B resident of %d B bound (db %d B, %d parts); legacy recovery ok=%v\n",
+			s.PeakStreamBytes, s.BoundBytes, s.LocalDBBytes, s.DumpParts, s.LegacyRecoveryOK)
+		// The streamed data path's contract is enforced here so that
+		// `make verify` (bench-json-smoke / bench-data-smoke) fails the
+		// build when the memory bound or the legacy format regresses.
+		if !s.WithinBound || s.DumpParts < 2 || !s.LegacyRecoveryOK || s.QueueBytesAfter != 0 {
+			return fmt.Errorf(
+				"streaming data path regressed: within_bound=%v (peak=%d bound=%d) parts=%d legacy_recovery_ok=%v queue_bytes_after=%d",
+				s.WithinBound, s.PeakStreamBytes, s.BoundBytes, s.DumpParts, s.LegacyRecoveryOK, s.QueueBytesAfter)
+		}
 		res = r
 	case "commit":
 		defaultOut = "BENCH_commitpath.json"

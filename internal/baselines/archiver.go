@@ -50,6 +50,10 @@ func NewSegmentArchiver(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Pr
 // FS returns the interposed file system the database must be opened on.
 func (a *SegmentArchiver) FS() vfs.FS { return vfs.NewInterceptFS(a.localFS, a) }
 
+// OnBeforeWrite implements vfs.Observer (the archiver never holds writes
+// back).
+func (a *SegmentArchiver) OnBeforeWrite(string, int64, []byte) {}
+
 // OnWrite implements vfs.Observer: a write to a WAL file different from
 // the current one means the previous segment completed — archive it.
 func (a *SegmentArchiver) OnWrite(path string, off int64, data []byte) {

@@ -4,9 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,12 +15,20 @@ import (
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
-// dbObject is one finished checkpoint (or dump) awaiting upload.
+// dbObject is one finished checkpoint (or dump) awaiting upload. A
+// checkpoint carries its collected writes in memory; a dump carries a
+// part plan whose lazy entries the uploader streams from the local files
+// (gated: database writes are frozen until the plan's reads complete).
 type dbObject struct {
 	ts     int64
 	gen    int
 	typ    DBObjectType
 	writes []FileWrite
+	plan   [][]planEntry
+	// bufBytes is the in-memory payload this object pins until its upload
+	// finishes (the checkpoint-queue memory-pressure gauge).
+	bufBytes int64
+	gated    bool
 }
 
 // checkpointStats are the checkpoint-path counters.
@@ -67,10 +72,22 @@ type checkpointer struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	// encScratch is the reusable encode buffer for DB-object payloads;
-	// safe because upload runs on the single CheckpointThread goroutine
-	// and Seal never retains its input.
-	encScratch []byte
+	// uploader streams part plans to the cloud with bounded memory.
+	uploader *partUploader
+
+	// bufBytes is the in-memory payload currently collected or queued for
+	// upload (Stats.CheckpointBytesBuffered / ginja_checkpoint_queue_bytes).
+	bufBytes atomic.Int64
+
+	// The dump gate: while held (gateN > 0), data-class database writes
+	// block in Ginja.OnBeforeWrite — a streaming dump is reading the
+	// planned file ranges, and the files must not move under it (§5.3:
+	// Ginja stops local DB writes during dump creation). Acquired on the
+	// DBMS thread when a dump is planned, released by the uploader as soon
+	// as the plan's local reads complete (the PUTs may still be running).
+	gateMu sync.Mutex
+	gateN  int
+	gateCh chan struct{}
 
 	stats       checkpointStats
 	metrics     *checkpointMetrics
@@ -82,9 +99,9 @@ type checkpointer struct {
 }
 
 func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
-	store cloud.ObjectStore, seal *sealer.Sealer, params Params) *checkpointer {
+	store cloud.ObjectStore, seal *sealer.Sealer, params Params, tracker *streamTracker) *checkpointer {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &checkpointer{
+	c := &checkpointer{
 		localFS:     localFS,
 		proc:        proc,
 		view:        view,
@@ -101,6 +118,56 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 		cancel:      cancel,
 		done:        make(chan struct{}),
 	}
+	c.uploader = newPartUploader(localFS, seal, params, tracker, c.putWithRetry)
+	c.uploader.putInflight = c.putInflight
+	if c.metrics != nil {
+		c.uploader.sealHist = c.metrics.sealPart
+		c.uploader.putHist = c.metrics.partPut
+	}
+	return c
+}
+
+// acquireGate freezes data-class database writes (one hold per streaming
+// dump; holds nest if a second dump is planned before the first one's
+// reads finish).
+func (c *checkpointer) acquireGate() {
+	c.gateMu.Lock()
+	c.gateN++
+	if c.gateCh == nil {
+		c.gateCh = make(chan struct{})
+	}
+	c.gateMu.Unlock()
+}
+
+// releaseGate drops one hold; the last release reopens the gate.
+func (c *checkpointer) releaseGate() {
+	c.gateMu.Lock()
+	c.gateN--
+	if c.gateN == 0 && c.gateCh != nil {
+		close(c.gateCh)
+		c.gateCh = nil
+	}
+	c.gateMu.Unlock()
+}
+
+// waitGate blocks the calling (DBMS) thread while the gate is held. A
+// cancelled checkpointer (shutdown or fatal replication error) never
+// blocks writers: the database keeps running locally even when
+// replication is gone.
+func (c *checkpointer) waitGate() {
+	for {
+		c.gateMu.Lock()
+		ch := c.gateCh
+		c.gateMu.Unlock()
+		if ch == nil {
+			return
+		}
+		select {
+		case <-ch:
+		case <-c.ctx.Done():
+			return
+		}
+	}
 }
 
 func (c *checkpointer) start() {
@@ -108,6 +175,9 @@ func (c *checkpointer) start() {
 		reg.GaugeFunc(metricCkptQueueLen,
 			"Finished checkpoints/dumps awaiting upload by the CheckpointThread.",
 			nil, func() float64 { return float64(len(c.queue)) })
+		reg.GaugeFunc(metricCkptQueueBytes,
+			"In-memory payload bytes collected or queued on the checkpoint path (memory pressure while blocked on uploads).",
+			nil, func() float64 { return float64(c.bufBytes.Load()) })
 	}
 	go func() {
 		defer close(c.done)
@@ -173,11 +243,13 @@ func (c *checkpointer) appendWriteLocked(ev dbevent.Event) {
 	data := make([]byte, len(ev.Data))
 	copy(data, ev.Data)
 	c.writes = append(c.writes, FileWrite{Path: ev.Path, Offset: ev.Offset, Data: data})
+	c.bufBytes.Add(int64(len(data)))
 }
 
 // finalizeLocked closes the collection, decides dump vs incremental
 // (the 150 % rule, lines 9-13) and enqueues the object for upload.
 func (c *checkpointer) finalizeLocked() {
+	rawBytes := estimateSize(c.writes)
 	writes := MergeWrites(c.writes)
 	c.writes = nil
 	c.collecting = false
@@ -191,30 +263,42 @@ func (c *checkpointer) finalizeLocked() {
 	}
 	c.genAlloc[c.tsAtBegin] = gen
 	c.genMu.Unlock()
-	obj := dbObject{ts: c.tsAtBegin, gen: gen, typ: Checkpoint, writes: writes}
+	obj := dbObject{ts: c.tsAtBegin, gen: gen, typ: Checkpoint, writes: writes, bufBytes: estimateSize(writes)}
 	localSize, err := c.localDBSize()
 	if err != nil {
+		c.bufBytes.Add(-rawBytes)
 		c.fail(fmt.Errorf("core: sizing local database: %w", err))
 		return
 	}
 	if float64(c.view.TotalDBSize()+estimateSize(writes)) >= c.params.DumpThreshold*float64(localSize) {
-		// Build the dump synchronously: no database-file write can race
-		// us here because the DBMS is still inside its checkpoint-end
-		// write (§5.3: Ginja stops local DB writes during dump creation).
+		// Plan the dump synchronously: no database-file write can race us
+		// here because the DBMS is still inside its checkpoint-end write.
+		// The plan holds only file ranges plus the eagerly-read extras —
+		// the file bytes stream at upload time, under the dump gate (§5.3:
+		// Ginja stops local DB writes during dump creation). The collected
+		// checkpoint writes are dropped: the dump re-reads the data files
+		// they already landed in.
 		buildStart := c.clk.Now()
-		dump, err := c.buildDump()
+		plan, err := planDump(c.localFS, c.proc, partBudget(c.params.MaxObjectSize))
 		if err != nil {
-			c.fail(fmt.Errorf("core: building dump: %w", err))
+			c.bufBytes.Add(-rawBytes)
+			c.fail(fmt.Errorf("core: planning dump: %w", err))
 			return
 		}
 		if c.metrics != nil {
 			c.metrics.build.ObserveDuration(c.clk.Since(buildStart))
 		}
-		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, writes: dump}
+		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, plan: plan, bufBytes: planInMemBytes(plan), gated: true}
+		c.acquireGate()
 	}
+	c.bufBytes.Add(obj.bufBytes - rawBytes)
 	select {
 	case c.queue <- obj:
 	case <-c.ctx.Done():
+		c.bufBytes.Add(-obj.bufBytes)
+		if obj.gated {
+			c.releaseGate()
+		}
 	}
 }
 
@@ -239,81 +323,38 @@ func (c *checkpointer) localDBSize() (int64, error) {
 	return total, nil
 }
 
-// buildDump snapshots every data-class file plus the processor's extra
-// regions (Algorithm 3 line 10).
-func (c *checkpointer) buildDump() ([]FileWrite, error) {
-	files, err := vfs.Walk(c.localFS, "")
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(files)
-	var writes []FileWrite
-	for _, p := range files {
-		if c.proc.FileKind(p) != dbevent.KindData {
-			continue
-		}
-		content, err := vfs.ReadFile(c.localFS, p)
-		if err != nil {
-			return nil, err
-		}
-		writes = append(writes, FileWrite{Path: p, Data: content, Whole: true})
-	}
-	for _, region := range c.proc.DumpExtras() {
-		f, err := c.localFS.OpenFile(region.Path, os.O_RDONLY, 0)
-		if err != nil {
-			continue // the file may not exist yet (no WAL written)
-		}
-		buf := make([]byte, region.Length)
-		n, err := f.ReadAt(buf, region.Offset)
-		f.Close()
-		if err != nil && !errors.Is(err, io.EOF) {
-			return nil, err
-		}
-		if n > 0 {
-			writes = append(writes, FileWrite{Path: region.Path, Offset: region.Offset, Data: buf[:n]})
-		}
-	}
-	return writes, nil
-}
-
-// upload runs on the CheckpointThread (Algorithm 3 lines 17-29): seal and
-// PUT the DB object (split at MaxObjectSize, parts uploaded concurrently
-// under CheckpointUploaders), record it, then delete the WAL objects it
-// supersedes — and, for dumps, older DB objects subject to the
-// point-in-time retention policy. The view learns about the object only
-// after every part is durable, so a failure mid-upload leaves at most
-// orphan parts in the bucket; after a restart, LoadFromList records them
-// as orphans (never surfacing them to recovery) and the next dump's GC
-// deletes them (collectOldDBObjects sweeps view.OrphanParts).
+// upload runs on the CheckpointThread (Algorithm 3 lines 17-29): stream
+// the DB object's part plan — each ≤ MaxObjectSize part independently
+// encoded, sealed and PUT by up to CheckpointUploaders workers, so
+// resident memory stays bounded by the uploader window, not the database
+// size — record it, then delete the WAL objects it supersedes and, for
+// dumps, older DB objects subject to the point-in-time retention policy.
+// The view learns about the object only after every part is durable, so a
+// failure mid-upload leaves at most orphan parts in the bucket; after a
+// restart, LoadFromList records them as orphans (never surfacing them to
+// recovery) and the next dump's GC deletes them (collectOldDBObjects
+// sweeps view.OrphanParts).
 func (c *checkpointer) upload(obj dbObject) error {
-	uploadStart := c.clk.Now()
-	c.encScratch = EncodeWritesInto(c.encScratch[:0], obj.writes)
-	sealed, err := c.seal.Seal(c.encScratch)
-	if err != nil {
-		return fmt.Errorf("core: seal DB object ts=%d: %w", obj.ts, err)
+	defer c.bufBytes.Add(-obj.bufBytes)
+	var gateOnce sync.Once
+	release := func() {
+		if obj.gated {
+			gateOnce.Do(c.releaseGate)
+		}
 	}
-	size := int64(len(sealed))
-	parts := splitBytes(sealed, c.params.MaxObjectSize)
-	err = runLimited(c.ctx, c.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
-		idx := i
-		if len(parts) == 1 {
-			idx = -1
-		}
-		name := DBObjectName(obj.ts, obj.gen, obj.typ, size, idx)
-		putStart := c.clk.Now()
-		c.putInflight.enter()
-		err := c.putWithRetry(ctx, name, parts[i])
-		c.putInflight.exit()
-		if err != nil {
-			return fmt.Errorf("core: upload %s: %w", name, err)
-		}
-		if c.metrics != nil {
-			c.metrics.partPut.ObserveDuration(c.clk.Since(putStart))
-		}
-		return nil
-	})
+	defer release()
+	uploadStart := c.clk.Now()
+	parts := obj.plan
+	if parts == nil {
+		parts = planParts(entriesFromWrites(obj.writes), partBudget(c.params.MaxObjectSize))
+	}
+	sizes, err := c.uploader.upload(c.ctx, obj.ts, obj.gen, obj.typ, parts, release)
 	if err != nil {
 		return err
+	}
+	var size int64
+	for _, s := range sizes {
+		size += s
 	}
 	// Durable-data counters move only once the whole object landed: a
 	// sibling part failure abandons the object, and parts that did make it
@@ -324,11 +365,12 @@ func (c *checkpointer) upload(obj dbObject) error {
 		c.metrics.dbObjects.Add(float64(len(parts)))
 		c.metrics.dbBytes.Add(float64(size))
 	}
-	nParts := len(parts)
-	if nParts == 1 {
-		nParts = 0
+	info := DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size}
+	if len(parts) > 1 {
+		info.Parts = len(parts)
+		info.PartSizes = sizes
 	}
-	if err := c.view.AddDB(DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size, Parts: nParts}); err != nil {
+	if err := c.view.AddDB(info); err != nil {
 		return err
 	}
 	// The view now knows about this (ts, gen): NextDBGen covers it, so the

@@ -30,7 +30,15 @@ type DBObjectInfo struct {
 	Size int64
 	// Parts is the number of split parts; 0 means a single unsplit object.
 	Parts int
+	// PartSizes holds the per-part sealed sizes of a part-sealed object
+	// (len == Parts); nil for unsplit objects and legacy whole-sealed
+	// splits, whose part names carry the total size instead.
+	PartSizes []int64
 }
+
+// PartSealed reports whether this object uses the part-sealed format
+// (every part an independently sealed write list).
+func (d DBObjectInfo) PartSealed() bool { return len(d.PartSizes) > 0 }
 
 // Before orders DB objects by (Ts, Gen).
 func (d DBObjectInfo) Before(o DBObjectInfo) bool {
@@ -46,6 +54,16 @@ func (d DBObjectInfo) PartNames() []string {
 		return []string{DBObjectName(d.Ts, d.Gen, d.Type, d.Size, -1)}
 	}
 	names := make([]string, d.Parts)
+	if d.PartSealed() {
+		for i := range names {
+			count := 0
+			if i == d.Parts-1 {
+				count = d.Parts
+			}
+			names[i] = DBPartName(d.Ts, d.Gen, d.Type, d.PartSizes[i], i, count)
+		}
+		return names
+	}
 	for i := range names {
 		names[i] = DBObjectName(d.Ts, d.Gen, d.Type, d.Size, i)
 	}
@@ -166,6 +184,7 @@ func (v *CloudView) AddDB(info DBObjectInfo) error {
 		}
 		if info.Parts > existing.Parts {
 			existing.Parts = info.Parts
+			existing.PartSizes = info.PartSizes
 		}
 		return nil
 	}
@@ -317,8 +336,27 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 		splitBytes int64 // summed on-cloud bytes across split parts
 		maxPart    int
 	}
+	// Part-sealed groups: each part's name declares that part's own sealed
+	// size, so the grouping key is just (ts, gen) and identity conflicts
+	// show up as duplicate part indices instead.
+	type sealedPart struct {
+		name     string
+		declared int64 // sealed size from the name
+		listed   int64 // bytes in the cloud listing
+		count    int   // > 0 on the final (commit-marker) part
+	}
+	type sealedGroup struct {
+		typ     DBObjectType
+		invalid bool // mixed types or duplicate indices: never complete
+		parts   map[int]sealedPart
+		names   []string // every listed name in the group, for orphaning
+	}
 	groups := make(map[sizedKey]*dbGroup)
-	var order []sizedKey
+	sealedGroups := make(map[dbKey]*sealedGroup)
+	var (
+		order       []sizedKey
+		sealedOrder []dbKey
+	)
 	for _, info := range infos {
 		switch {
 		case strings.HasPrefix(info.Name, walPrefix):
@@ -328,30 +366,70 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 			}
 			v.AddWAL(WALObjectInfo{Ts: ts, Filename: filename, Offset: offset, Size: info.Size})
 		case strings.HasPrefix(info.Name, dbPrefix):
-			ts, gen, typ, size, part, err := ParseDBObjectName(info.Name)
+			n, err := ParseDBObjectName(info.Name)
 			if err != nil {
 				return err
 			}
-			k := sizedKey{ts: ts, gen: gen, size: size}
+			if n.Sealed {
+				k := dbKey{ts: n.Ts, gen: n.Gen}
+				g := sealedGroups[k]
+				if g == nil {
+					g = &sealedGroup{typ: n.Type, parts: make(map[int]sealedPart)}
+					sealedGroups[k] = g
+					sealedOrder = append(sealedOrder, k)
+				}
+				g.names = append(g.names, info.Name)
+				if n.Type != g.typ {
+					g.invalid = true
+				}
+				if _, dup := g.parts[n.Part]; dup {
+					g.invalid = true
+				} else {
+					g.parts[n.Part] = sealedPart{
+						name: info.Name, declared: n.Size, listed: info.Size, count: n.Count}
+				}
+				continue
+			}
+			k := sizedKey{ts: n.Ts, gen: n.Gen, size: n.Size}
 			g := groups[k]
 			if g == nil {
-				g = &dbGroup{typ: typ, maxPart: -1}
+				g = &dbGroup{typ: n.Type, maxPart: -1}
 				groups[k] = g
 				order = append(order, k)
 			}
-			if part < 0 {
+			if n.Part < 0 {
 				g.unsplitName = info.Name
 				g.unsplitBytes = info.Size
 			} else {
 				g.splitNames = append(g.splitNames, info.Name)
 				g.splitBytes += info.Size
-				if part > g.maxPart {
-					g.maxPart = part
+				if n.Part > g.maxPart {
+					g.maxPart = n.Part
 				}
 			}
 		default:
 			return fmt.Errorf("core: unrecognised object %q in cloud listing", info.Name)
 		}
+	}
+	// recordOrphans remembers an incomplete group's names so GC can delete
+	// them and NextDBGen never re-issues their generation.
+	recordOrphans := func(ts int64, gen int, names []string) {
+		if len(names) == 0 {
+			return
+		}
+		v.mu.Lock()
+		for _, name := range names {
+			v.orphans[name] = OrphanPart{Name: name, Ts: ts, Gen: gen}
+		}
+		if gen+1 > v.orphanGen[ts] {
+			v.orphanGen[ts] = gen + 1
+		}
+		// The orphan's ts proves a WAL timestamp at least that high was
+		// once allocated; never re-issue it.
+		if ts >= v.nextTs {
+			v.nextTs = ts + 1
+		}
+		v.mu.Unlock()
 	}
 	for _, k := range order {
 		g := groups[k]
@@ -383,20 +461,47 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 				return err
 			}
 		}
-		if len(orphanNames) > 0 {
-			v.mu.Lock()
-			for _, name := range orphanNames {
-				v.orphans[name] = OrphanPart{Name: name, Ts: k.ts, Gen: k.gen}
+		recordOrphans(k.ts, k.gen, orphanNames)
+	}
+	for _, k := range sealedOrder {
+		g := sealedGroups[k]
+		// Completeness for a part-sealed set: exactly one commit marker
+		// (".n<count>" on the final part), indices contiguous 0..count-1,
+		// and every part's stored bytes matching its name-declared sealed
+		// size. The final part is PUT only by the worker that drew the last
+		// index, but parts upload concurrently — the marker's presence
+		// proves every sibling was handed to the pool, not that every PUT
+		// landed, hence the per-index checks.
+		count := 0
+		markers := 0
+		for _, p := range g.parts {
+			if p.count > 0 {
+				markers++
+				count = p.count
 			}
-			if k.gen+1 > v.orphanGen[k.ts] {
-				v.orphanGen[k.ts] = k.gen + 1
+		}
+		ok := !g.invalid && markers == 1 && len(g.parts) == count
+		var sizes []int64
+		var total int64
+		if ok {
+			sizes = make([]int64, count)
+			for i := 0; i < count && ok; i++ {
+				p, present := g.parts[i]
+				ok = present && p.listed == p.declared
+				if ok {
+					sizes[i] = p.declared
+					total += p.declared
+				}
 			}
-			// The orphan's ts proves a WAL timestamp at least that high
-			// was once allocated; never re-issue it.
-			if k.ts >= v.nextTs {
-				v.nextTs = k.ts + 1
-			}
-			v.mu.Unlock()
+		}
+		if !ok {
+			recordOrphans(k.ts, k.gen, g.names)
+			continue
+		}
+		err := v.AddDB(DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ,
+			Size: total, Parts: count, PartSizes: sizes})
+		if err != nil {
+			return err
 		}
 	}
 	return nil

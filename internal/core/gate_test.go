@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// gateRig builds the minimal checkpointer the gate primitives need: the
+// gate fields themselves plus the lifecycle context waitGate selects on.
+func gateRig() *checkpointer {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &checkpointer{ctx: ctx, cancel: cancel}
+}
+
+// TestDumpGateOpenByDefault: with no streaming dump planned, OnBeforeWrite
+// must cost writers nothing.
+func TestDumpGateOpenByDefault(t *testing.T) {
+	c := gateRig()
+	defer c.cancel()
+	done := make(chan struct{})
+	go func() {
+		c.waitGate()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waitGate blocked with the gate open")
+	}
+}
+
+// TestDumpGateBlocksWritersUntilReadsDone: while a dump plan's local reads
+// are in flight the writer must block, and the uploader's release must let
+// it through.
+func TestDumpGateBlocksWritersUntilReadsDone(t *testing.T) {
+	c := gateRig()
+	defer c.cancel()
+	c.acquireGate()
+
+	passed := make(chan struct{})
+	go func() {
+		c.waitGate() // the DBMS thread, about to overwrite a data page
+		close(passed)
+	}()
+	select {
+	case <-passed:
+		t.Fatal("data write passed the gate while the dump was reading")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	c.releaseGate()
+	select {
+	case <-passed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer still blocked after the dump's reads completed")
+	}
+}
+
+// TestDumpGateNestedHolds: a second dump planned before the first one's
+// reads finish stacks a second hold; only the last release reopens the
+// gate.
+func TestDumpGateNestedHolds(t *testing.T) {
+	c := gateRig()
+	defer c.cancel()
+	c.acquireGate()
+	c.acquireGate()
+	c.releaseGate()
+
+	passed := make(chan struct{})
+	go func() {
+		c.waitGate()
+		close(passed)
+	}()
+	select {
+	case <-passed:
+		t.Fatal("gate opened with one hold still outstanding")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	c.releaseGate()
+	select {
+	case <-passed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer still blocked after the last release")
+	}
+}
+
+// TestDumpGateShutdownNeverStrandsWriters: a cancelled checkpointer
+// (shutdown or fatal replication error) must release blocked writers even
+// if the gate is never formally released — the database keeps running
+// locally when replication is gone.
+func TestDumpGateShutdownNeverStrandsWriters(t *testing.T) {
+	c := gateRig()
+	c.acquireGate() // never released: the uploader died with the gate held
+
+	passed := make(chan struct{})
+	go func() {
+		c.waitGate()
+		close(passed)
+	}()
+	select {
+	case <-passed:
+		t.Fatal("data write passed a held gate before shutdown")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	c.cancel()
+	select {
+	case <-passed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown left the writer blocked on the dump gate")
+	}
+}

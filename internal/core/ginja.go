@@ -57,6 +57,14 @@ type Stats struct {
 	// BlockedTime is the cumulative time DBMS writes spent blocked on the
 	// Safety contract.
 	BlockedTime time.Duration
+	// CheckpointBytesBuffered is the in-memory payload currently collected
+	// or queued on the checkpoint path (the ginja_checkpoint_queue_bytes
+	// gauge).
+	CheckpointBytesBuffered int64
+	// PeakStreamBytes is the high-water mark of payload+sealed bytes
+	// resident in the streaming DB data path — bounded by
+	// 2 × CheckpointUploaders × MaxObjectSize regardless of database size.
+	PeakStreamBytes int64
 	// LastError is the first fatal replication error, rendered as a
 	// string ("" while healthy), so health checks can consume a Stats
 	// snapshot without reaching into internals.
@@ -82,6 +90,10 @@ type Ginja struct {
 	ckpt    *checkpointer
 	started bool
 	closed  bool
+
+	// tracker accounts the bytes resident in the streaming DB data path
+	// (Boot's dump and every checkpoint/dump upload share it).
+	tracker *streamTracker
 
 	recInflight *inflight
 	recFetch    *obs.Histogram // per-object GET during recovery prefetch
@@ -109,16 +121,23 @@ func New(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor, params
 		recFetch = params.Metrics.Histogram(metricRecoveryFetch,
 			"Per-object GET duration during recovery prefetch in seconds.", nil, nil)
 	}
-	return &Ginja{
+	g := &Ginja{
 		localFS:     localFS,
 		store:       store,
 		proc:        proc,
 		params:      params,
 		seal:        seal,
 		view:        NewCloudView(),
+		tracker:     &streamTracker{},
 		recInflight: newInflight(params.Metrics, "get", "recovery"),
 		recFetch:    recFetch,
-	}, nil
+	}
+	if reg := params.Metrics; reg != nil {
+		reg.GaugeFunc(metricStreamBytes,
+			"Payload+sealed bytes currently resident in the streaming DB data path.",
+			nil, func() float64 { return float64(g.tracker.cur.Load()) })
+	}
+	return g, nil
 }
 
 // FS returns the intercepted file system the DBMS must be opened on.
@@ -165,41 +184,32 @@ func (g *Ginja) Boot(ctx context.Context) error {
 	}
 	// The boot dump takes the reserved timestamp 0, so that recovery's
 	// "WAL newer than the newest DB object" rule keeps the boot segments.
-	ck := newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params)
-	dumpWrites, err := ck.buildDump()
+	// The DBMS is not running yet, so the plan's lazy file ranges are
+	// stable without the dump gate; the parts stream through the same
+	// bounded uploader pool as steady-state dumps.
+	plan, err := planDump(g.localFS, g.proc, partBudget(g.params.MaxObjectSize))
 	if err != nil {
 		return fmt.Errorf("core: boot dump: %w", err)
 	}
-	payload := EncodeWrites(dumpWrites)
-	sealed, err := g.seal.Seal(payload)
+	up := newPartUploader(g.localFS, g.seal, g.params, g.tracker, g.putWithRetry)
+	sizes, err := up.upload(ctx, 0, 0, Dump, plan, nil)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: boot dump: %w", err)
 	}
-	size := int64(len(sealed))
-	parts := splitBytes(sealed, g.params.MaxObjectSize)
-	err = runLimited(ctx, g.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
-		idx := i
-		if len(parts) == 1 {
-			idx = -1
-		}
-		name := DBObjectName(0, 0, Dump, size, idx)
-		if err := g.putWithRetry(ctx, name, parts[i]); err != nil {
-			return fmt.Errorf("core: boot upload %s: %w", name, err)
-		}
-		return nil
-	})
-	if err != nil {
-		return err
+	var size int64
+	for _, s := range sizes {
+		size += s
 	}
-	nParts := len(parts)
-	if nParts == 1 {
-		nParts = 0
+	info := DBObjectInfo{Ts: 0, Gen: 0, Type: Dump, Size: size}
+	if len(plan) > 1 {
+		info.Parts = len(plan)
+		info.PartSizes = sizes
 	}
-	if err := g.view.AddDB(DBObjectInfo{Ts: 0, Gen: 0, Type: Dump, Size: size, Parts: nParts}); err != nil {
+	if err := g.view.AddDB(info); err != nil {
 		return err
 	}
 	g.params.logger().Info("ginja boot complete",
-		"wal_objects", len(g.view.WALObjects()), "dump_bytes", size)
+		"wal_objects", len(g.view.WALObjects()), "dump_bytes", size, "dump_parts", len(plan))
 	g.start()
 	return nil
 }
@@ -295,16 +305,18 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		}
 	}
 
-	// An item is one sealed object: the dump, a checkpoint (possibly in
-	// several parts) or a WAL object. Parts concatenate in order before
-	// the envelope opens.
+	// An item is one DB or WAL object. For legacy whole-sealed objects the
+	// parts concatenate in order before the envelope opens; for part-sealed
+	// objects (partSealed) every fetched part is its own envelope, opened
+	// and applied as it arrives — no reassembly buffer.
 	type restoreItem struct {
-		label string
-		names []string
+		label      string
+		names      []string
+		partSealed bool
 	}
 
 	// 1. The dump (Algorithm 1 lines 27-29).
-	items := []restoreItem{{label: fmt.Sprintf("DB ts=%d", dump.Ts), names: dump.PartNames()}}
+	items := []restoreItem{{label: fmt.Sprintf("DB ts=%d", dump.Ts), names: dump.PartNames(), partSealed: dump.PartSealed()}}
 	// 2. Incremental checkpoints after it, in (Ts, Gen) order (lines
 	// 30-36). When restoring to an older generation (dumpTs >= 0), stop
 	// before the next generation's dump.
@@ -325,7 +337,7 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		if nextDump != nil && !d.Before(*nextDump) {
 			continue
 		}
-		items = append(items, restoreItem{label: fmt.Sprintf("DB ts=%d", d.Ts), names: d.PartNames()})
+		items = append(items, restoreItem{label: fmt.Sprintf("DB ts=%d", d.Ts), names: d.PartNames(), partSealed: d.PartSealed()})
 		if d.Ts > maxCkptTs {
 			maxCkptTs = d.Ts
 		}
@@ -375,46 +387,70 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		}
 		return data, nil
 	}
-	var sealed []byte // parts of the in-progress item, concatenated
+	var sealed []byte // parts of the in-progress legacy item, concatenated
+	openAndApply := func(label string, env []byte) error {
+		payload, err := g.seal.Open(env)
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", label, err)
+		}
+		writes, err := DecodeWrites(payload)
+		if err != nil {
+			return fmt.Errorf("core: recover %s: %w", label, err)
+		}
+		return applyWrites(target, writes)
+	}
 	apply := func(i int, data []byte) error {
 		it := items[itemOf[i]]
+		if it.partSealed {
+			// Each part is a complete envelope: decode and apply it as it
+			// arrives (in plan order, so a whole-file head chunk truncates
+			// before its continuation chunks append).
+			return openAndApply(it.label, data)
+		}
 		sealed = append(sealed, data...)
 		if i+1 < len(names) && itemOf[i+1] == itemOf[i] {
 			return nil // more parts of this object still to come
 		}
-		payload, err := g.seal.Open(sealed)
+		env := sealed
 		sealed = sealed[:0]
-		if err != nil {
-			return fmt.Errorf("core: recover %s: %w", it.label, err)
-		}
-		writes, err := DecodeWrites(payload)
-		if err != nil {
-			return fmt.Errorf("core: recover %s: %w", it.label, err)
-		}
-		return applyWrites(target, writes)
+		return openAndApply(it.label, env)
 	}
 	return prefetchInOrder(ctx, g.params.RecoveryFetchers, names, fetch, apply)
 }
 
 // applyDBObject downloads (all parts of) a DB object and applies it.
+// Part-sealed parts open and apply one by one; legacy parts reassemble
+// into the single envelope first.
 func (g *Ginja) applyDBObject(ctx context.Context, target vfs.FS, d DBObjectInfo) error {
+	open := func(env []byte) error {
+		payload, err := g.seal.Open(env)
+		if err != nil {
+			return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
+		}
+		writes, err := DecodeWrites(payload)
+		if err != nil {
+			return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
+		}
+		return applyWrites(target, writes)
+	}
 	var sealed []byte
 	for _, name := range d.PartNames() {
 		part, err := g.getWithRetry(ctx, name)
 		if err != nil {
 			return fmt.Errorf("core: recover %s: %w", name, err)
 		}
+		if d.PartSealed() {
+			if err := open(part); err != nil {
+				return err
+			}
+			continue
+		}
 		sealed = append(sealed, part...)
 	}
-	payload, err := g.seal.Open(sealed)
-	if err != nil {
-		return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
+	if d.PartSealed() {
+		return nil
 	}
-	writes, err := DecodeWrites(payload)
-	if err != nil {
-		return fmt.Errorf("core: recover DB ts=%d: %w", d.Ts, err)
-	}
-	return applyWrites(target, writes)
+	return open(sealed)
 }
 
 // putWithRetry uploads an object, absorbing transient cloud failures
@@ -509,7 +545,7 @@ func applyWrites(target vfs.FS, writes []FileWrite) error {
 func (g *Ginja) start() {
 	g.pipe = newPipeline(g.view, g.store, g.seal, g.params)
 	g.pipe.start(g.view.LastWALTs())
-	g.ckpt = newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params)
+	g.ckpt = newCheckpointer(g.localFS, g.proc, g.view, g.store, g.seal, g.params, g.tracker)
 	g.ckpt.start()
 	g.started = true
 	if reg := g.params.Metrics; reg != nil {
@@ -523,6 +559,20 @@ func (g *Ginja) start() {
 			return g.Err()
 		})
 	}
+}
+
+// OnBeforeWrite implements vfs.Observer: data-class writes block here
+// while a streaming dump's local reads are in flight (§5.3: Ginja stops
+// local DB writes during dump creation). The hook fires before the write
+// lands, so no page can change under the dump's planned file ranges.
+func (g *Ginja) OnBeforeWrite(path string, off int64, data []byte) {
+	if !g.started || g.closed || g.ckpt == nil {
+		return
+	}
+	if g.proc.FileKind(path) != dbevent.KindData {
+		return
+	}
+	g.ckpt.waitGate()
 }
 
 // OnWrite implements vfs.Observer: classify the write and route it to the
@@ -611,6 +661,10 @@ func (g *Ginja) Stats() Stats {
 		s.DBBytesUploaded = g.ckpt.stats.dbBytes.Load()
 		s.WALObjectsDeleted = g.ckpt.stats.walDeleted.Load()
 		s.DBObjectsDeleted = g.ckpt.stats.dbDeleted.Load()
+		s.CheckpointBytesBuffered = g.ckpt.bufBytes.Load()
+	}
+	if g.tracker != nil {
+		s.PeakStreamBytes = g.tracker.peak.Load()
 	}
 	if err := g.Err(); err != nil {
 		s.LastError = err.Error()

@@ -64,66 +64,136 @@ func ParseWALObjectName(name string) (ts int64, filename string, offset int64, e
 	return ts, rest[first+1 : last], offset, nil
 }
 
+// DBName is the parsed form of a DB object name. Two on-cloud formats
+// share the DB/ prefix:
+//
+//   - Legacy (whole-sealed): the payload is encoded and sealed once, then
+//     split into raw byte chunks. Size is the whole object's sealed size,
+//     Part ≥ 0 (".p<part>") identifies a chunk, Sealed is false and the
+//     MAC only validates over the reassembled whole.
+//   - Part-sealed (streamed, this format version): each part is an
+//     independently encoded, independently sealed write list. Size is the
+//     sealed size of THIS part (".s<part>"), and the final part — the
+//     format's commit marker — additionally carries the total part count
+//     (".n<count>"). Parts open and decode individually.
+//
+// An unsplit object (Part < 0) is byte-identical in both formats, so
+// single-part streamed uploads keep emitting the legacy name.
+type DBName struct {
+	Ts   int64
+	Gen  int
+	Type DBObjectType
+	Size int64
+	// Part is the part index, -1 for unsplit objects.
+	Part int
+	// Sealed marks a part-sealed (".s") part; false for legacy ".p" parts
+	// and unsplit objects.
+	Sealed bool
+	// Count is the total number of parts, > 0 only on the final sealed
+	// part (".n<count>", count ≥ 2).
+	Count int
+}
+
+// String formats the cloud object key for this name.
+func (n DBName) String() string {
+	base := fmt.Sprintf("%s%d_%s_%d", dbPrefix, n.Ts, n.Type, n.Size)
+	if n.Gen > 0 {
+		base = fmt.Sprintf("%s.g%d", base, n.Gen)
+	}
+	switch {
+	case n.Sealed && n.Count > 0:
+		return fmt.Sprintf("%s.s%d.n%d", base, n.Part, n.Count)
+	case n.Sealed:
+		return fmt.Sprintf("%s.s%d", base, n.Part)
+	case n.Part >= 0:
+		return fmt.Sprintf("%s.p%d", base, n.Part)
+	}
+	return base
+}
+
 // DBObjectName formats DB/<ts>_<type>_<size> (§5.2), with two optional
 // suffixes: ".g<gen>" disambiguates multiple DB objects that share a
 // timestamp (two checkpoints with no commit in between both carry the ts
 // of the same last WAL object — the paper's naming tells them apart only
-// by size, which is not guaranteed unique), and ".p<part>" marks a part of
-// an object split at the maximum object size (§5.2 footnote: 20 MB by
-// default). gen 0 and part < 0 produce the paper's plain format.
+// by size, which is not guaranteed unique), and ".p<part>" marks a legacy
+// whole-sealed part of an object split at the maximum object size (§5.2
+// footnote: 20 MB by default). gen 0 and part < 0 produce the paper's
+// plain format.
 func DBObjectName(ts int64, gen int, typ DBObjectType, size int64, part int) string {
-	base := fmt.Sprintf("%s%d_%s_%d", dbPrefix, ts, typ, size)
-	if gen > 0 {
-		base = fmt.Sprintf("%s.g%d", base, gen)
-	}
-	if part < 0 {
-		return base
-	}
-	return fmt.Sprintf("%s.p%d", base, part)
+	return DBName{Ts: ts, Gen: gen, Type: typ, Size: size, Part: part}.String()
 }
 
-// ParseDBObjectName inverts DBObjectName. part is -1 for unsplit objects;
-// gen is 0 for the plain paper format.
-func ParseDBObjectName(name string) (ts int64, gen int, typ DBObjectType, size int64, part int, err error) {
+// DBPartName formats the name of one part-sealed part: size is the sealed
+// size of this part alone, and count (the total number of parts, ≥ 2) is
+// carried only by the final part, as the upload's commit marker.
+func DBPartName(ts int64, gen int, typ DBObjectType, size int64, part, count int) string {
+	return DBName{Ts: ts, Gen: gen, Type: typ, Size: size, Part: part, Sealed: true, Count: count}.String()
+}
+
+// ParseDBObjectName inverts DBName.String. Only values the emitters can
+// produce count as suffixes (legacy part ≥ 0, sealed part ≥ 0, count ≥ 2,
+// gen > 0); anything else — ".p-2", ".g0", ".n1" — is not a suffix and
+// must fail the field parse below rather than silently round-trip wrong.
+func ParseDBObjectName(name string) (DBName, error) {
+	n := DBName{Part: -1}
 	rest, ok := strings.CutPrefix(name, dbPrefix)
 	if !ok {
-		return 0, 0, "", 0, 0, fmt.Errorf("core: %q is not a DB object name", name)
+		return n, fmt.Errorf("core: %q is not a DB object name", name)
 	}
-	// Only values DBObjectName can emit count as suffixes (part ≥ 0,
-	// gen > 0); anything else — ".p-2", ".g0" — is not a suffix and must
-	// fail the field parse below rather than silently round-trip wrong.
-	part = -1
-	if i := strings.LastIndex(rest, ".p"); i >= 0 {
+	if i := strings.LastIndex(rest, ".n"); i >= 0 {
+		c, cerr := strconv.Atoi(rest[i+2:])
+		if cerr == nil && c >= 2 {
+			n.Count = c
+			rest = rest[:i]
+		}
+	}
+	if i := strings.LastIndex(rest, ".s"); i >= 0 {
 		p, perr := strconv.Atoi(rest[i+2:])
 		if perr == nil && p >= 0 {
-			part = p
+			n.Part = p
+			n.Sealed = true
 			rest = rest[:i]
+		}
+	}
+	if !n.Sealed {
+		if i := strings.LastIndex(rest, ".p"); i >= 0 {
+			p, perr := strconv.Atoi(rest[i+2:])
+			if perr == nil && p >= 0 {
+				n.Part = p
+				rest = rest[:i]
+			}
 		}
 	}
 	if i := strings.LastIndex(rest, ".g"); i >= 0 {
 		g, gerr := strconv.Atoi(rest[i+2:])
 		if gerr == nil && g > 0 {
-			gen = g
+			n.Gen = g
 			rest = rest[:i]
 		}
 	}
+	// The count marker is only valid as ".s<part>.n<count>" with the final
+	// part index; any other combination is not a name we emit.
+	if n.Count > 0 && (!n.Sealed || n.Part != n.Count-1) {
+		return DBName{Part: -1}, fmt.Errorf("core: malformed DB object name %q", name)
+	}
 	fields := strings.Split(rest, "_")
 	if len(fields) != 3 {
-		return 0, 0, "", 0, 0, fmt.Errorf("core: malformed DB object name %q", name)
+		return DBName{Part: -1}, fmt.Errorf("core: malformed DB object name %q", name)
 	}
-	ts, err = strconv.ParseInt(fields[0], 10, 64)
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: %w", name, err)
+		return DBName{Part: -1}, fmt.Errorf("core: DB object name %q: %w", name, err)
 	}
-	typ = DBObjectType(fields[1])
-	if typ != Dump && typ != Checkpoint {
-		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: unknown type %q", name, typ)
+	n.Ts = ts
+	n.Type = DBObjectType(fields[1])
+	if n.Type != Dump && n.Type != Checkpoint {
+		return DBName{Part: -1}, fmt.Errorf("core: DB object name %q: unknown type %q", name, n.Type)
 	}
-	size, err = strconv.ParseInt(fields[2], 10, 64)
+	n.Size, err = strconv.ParseInt(fields[2], 10, 64)
 	if err != nil {
-		return 0, 0, "", 0, 0, fmt.Errorf("core: DB object name %q: %w", name, err)
+		return DBName{Part: -1}, fmt.Errorf("core: DB object name %q: %w", name, err)
 	}
-	return ts, gen, typ, size, part, nil
+	return n, nil
 }
 
 // FileWrite is one replicated file mutation: either a positional write or,

@@ -64,13 +64,48 @@ func TestDBObjectNameRoundTrip(t *testing.T) {
 	}
 	for _, tt := range tests {
 		name := DBObjectName(tt.ts, tt.gen, tt.typ, tt.size, tt.part)
-		ts, gen, typ, size, part, err := ParseDBObjectName(name)
+		n, err := ParseDBObjectName(name)
 		if err != nil {
 			t.Fatalf("parse %q: %v", name, err)
 		}
-		if ts != tt.ts || gen != tt.gen || typ != tt.typ || size != tt.size || part != tt.part {
-			t.Fatalf("round trip %q = (%d, %d, %s, %d, %d)", name, ts, gen, typ, size, part)
+		if n.Ts != tt.ts || n.Gen != tt.gen || n.Type != tt.typ || n.Size != tt.size || n.Part != tt.part || n.Sealed || n.Count != 0 {
+			t.Fatalf("round trip %q = %+v", name, n)
 		}
+	}
+}
+
+func TestDBPartNameRoundTrip(t *testing.T) {
+	tests := []struct {
+		ts          int64
+		gen         int
+		typ         DBObjectType
+		size        int64
+		part, count int
+	}{
+		{0, 0, Dump, 9000, 0, 0},
+		{55, 2, Checkpoint, 4096, 1, 0},
+		{55, 0, Dump, 123, 2, 3}, // final part carries the count marker
+		{7, 4, Dump, 1, 9, 10},
+	}
+	for _, tt := range tests {
+		name := DBPartName(tt.ts, tt.gen, tt.typ, tt.size, tt.part, tt.count)
+		n, err := ParseDBObjectName(name)
+		if err != nil {
+			t.Fatalf("parse %q: %v", name, err)
+		}
+		if n.Ts != tt.ts || n.Gen != tt.gen || n.Type != tt.typ || n.Size != tt.size ||
+			n.Part != tt.part || !n.Sealed || n.Count != tt.count {
+			t.Fatalf("round trip %q = %+v", name, n)
+		}
+	}
+}
+
+func TestDBPartNameFormat(t *testing.T) {
+	if got := DBPartName(5, 0, Dump, 123, 0, 0); got != "DB/5_dump_123.s0" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := DBPartName(5, 2, Dump, 99, 3, 4); got != "DB/5_dump_99.g2.s3.n4" {
+		t.Fatalf("name = %q", got)
 	}
 }
 
@@ -85,8 +120,16 @@ func TestDBObjectNameMatchesPaperFormat(t *testing.T) {
 }
 
 func TestParseDBObjectNameRejectsGarbage(t *testing.T) {
-	for _, bad := range []string{"", "DB/", "DB/1_dump", "DB/1_blob_2", "WAL/1_f_0", "DB/x_dump_2"} {
-		if _, _, _, _, _, err := ParseDBObjectName(bad); err == nil {
+	for _, bad := range []string{
+		"", "DB/", "DB/1_dump", "DB/1_blob_2", "WAL/1_f_0", "DB/x_dump_2",
+		"DB/1_dump_2.n2",    // count marker without a sealed part index
+		"DB/1_dump_2.s0.n3", // marker not on the final part
+		"DB/1_dump_2.p0.n2", // marker on a legacy part
+		"DB/1_dump_2.s0.p1", // both suffix kinds at once
+		"DB/1_dump_2.s1.n1", // count < 2 is not a marker, so ".n1" corrupts the size field
+		"DB/1_dump_2.s-1",   // negative sealed index corrupts the size field
+	} {
+		if _, err := ParseDBObjectName(bad); err == nil {
 			t.Errorf("ParseDBObjectName(%q) accepted", bad)
 		}
 	}
@@ -337,8 +380,8 @@ func FuzzParseWALObjectName(f *testing.F) {
 }
 
 // FuzzParseDBObjectName checks the same accepted-implies-round-trips
-// property for DB object names, including the .g<gen> and .p<part>
-// suffixes.
+// property for DB object names, including the .g<gen>, legacy .p<part>
+// and part-sealed .s<part>[.n<count>] suffixes.
 func FuzzParseDBObjectName(f *testing.F) {
 	f.Add("DB/5_dump_123")
 	f.Add("DB/5_checkpoint_123")
@@ -348,22 +391,28 @@ func FuzzParseDBObjectName(f *testing.F) {
 	f.Add("DB/5_dump_123.p-2")
 	f.Add("DB/5_dump_123.g0")
 	f.Add("DB/-1_dump_-2")
+	f.Add("DB/5_dump_123.s0")
+	f.Add("DB/5_dump_123.g2.s4")
+	f.Add("DB/5_dump_123.s2.n3")
+	f.Add("DB/5_dump_123.s0.n3")
+	f.Add("DB/5_dump_123.n2")
+	f.Add("DB/5_dump_123.s1.n1")
 	f.Fuzz(func(t *testing.T, name string) {
-		ts, gen, typ, size, part, err := ParseDBObjectName(name)
+		n, err := ParseDBObjectName(name)
 		if err != nil {
 			return
 		}
-		if gen < 0 || part < -1 {
-			t.Fatalf("parse %q produced unencodable fields gen=%d part=%d", name, gen, part)
+		if n.Gen < 0 || n.Part < -1 || (n.Sealed && n.Part < 0) ||
+			n.Count < 0 || (n.Count > 0 && (n.Count < 2 || !n.Sealed || n.Part != n.Count-1)) {
+			t.Fatalf("parse %q produced unencodable fields %+v", name, n)
 		}
-		re := DBObjectName(ts, gen, typ, size, part)
-		ts2, gen2, typ2, size2, part2, err := ParseDBObjectName(re)
+		re := n.String()
+		n2, err := ParseDBObjectName(re)
 		if err != nil {
 			t.Fatalf("re-encoded name %q (from %q) does not parse: %v", re, name, err)
 		}
-		if ts2 != ts || gen2 != gen || typ2 != typ || size2 != size || part2 != part {
-			t.Fatalf("round trip changed fields: %q -> (%d,%d,%s,%d,%d) -> %q -> (%d,%d,%s,%d,%d)",
-				name, ts, gen, typ, size, part, re, ts2, gen2, typ2, size2, part2)
+		if n2 != n {
+			t.Fatalf("round trip changed fields: %q -> %+v -> %q -> %+v", name, n, re, n2)
 		}
 	})
 }

@@ -25,13 +25,16 @@ const (
 	metricWritesPerObj   = "ginja_wal_writes_per_object"
 	metricPutsPerBatch   = "ginja_wal_puts_per_batch"
 
-	metricCheckpoints  = "ginja_checkpoints_total"
-	metricDBObjects    = "ginja_db_objects_uploaded_total"
-	metricDBBytes      = "ginja_db_bytes_uploaded_total"
-	metricGCDeleted    = "ginja_gc_deleted_total"
-	metricCkptBuild    = "ginja_checkpoint_build_seconds"
-	metricCkptUpload   = "ginja_checkpoint_upload_seconds"
-	metricCkptQueueLen = "ginja_checkpoint_queue_depth"
+	metricCheckpoints    = "ginja_checkpoints_total"
+	metricDBObjects      = "ginja_db_objects_uploaded_total"
+	metricDBBytes        = "ginja_db_bytes_uploaded_total"
+	metricGCDeleted      = "ginja_gc_deleted_total"
+	metricCkptBuild      = "ginja_checkpoint_build_seconds"
+	metricCkptUpload     = "ginja_checkpoint_upload_seconds"
+	metricCkptQueueLen   = "ginja_checkpoint_queue_depth"
+	metricCkptQueueBytes = "ginja_checkpoint_queue_bytes"
+	metricStreamBytes    = "ginja_db_stream_inflight_bytes"
+	metricDBSeal         = "ginja_db_seal_seconds"
 
 	metricCloudInflight = "ginja_cloud_inflight_requests"
 	metricDBPartPut     = "ginja_db_part_put_seconds"
@@ -146,10 +149,11 @@ type checkpointMetrics struct {
 	walDeleted  *obs.Counter
 	dbDeleted   *obs.Counter
 
-	build      *obs.Histogram // dump construction duration
+	build      *obs.Histogram // dump plan construction duration
 	uploadCkpt *obs.Histogram
 	uploadDump *obs.Histogram
 	partPut    *obs.Histogram // per-part DB PUT, retries included
+	sealPart   *obs.Histogram // per-part seal stage (streamed data path)
 }
 
 func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
@@ -171,5 +175,7 @@ func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
 			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "dump"}, nil),
 		partPut: reg.Histogram(metricDBPartPut,
 			"Per-part DB object PUT duration in seconds, retries included.", nil, nil),
+		sealPart: reg.Histogram(metricDBSeal,
+			"Per-part compress+seal duration on the streamed DB data path in seconds.", nil, nil),
 	}
 }

@@ -31,7 +31,8 @@ type partOutageStore struct {
 var errPartOutage = errors.New("test: provider outage mid part upload")
 
 func (s *partOutageStore) Put(ctx context.Context, name string, data []byte) error {
-	if s.armed.Load() && strings.HasPrefix(name, "DB/") && strings.Contains(name, ".p") {
+	if s.armed.Load() && strings.HasPrefix(name, "DB/") &&
+		(strings.Contains(name, ".p") || strings.Contains(name, ".s")) {
 		if s.allowed.Add(-1) < 0 {
 			return errPartOutage
 		}
@@ -103,11 +104,11 @@ func TestConcurrentPartUploadOutageMidDump(t *testing.T) {
 	}
 	orphans := 0
 	for _, info := range infos {
-		ts, _, _, _, part, err := core.ParseDBObjectName(info.Name)
+		n, err := core.ParseDBObjectName(info.Name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ts != 0 && part >= 0 {
+		if n.Ts != 0 && n.Part >= 0 {
 			orphans++
 		}
 	}

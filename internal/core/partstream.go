@@ -1,0 +1,402 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/obs"
+	"github.com/ginja-dr/ginja/internal/sealer"
+	"github.com/ginja-dr/ginja/internal/simclock"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// This file is the streaming DB-object data path: instead of snapshotting
+// the whole database into memory, encoding it into one buffer and sealing
+// it once (O(DB) resident bytes, serial CPU), a dump or checkpoint is
+// first *planned* — split into ≤ partBudget payload slices, each entry
+// either an in-memory write or a lazy (path, offset, length) range of a
+// local file — and the plan is then executed by a bounded worker pool:
+// each worker reads+encodes its part into a pooled buffer, seals it with
+// a dedicated per-worker sealer.Ctx and PUTs it. At most
+// CheckpointUploaders parts are resident at any moment, so memory is
+// bounded by CheckpointUploaders × (payload + sealed) ≤
+// 2 × CheckpointUploaders × MaxObjectSize regardless of database size,
+// and sealing parallelizes across the pool instead of running once over
+// the whole object.
+
+// planEntry is one slice of a planned part: either carries its bytes
+// (data non-nil — collected checkpoint writes, dump extras) or names a
+// range of a local file to be read at upload time (data nil).
+type planEntry struct {
+	path   string
+	offset int64
+	length int64
+	whole  bool
+	data   []byte
+}
+
+// Per-entry wire overhead: flags(1) + pathLen(2) + offset(8) + dataLen(8)
+// plus the path bytes; partHeaderSize is the write-list header.
+const (
+	entryOverhead  = 1 + 2 + 8 + 8
+	partHeaderSize = 8
+)
+
+// partBudget is the payload budget per part: enough below MaxObjectSize
+// that a sealed part (envelope + MAC + IV + zlib stored-block worst case)
+// still fits in one cloud object.
+func partBudget(maxObj int64) int64 {
+	if maxObj <= 0 {
+		return 1 << 20 // no object-size cap: any finite budget works
+	}
+	b := maxObj - maxObj/32 - 128
+	if b < 512 {
+		b = 512
+	}
+	return b
+}
+
+// splitEntry cuts e after n payload bytes. The head keeps e's whole flag
+// (a truncating whole write recreates the file's first n bytes); the tail
+// continues positionally so that applying head then tail reassembles the
+// original range in order.
+func splitEntry(e planEntry, n int64) (head, tail planEntry) {
+	head, tail = e, e
+	head.length = n
+	tail.offset = e.offset + n
+	tail.length = e.length - n
+	tail.whole = false
+	if e.data != nil {
+		head.data = e.data[:n]
+		tail.data = e.data[n:]
+	}
+	return head, tail
+}
+
+// planParts greedily packs entries into parts of at most budget encoded
+// bytes, splitting entries that do not fit (the head chunk fills the
+// current part exactly). Always returns at least one part so that even an
+// empty database produces a dump object.
+func planParts(entries []planEntry, budget int64) [][]planEntry {
+	var parts [][]planEntry
+	var cur []planEntry
+	curBytes := int64(partHeaderSize)
+	flush := func() {
+		parts = append(parts, cur)
+		cur = nil
+		curBytes = partHeaderSize
+	}
+	for _, e := range entries {
+		overhead := int64(entryOverhead + len(e.path))
+		rem := e
+		for {
+			room := budget - curBytes - overhead
+			if rem.length <= room || (len(cur) == 0 && room < 1) {
+				// Fits — or cannot be made to fit (overhead alone exceeds
+				// the budget): take it whole rather than degenerate into
+				// byte-sized parts.
+				cur = append(cur, rem)
+				curBytes += overhead + rem.length
+				break
+			}
+			if room < 1 {
+				flush()
+				continue
+			}
+			head, tail := splitEntry(rem, room)
+			cur = append(cur, head)
+			flush()
+			rem = tail
+		}
+	}
+	if len(cur) > 0 || len(parts) == 0 {
+		flush()
+	}
+	return parts
+}
+
+// entriesFromWrites converts an in-memory write list (a finished
+// checkpoint collection) into plan entries.
+func entriesFromWrites(writes []FileWrite) []planEntry {
+	entries := make([]planEntry, len(writes))
+	for i, w := range writes {
+		entries[i] = planEntry{path: w.Path, offset: w.Offset, length: int64(len(w.Data)), whole: w.Whole, data: w.Data}
+	}
+	return entries
+}
+
+// planDump plans a full dump (Algorithm 3 line 10) without reading the
+// data files: every data-class file becomes a lazy whole-file entry whose
+// bytes the uploader reads chunk by chunk. Only the processor's extra
+// regions (e.g. the InnoDB log header) are read eagerly — they live in
+// WAL-class files that keep moving while the dump streams, so their bytes
+// must be captured now, while the DBMS is paused inside its
+// checkpoint-end write. A missing extras file just means no WAL was
+// written yet; every other error is a real read failure that would
+// silently truncate the dump.
+func planDump(fsys vfs.FS, proc dbevent.Processor, budget int64) ([][]planEntry, error) {
+	files, err := vfs.Walk(fsys, "")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var entries []planEntry
+	for _, p := range files {
+		if proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		fi, err := fsys.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, planEntry{path: p, length: fi.Size(), whole: true})
+	}
+	for _, region := range proc.DumpExtras() {
+		f, err := fsys.OpenFile(region.Path, os.O_RDONLY, 0)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		buf := make([]byte, region.Length)
+		n, err := f.ReadAt(buf, region.Offset)
+		f.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		if n > 0 {
+			entries = append(entries, planEntry{path: region.Path, offset: region.Offset, length: int64(n), data: buf[:n]})
+		}
+	}
+	return planParts(entries, budget), nil
+}
+
+// planInMemBytes is the payload held in memory by a plan (the lazy
+// entries cost nothing until a worker streams them).
+func planInMemBytes(parts [][]planEntry) int64 {
+	var n int64
+	for _, part := range parts {
+		for _, e := range part {
+			n += int64(len(e.data))
+		}
+	}
+	return n
+}
+
+// encodePart serializes one part's entries into buf (usually pooled
+// scratch[:0]) as a self-framing write list — the same wire format
+// DecodeWrites reads — streaming lazy entries straight from the local
+// file into the encode buffer at their final position (no intermediate
+// copy).
+func encodePart(fsys vfs.FS, entries []planEntry, buf []byte) ([]byte, error) {
+	buf = append(buf, writeListMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	var (
+		curFile vfs.File
+		curPath string
+	)
+	defer func() {
+		if curFile != nil {
+			curFile.Close()
+		}
+	}()
+	for _, e := range entries {
+		var flags byte
+		if e.whole {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.path)))
+		buf = append(buf, e.path...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.offset))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.length))
+		if e.data != nil {
+			buf = append(buf, e.data...)
+			continue
+		}
+		if e.length == 0 {
+			continue
+		}
+		if curFile == nil || curPath != e.path {
+			if curFile != nil {
+				curFile.Close()
+			}
+			f, err := fsys.OpenFile(e.path, os.O_RDONLY, 0)
+			if err != nil {
+				return nil, err
+			}
+			curFile, curPath = f, e.path
+		}
+		pos := len(buf)
+		need := pos + int(e.length)
+		if cap(buf) < need {
+			grown := make([]byte, pos, need)
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:need]
+		n, err := curFile.ReadAt(buf[pos:], e.offset)
+		if n != int(e.length) {
+			if err == nil || errors.Is(err, io.EOF) {
+				err = fmt.Errorf("core: %s shrank under a streaming dump (read %d of %d at offset %d)",
+					e.path, n, e.length, e.offset)
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// streamTracker accounts the payload+sealed bytes currently resident in
+// the streaming data path, with a high-water mark — the deterministic
+// measurement behind the O(CheckpointUploaders × MaxObjectSize) memory
+// bound (GC-noise-free, unlike heap sampling).
+type streamTracker struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+func (t *streamTracker) add(n int64) {
+	if t == nil {
+		return
+	}
+	v := t.cur.Add(n)
+	for {
+		p := t.peak.Load()
+		if v <= p || t.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+func (t *streamTracker) sub(n int64) {
+	if t != nil {
+		t.cur.Add(-n)
+	}
+}
+
+// partUploader executes a part plan: read→encode→seal→PUT per part, up to
+// CheckpointUploaders parts in flight. Encode buffers are pooled and
+// bounded at MaxObjectSize; each worker seals with a dedicated
+// sealer.Ctx. Safe for concurrent use by one upload at a time per object
+// (the checkpointer serializes objects; Boot runs alone).
+type partUploader struct {
+	fs      vfs.FS
+	seal    *sealer.Sealer
+	params  Params
+	clk     simclock.Clock
+	put     func(ctx context.Context, name string, data []byte) error
+	tracker *streamTracker
+
+	// Optional instruments (nil when observability is disabled).
+	sealHist    *obs.Histogram
+	putHist     *obs.Histogram
+	putInflight *inflight
+
+	bufs sync.Pool // *[]byte encode scratch, capacity ≤ MaxObjectSize
+	ctxs sync.Pool // *sealer.Ctx per-worker seal state
+}
+
+func newPartUploader(fsys vfs.FS, seal *sealer.Sealer, params Params, tracker *streamTracker,
+	put func(ctx context.Context, name string, data []byte) error) *partUploader {
+	u := &partUploader{fs: fsys, seal: seal, params: params, clk: params.clock(), put: put, tracker: tracker}
+	budget := partBudget(params.MaxObjectSize)
+	u.bufs.New = func() any {
+		b := make([]byte, 0, budget)
+		return &b
+	}
+	u.ctxs.New = func() any { return seal.NewCtx() }
+	return u
+}
+
+// release returns an encode buffer to the pool unless it grew past the
+// object-size bound (a pathological plan entry) — an oversized buffer
+// retained in the pool would defeat the memory bound.
+func (u *partUploader) release(bp *[]byte) {
+	if u.params.MaxObjectSize > 0 && int64(cap(*bp)) > u.params.MaxObjectSize {
+		return
+	}
+	*bp = (*bp)[:0]
+	u.bufs.Put(bp)
+}
+
+// upload streams every planned part and returns the sealed size of each,
+// in part order. readsDone (optional) fires once, as soon as the last
+// part's local reads completed — the signal that the database files are
+// no longer needed and frozen writers may resume; on failure the caller's
+// own release path must cover it. A single-part object is uploaded under
+// the legacy unsplit name (the formats are byte-identical there), so
+// small checkpoints stay readable by legacy readers.
+func (u *partUploader) upload(ctx context.Context, ts int64, gen int, typ DBObjectType,
+	parts [][]planEntry, readsDone func()) ([]int64, error) {
+	sizes := make([]int64, len(parts))
+	var readsLeft atomic.Int64
+	readsLeft.Store(int64(len(parts)))
+	err := runLimited(ctx, u.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
+		bp := u.bufs.Get().(*[]byte)
+		payload, err := encodePart(u.fs, parts[i], (*bp)[:0])
+		if err != nil {
+			u.release(bp)
+			return fmt.Errorf("core: build DB part ts=%d gen=%d part=%d: %w", ts, gen, i, err)
+		}
+		if readsLeft.Add(-1) == 0 && readsDone != nil {
+			readsDone()
+		}
+		u.tracker.add(int64(len(payload)))
+		sealStart := u.clk.Now()
+		sctx := u.ctxs.Get().(*sealer.Ctx)
+		sealed, err := sctx.Seal(payload)
+		u.ctxs.Put(sctx)
+		// Both buffers exist until the payload scratch is released, so the
+		// sealed bytes enter the tracker first — the measured peak covers
+		// the overlap honestly.
+		u.tracker.add(int64(len(sealed)))
+		*bp = payload
+		u.release(bp)
+		u.tracker.sub(int64(len(payload)))
+		if err != nil {
+			u.tracker.sub(int64(len(sealed)))
+			return fmt.Errorf("core: seal DB part ts=%d gen=%d part=%d: %w", ts, gen, i, err)
+		}
+		if u.sealHist != nil {
+			u.sealHist.ObserveDuration(u.clk.Since(sealStart))
+		}
+		sizes[i] = int64(len(sealed))
+		var name string
+		if len(parts) == 1 {
+			name = DBObjectName(ts, gen, typ, int64(len(sealed)), -1)
+		} else {
+			count := 0
+			if i == len(parts)-1 {
+				count = len(parts)
+			}
+			name = DBPartName(ts, gen, typ, int64(len(sealed)), i, count)
+		}
+		putStart := u.clk.Now()
+		u.putInflight.enter()
+		err = u.put(ctx, name, sealed)
+		u.putInflight.exit()
+		u.tracker.sub(int64(len(sealed)))
+		if err != nil {
+			return fmt.Errorf("core: upload %s: %w", name, err)
+		}
+		if u.putHist != nil {
+			u.putHist.ObserveDuration(u.clk.Since(putStart))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sizes, nil
+}

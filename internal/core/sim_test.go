@@ -58,7 +58,7 @@ func TestSimTBFiresAtExactDeadline(t *testing.T) {
 	}
 
 	clk.Advance(time.Millisecond) // onTB fires synchronously here
-	batch, ok := q.nextBatch(nil)    // must not block: partial batch released
+	batch, ok := q.nextBatch(nil) // must not block: partial batch released
 	if !ok || len(batch) != 2 {
 		t.Fatalf("nextBatch after TB = (%d items, %v), want 2 items", len(batch), ok)
 	}

@@ -43,7 +43,7 @@ func TestDBObjectSplitEndToEnd(t *testing.T) {
 	}
 	parts := 0
 	for _, info := range infos {
-		if strings.Contains(info.Name, ".p") {
+		if strings.Contains(info.Name, ".p") || strings.Contains(info.Name, ".s") {
 			parts++
 		}
 	}

@@ -52,9 +52,10 @@ func (g *Ginja) Verify(ctx context.Context, target vfs.FS,
 			return res, fmt.Errorf("core: verify download %s: %w", info.Name, err)
 		}
 		res.BytesDownloaded += int64(len(sealed))
-		// Parts of split DB objects only validate as a whole; check them
-		// via the full-object path below instead.
-		if _, _, _, _, part, dbErr := ParseDBObjectName(info.Name); dbErr == nil && part >= 0 {
+		// Legacy whole-sealed split parts only validate as a whole; check
+		// them via the full-object path below instead. Part-sealed parts
+		// are each a complete envelope and verify right here.
+		if n, dbErr := ParseDBObjectName(info.Name); dbErr == nil && n.Part >= 0 && !n.Sealed {
 			continue
 		}
 		if _, err := g.seal.Open(sealed); err != nil {
@@ -62,11 +63,12 @@ func (g *Ginja) Verify(ctx context.Context, target vfs.FS,
 		}
 		res.ObjectsChecked++
 	}
-	// Validate split DB objects part-sets as wholes (the MAC covers the
-	// reassembled object, so parts can only be checked together).
+	// Validate legacy split DB objects part-sets as wholes (their MAC
+	// covers the reassembled object, so parts can only be checked
+	// together). Part-sealed objects were fully verified in step 1.
 	scratch := vfs.NewMemFS()
 	for _, d := range g.view.DBObjects() {
-		if d.Parts == 0 {
+		if d.Parts == 0 || d.PartSealed() {
 			continue
 		}
 		if err := g.applyDBObject(ctx, scratch, d); err != nil {

@@ -71,6 +71,34 @@ type DatapathRun struct {
 	RecoveryObjects int `json:"recovery_objects"`
 }
 
+// StreamingResult reports the streamed part-sealed data path: the memory
+// high-water mark of the parallel dump against its O(uploaders ×
+// MaxObjectSize) bound, and backwards compatibility with legacy
+// whole-sealed multi-part objects.
+type StreamingResult struct {
+	Parallelism int `json:"parallelism"`
+	// DumpParts is how many part-sealed parts the measured dump produced.
+	DumpParts    int     `json:"dump_parts"`
+	DumpUploadMs float64 `json:"dump_upload_ms"`
+	// LocalDBBytes is the local database size at dump time — the O(DB)
+	// quantity the old data path kept resident.
+	LocalDBBytes int64 `json:"local_db_bytes"`
+	// PeakStreamBytes is the measured high-water mark of payload+sealed
+	// bytes resident in the streaming data path.
+	PeakStreamBytes int64 `json:"peak_stream_bytes"`
+	// BoundBytes is 2 × CheckpointUploaders × MaxObjectSize; WithinBound
+	// asserts PeakStreamBytes stayed under it.
+	BoundBytes  int64 `json:"bound_bytes"`
+	WithinBound bool  `json:"within_bound"`
+	// QueueBytesAfter is ginja_checkpoint_queue_bytes after the dump
+	// drained (must return to zero — no payload leaks in the accounting).
+	QueueBytesAfter int64 `json:"queue_bytes_after"`
+	// LegacyRecoveryOK: a hand-built legacy whole-sealed multi-part dump
+	// (".p<part>" names, one MAC over the reassembled object) recovered
+	// end-to-end byte-identically.
+	LegacyRecoveryOK bool `json:"legacy_recovery_ok"`
+}
+
 // DatapathResult is the serial-vs-parallel comparison plus the sealer
 // allocation profile, the machine-readable content of BENCH_datapath.json.
 type DatapathResult struct {
@@ -83,6 +111,9 @@ type DatapathResult struct {
 	SealAllocsPerOp float64 `json:"seal_allocs_per_op"`
 	// OpenAllocsPerOp is allocations per Sealer.Open on the same path.
 	OpenAllocsPerOp float64 `json:"open_allocs_per_op"`
+	// Streaming covers the part-sealed streamed data path (taken from the
+	// parallel run).
+	Streaming StreamingResult `json:"streaming"`
 }
 
 // datapathProfile is the WAN model used for the measurement: the sim
@@ -96,10 +127,18 @@ func datapathProfile() cloudsim.Profile {
 	}
 }
 
+// streamSample captures the streaming-path observations of one run.
+type streamSample struct {
+	peakStreamBytes int64
+	localDBBytes    int64
+	queueBytesAfter int64
+}
+
 // measureDatapath runs one full scenario — boot, workload, dump,
 // disaster recovery — at the given parallelism, all in virtual time.
-func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, error) {
+func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, streamSample, error) {
 	run := DatapathRun{Parallelism: parallel}
+	var sample streamSample
 	clk := simclock.NewSim()
 	stopPump := clk.Pump()
 	defer stopPump()
@@ -126,17 +165,17 @@ func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, error) {
 	localFS := vfs.NewMemFS()
 	g, err := core.New(localFS, store, dbevent.NewPGProcessor(), params)
 	if err != nil {
-		return run, err
+		return run, sample, err
 	}
 	if err := g.Boot(ctx); err != nil {
-		return run, fmt.Errorf("boot: %w", err)
+		return run, sample, fmt.Errorf("boot: %w", err)
 	}
 	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
 	if err != nil {
-		return run, err
+		return run, sample, err
 	}
 	if err := db.CreateTable("kv", 4); err != nil {
-		return run, err
+		return run, sample, err
 	}
 	value := bytes.Repeat([]byte("v"), opts.ValueBytes)
 	for i := 0; i < opts.Rows; i++ {
@@ -144,11 +183,11 @@ func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, error) {
 		if err := db.Update(func(tx *minidb.Txn) error {
 			return tx.Put("kv", []byte(key), value)
 		}); err != nil {
-			return run, fmt.Errorf("row %d: %w", i, err)
+			return run, sample, fmt.Errorf("row %d: %w", i, err)
 		}
 	}
 	if !g.Flush(5 * time.Minute) {
-		return run, fmt.Errorf("flush did not drain")
+		return run, sample, fmt.Errorf("flush did not drain")
 	}
 
 	// The measured window: checkpoint submission → dump durable. The
@@ -157,29 +196,52 @@ func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, error) {
 	dumpsBefore := g.Stats().Dumps
 	t0 := clk.Now()
 	if err := db.Checkpoint(); err != nil {
-		return run, err
+		return run, sample, err
 	}
 	for tries := 0; g.Stats().Dumps == dumpsBefore; tries++ {
 		if err := g.Err(); err != nil {
-			return run, fmt.Errorf("replication failed during dump: %w", err)
+			return run, sample, fmt.Errorf("replication failed during dump: %w", err)
 		}
 		if tries > 100000 {
-			return run, fmt.Errorf("dump never completed (checkpoint did not cross DumpThreshold?)")
+			return run, sample, fmt.Errorf("dump never completed (checkpoint did not cross DumpThreshold?)")
 		}
 		clk.Sleep(5 * time.Millisecond)
 	}
 	run.DumpUploadMs = float64(clk.Since(t0)) / float64(time.Millisecond)
 	if err := g.Close(); err != nil { // finishes the dump's GC deterministically
-		return run, fmt.Errorf("close: %w", err)
+		return run, sample, fmt.Errorf("close: %w", err)
+	}
+	stats := g.Stats()
+	sample.peakStreamBytes = stats.PeakStreamBytes
+	sample.queueBytesAfter = stats.CheckpointBytesBuffered
+
+	// Size the local database (the O(DB) quantity the pre-streaming data
+	// path kept resident). Sampled after the checkpoint so the engine has
+	// flushed its pages into the data files the dump actually streamed.
+	proc := dbevent.NewPGProcessor()
+	files, err := vfs.Walk(localFS, "")
+	if err != nil {
+		return run, sample, err
+	}
+	for _, p := range files {
+		if proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		fi, err := localFS.Stat(p)
+		if err != nil {
+			return run, sample, err
+		}
+		sample.localDBBytes += fi.Size()
 	}
 
 	// Count what recovery will fetch (post-GC listing).
 	infos, err := store.List(ctx, "")
 	if err != nil {
-		return run, err
+		return run, sample, err
 	}
 	for _, info := range infos {
-		if strings.HasPrefix(info.Name, "DB/") && strings.Contains(info.Name, ".p") {
+		if strings.HasPrefix(info.Name, "DB/") &&
+			(strings.Contains(info.Name, ".p") || strings.Contains(info.Name, ".s")) {
 			run.DumpParts++
 		}
 	}
@@ -188,14 +250,14 @@ func measureDatapath(opts DatapathOptions, parallel int) (DatapathRun, error) {
 	// Disaster recovery on a fresh machine, same parallelism.
 	g2, err := core.New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
 	if err != nil {
-		return run, err
+		return run, sample, err
 	}
 	t1 := clk.Now()
 	if err := g2.RecoverAt(ctx, vfs.NewMemFS(), -1); err != nil {
-		return run, fmt.Errorf("recover: %w", err)
+		return run, sample, fmt.Errorf("recover: %w", err)
 	}
 	run.RecoveryMs = float64(clk.Since(t1)) / float64(time.Millisecond)
-	return run, nil
+	return run, sample, nil
 }
 
 // sealAllocProfile measures allocations per Seal and per Open on the
@@ -241,15 +303,85 @@ func sealAllocProfile() (sealAllocs, openAllocs float64, err error) {
 	return sealAllocs, openAllocs, nil
 }
 
+// legacyRecoveryCheck hand-builds a legacy whole-sealed multi-part dump —
+// one payload encoded and sealed once, split into raw ".p<part>" chunks
+// whose names carry the total sealed size — and verifies a current Ginja
+// recovers it end-to-end byte-identically. This is the format produced
+// before the part-sealed data path; buckets written by older versions
+// must keep restoring.
+func legacyRecoveryCheck(maxObj int64) (bool, error) {
+	params := core.DefaultParams()
+	params.MaxObjectSize = maxObj
+	seal, err := sealer.New(sealer.Options{
+		Compress: params.Compress,
+		Encrypt:  params.Encrypt,
+		Password: params.Password,
+	})
+	if err != nil {
+		return false, err
+	}
+	// Incompressible deterministic content so the sealed object really
+	// splits into several parts even when compression is on.
+	big := make([]byte, 3*maxObj)
+	x := uint32(2463534242)
+	for i := range big {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		big[i] = byte(x)
+	}
+	writes := []core.FileWrite{
+		{Path: "base/1/accounts", Data: big, Whole: true},
+		{Path: "base/1/meta", Data: []byte("legacy-format-marker"), Whole: true},
+	}
+	sealed, err := seal.Seal(core.EncodeWrites(writes))
+	if err != nil {
+		return false, err
+	}
+	ctx := context.Background()
+	store := cloud.NewMemStore()
+	size := int64(len(sealed))
+	nParts := int((size + maxObj - 1) / maxObj)
+	if nParts < 2 {
+		return false, fmt.Errorf("legacy check: sealed dump (%d bytes) did not split at MaxObjectSize %d", size, maxObj)
+	}
+	for i := 0; i < nParts; i++ {
+		lo := int64(i) * maxObj
+		hi := lo + maxObj
+		if hi > size {
+			hi = size
+		}
+		if err := store.Put(ctx, core.DBObjectName(0, 0, core.Dump, size, i), sealed[lo:hi]); err != nil {
+			return false, err
+		}
+	}
+	g, err := core.New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return false, err
+	}
+	target := vfs.NewMemFS()
+	if err := g.RecoverAt(ctx, target, -1); err != nil {
+		return false, fmt.Errorf("legacy recovery: %w", err)
+	}
+	for _, w := range writes {
+		got, err := vfs.ReadFile(target, w.Path)
+		if err != nil || !bytes.Equal(got, w.Data) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // RunDatapath measures the serial baseline and the parallel data path on
-// identical deterministic scenarios and reports the speedups.
+// identical deterministic scenarios and reports the speedups, plus the
+// streaming-path memory bound and legacy-format compatibility.
 func RunDatapath(opts DatapathOptions) (*DatapathResult, error) {
 	opts = opts.withDefaults()
-	serial, err := measureDatapath(opts, 1)
+	serial, _, err := measureDatapath(opts, 1)
 	if err != nil {
 		return nil, fmt.Errorf("serial run: %w", err)
 	}
-	parallel, err := measureDatapath(opts, opts.Parallel)
+	parallel, sample, err := measureDatapath(opts, opts.Parallel)
 	if err != nil {
 		return nil, fmt.Errorf("parallel run: %w", err)
 	}
@@ -263,6 +395,21 @@ func RunDatapath(opts DatapathOptions) (*DatapathResult, error) {
 	res.SealAllocsPerOp, res.OpenAllocsPerOp, err = sealAllocProfile()
 	if err != nil {
 		return nil, err
+	}
+	bound := 2 * int64(opts.Parallel) * opts.MaxObjectSize
+	res.Streaming = StreamingResult{
+		Parallelism:     opts.Parallel,
+		DumpParts:       parallel.DumpParts,
+		DumpUploadMs:    parallel.DumpUploadMs,
+		LocalDBBytes:    sample.localDBBytes,
+		PeakStreamBytes: sample.peakStreamBytes,
+		BoundBytes:      bound,
+		WithinBound:     sample.peakStreamBytes > 0 && sample.peakStreamBytes <= bound,
+		QueueBytesAfter: sample.queueBytesAfter,
+	}
+	res.Streaming.LegacyRecoveryOK, err = legacyRecoveryCheck(opts.MaxObjectSize)
+	if err != nil {
+		return nil, fmt.Errorf("legacy-format check: %w", err)
 	}
 	return res, nil
 }

@@ -158,24 +158,34 @@ func (s *Sealer) sum(dst, data []byte) []byte {
 // allocated at exact size — it is never recycled, so callers may retain
 // it — but all intermediate state (compressor, HMAC, scratch) is pooled.
 func (s *Sealer) Seal(payload []byte) ([]byte, error) {
-	var flags byte
-	body := payload
 	var scratch *bytes.Buffer
+	var zw *zlib.Writer
 	if s.opts.Compress {
 		scratch = s.bufPool.Get().(*bytes.Buffer)
-		scratch.Reset()
 		defer s.bufPool.Put(scratch)
-		zw := s.zwPool.Get().(*zlib.Writer)
+		zw = s.zwPool.Get().(*zlib.Writer)
+		defer s.zwPool.Put(zw)
+	}
+	mac := s.macPool.Get().(hash.Hash)
+	defer s.macPool.Put(mac)
+	return s.sealWith(payload, scratch, zw, mac)
+}
+
+// sealWith is the sealing core shared by the pooled Seal path and Ctx:
+// scratch and zw are only touched when compression is enabled (and may be
+// nil otherwise), mac is always required.
+func (s *Sealer) sealWith(payload []byte, scratch *bytes.Buffer, zw *zlib.Writer, mac hash.Hash) ([]byte, error) {
+	var flags byte
+	body := payload
+	if s.opts.Compress {
+		scratch.Reset()
 		zw.Reset(scratch)
 		if _, err := zw.Write(payload); err != nil {
-			s.zwPool.Put(zw)
 			return nil, fmt.Errorf("sealer: compress: %w", err)
 		}
 		if err := zw.Close(); err != nil {
-			s.zwPool.Put(zw)
 			return nil, fmt.Errorf("sealer: compress: %w", err)
 		}
-		s.zwPool.Put(zw)
 		body = scratch.Bytes()
 		flags |= flagCompressed
 	}
@@ -203,7 +213,42 @@ func (s *Sealer) Seal(payload []byte) ([]byte, error) {
 	} else {
 		out = append(out, body...)
 	}
-	return s.sum(out, out), nil
+	mac.Reset()
+	mac.Write(out) //nolint:errcheck // hash writes never fail
+	return mac.Sum(out), nil
+}
+
+// Ctx is a dedicated sealing context for one worker goroutine: it owns
+// its compressor, HMAC state and compression scratch outright instead of
+// borrowing them from the shared pools, so a pool of N workers sealing
+// parts concurrently (the streaming dump path) hits zero pool contention
+// and keeps exactly N compressors alive. A Ctx is NOT safe for concurrent
+// use; the Sealer it came from remains so.
+type Ctx struct {
+	s       *Sealer
+	mac     hash.Hash
+	scratch *bytes.Buffer
+	zw      *zlib.Writer
+}
+
+// NewCtx builds a per-worker sealing context.
+func (s *Sealer) NewCtx() *Ctx {
+	c := &Ctx{s: s, mac: hmac.New(sha1.New, s.macKey)}
+	if s.opts.Compress {
+		c.scratch = new(bytes.Buffer)
+		zw, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
+		if err != nil {
+			panic(err) // unreachable: BestSpeed is a valid level
+		}
+		c.zw = zw
+	}
+	return c
+}
+
+// Seal is Sealer.Seal using this context's dedicated state. The returned
+// buffer is freshly allocated at exact size and never recycled.
+func (c *Ctx) Seal(payload []byte) ([]byte, error) {
+	return c.s.sealWith(payload, c.scratch, c.zw, c.mac)
 }
 
 // Open verifies and unwraps a sealed object. The result never aliases

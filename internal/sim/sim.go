@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,12 @@ type Config struct {
 	Seed int64
 	// Schedule overrides the generated fault schedule (nil = Generate(Seed)).
 	Schedule *Schedule
+	// CrashDuringCheckpoint issues one final DBMS checkpoint right before
+	// the crash and kills the primary a few virtual milliseconds in — long
+	// enough for the first part PUTs of the multi-part upload to land, short
+	// enough that the rest never do. The crash lands mid part-stream by
+	// construction instead of by winning a race.
+	CrashDuringCheckpoint bool
 }
 
 // Result summarises one simulation run.
@@ -71,6 +78,10 @@ type Result struct {
 	// objects uploaded and how many carried a packed multi-write body.
 	WALObjects       int64
 	PackedWALObjects int64
+	// OrphanParts is how many stranded DB parts the recovery instance's
+	// cloud listing pruned and recorded (leftovers of an upload the crash
+	// cut off mid part-stream).
+	OrphanParts int
 	// VirtualElapsed is how much virtual time the run spanned.
 	VirtualElapsed time.Duration
 }
@@ -292,6 +303,25 @@ func Run(cfg Config) (*Result, error) {
 	// CRASH: the primary site dies with whatever is in flight. Cut it off
 	// from the cloud, then shut its goroutines down (bounded in virtual
 	// time); a fatal pipeline error here is a legitimate outcome.
+	if cfg.CrashDuringCheckpoint && seq > 0 {
+		// Fresh keys dirty enough pages that the checkpoint's upload spans
+		// several parts at the seed-drawn MaxObjectSize (2–8 KiB). The keys
+		// are outside the tracked set, so the prefix check is unaffected.
+		filler := strings.Repeat("s", 120)
+		for i := 0; i < 96; i++ {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(fmt.Sprintf("stride-%03d", i)), []byte(filler))
+			}); err != nil {
+				return fail("pre-crash filler put %d: %v", i, err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			return fail("pre-crash checkpoint: %v", err)
+		}
+		// One base cloud latency is enough for the first wave of part PUTs
+		// to land but not the stragglers behind them in the uploader pool.
+		clk.Sleep(simProfile().BaseLatency + 20*time.Millisecond)
+	}
 	kill.kill()
 	for _, t := range timers {
 		t.Stop()
@@ -319,6 +349,7 @@ func Run(cfg Config) (*Result, error) {
 		return fail("recover: %v", err)
 	}
 	defer g2.Close()
+	res.OrphanParts = len(g2.View().OrphanParts())
 	db2, err := minidb.Open(g2.FS(), engine(), minidb.Options{})
 	if err != nil {
 		return fail("DBMS restart after recovery: %v", err)

@@ -228,6 +228,37 @@ func TestRunCrashMidPackedBatch(t *testing.T) {
 	}
 }
 
+// TestRunCrashMidPartStream: the primary dies with a multi-part DB upload
+// in flight — a final checkpoint is issued and the machine is killed one
+// cloud round-trip later, so the first part PUTs land and the rest never
+// do. The recovered replacement must prune the stranded parts from its
+// listing (recording them as orphans so the next dump's GC can sweep them
+// and their generation slot is never re-issued) while the
+// consistent-prefix invariant, checked inside Run, still holds. At least
+// one seed must actually strand parts, or the schedule stopped exercising
+// the mid-stream crash.
+func TestRunCrashMidPartStream(t *testing.T) {
+	seeds := []int64{7, 19, 31, 53, 77, 113, 151, 211}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	totalOrphans := 0
+	for _, seed := range seeds {
+		sched := &Schedule{Seed: seed, Steps: 50, CrashAfterStep: 50}
+		res, err := Run(Config{Seed: seed, Schedule: sched, CrashDuringCheckpoint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalOrphans += res.OrphanParts
+		t.Logf("seed=%d: maxObj=%d uploaders=%d commits=%d orphanParts=%d cut=%d flushed=%d",
+			seed, res.MaxObjectSize, res.CheckpointUploaders,
+			res.Commits, res.OrphanParts, res.Cut, res.FlushedUpTo)
+	}
+	if totalOrphans == 0 {
+		t.Fatal("no seed stranded orphan parts; the crash no longer lands mid part-stream")
+	}
+}
+
 // TestRunFlappingProviderDuringDumps: repeated short outages while the
 // workload checkpoints, with the seed-derived small MaxObjectSize forcing
 // every dump to split into several concurrently-uploaded parts. An outage

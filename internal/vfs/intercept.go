@@ -10,6 +10,12 @@ import (
 // the path of the calling database thread: if OnWrite blocks, the database
 // write blocks — this is how the Safety parameter throttles the DBMS.
 type Observer interface {
+	// OnBeforeWrite is called before data is handed to the local file. It
+	// may block — this is how Ginja freezes database-file writes while a
+	// streaming dump is reading the files (§5.3: local DB writes stop
+	// during dump creation). The write has NOT happened yet when this
+	// runs, so implementations must not assume the data is on disk.
+	OnBeforeWrite(path string, off int64, data []byte)
 	// OnWrite is called after data has been durably handed to the local
 	// file but before the write returns to the database.
 	OnWrite(path string, off int64, data []byte)
@@ -26,6 +32,9 @@ type Observer interface {
 type NopObserver struct{}
 
 var _ Observer = NopObserver{}
+
+// OnBeforeWrite implements Observer.
+func (NopObserver) OnBeforeWrite(string, int64, []byte) {}
 
 // OnWrite implements Observer.
 func (NopObserver) OnWrite(string, int64, []byte) {}
@@ -105,9 +114,12 @@ var _ File = (*interceptFile)(nil)
 func (f *interceptFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
 
 func (f *interceptFile) WriteAt(p []byte, off int64) (int, error) {
-	// Local-first, then observe (paper Alg. 2 lines 5-7): the data is
-	// already on local disk when Ginja enqueues it for the cloud, and the
-	// observer may block us here to enforce Safety.
+	// The observer may hold the write back before it lands (dump
+	// streaming freezes database files), then local-first, then observe
+	// (paper Alg. 2 lines 5-7): the data is already on local disk when
+	// Ginja enqueues it for the cloud, and the observer may block us here
+	// to enforce Safety.
+	f.obs.OnBeforeWrite(f.path, off, p)
 	n, err := f.inner.WriteAt(p, off)
 	if err != nil {
 		return n, err

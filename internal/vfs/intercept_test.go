@@ -23,6 +23,8 @@ type writeEvent struct {
 	data string
 }
 
+func (r *recordingObserver) OnBeforeWrite(string, int64, []byte) {}
+
 func (r *recordingObserver) OnWrite(path string, off int64, data []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
