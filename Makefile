@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke (Go -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke
+.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-recovery bench-recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ fuzz-smoke:
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race fuzz-smoke bench-data-smoke bench-commit-smoke
+verify: build vet test race fuzz-smoke bench-data-smoke bench-commit-smoke bench-recovery-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -66,3 +66,16 @@ bench-commit:
 
 bench-commit-smoke:
 	$(GO) run ./cmd/ginja-benchjson -path commit -smoke
+
+# bench-recovery measures RPO and RTO directly: deterministic sim fault
+# schedules (crash mid-batch, outage then crash, crash during a multi-part
+# dump) replayed across seeds under the virtual clock, reporting data-loss
+# window and recovery-time percentiles plus the per-phase RTO budget into
+# BENCH_recovery.json. ginja-benchjson exits non-zero if any scenario
+# fails its consistent-prefix check, recovers nothing, or if no run
+# measures a non-zero data-loss window (the RPO watermark regressed).
+bench-recovery:
+	$(GO) run ./cmd/ginja-benchjson -path recovery -out BENCH_recovery.json
+
+bench-recovery-smoke:
+	$(GO) run ./cmd/ginja-benchjson -path recovery -smoke

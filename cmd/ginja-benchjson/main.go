@@ -6,10 +6,14 @@
 //   - -path commit: WAL batch packing — commit throughput, batch-latency
 //     quantiles, PUTs-per-batch, allocs-per-commit and the costmodel
 //     $/day projection, packed vs unpacked → BENCH_commitpath.json
+//   - -path recovery: measured RPO/RTO — deterministic sim fault schedules
+//     (crash mid-batch, outage then crash, crash during dump) replayed
+//     across seeds; data-loss-window and recovery-time percentiles plus
+//     the per-phase RTO budget → BENCH_recovery.json
 //
 // Usage:
 //
-//	ginja-benchjson [-path datapath|commit] [-out FILE] [-parallel 5] [-smoke]
+//	ginja-benchjson [-path datapath|commit|recovery] [-out FILE] [-parallel 5] [-smoke]
 //
 // All latencies are virtual time on the simulated clock, so the numbers
 // are exact and machine-independent; only the allocation profiles run on
@@ -36,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ginja-benchjson", flag.ContinueOnError)
-	path := fs.String("path", "datapath", "which path to benchmark: datapath or commit")
+	path := fs.String("path", "datapath", "which path to benchmark: datapath, commit or recovery")
 	out := fs.String("out", "", "output file (default BENCH_<path>.json)")
 	parallel := fs.Int("parallel", 5, "datapath only: parallelism of the parallel run (serial run is always 1)")
 	smoke := fs.Bool("smoke", false, "small scenario, print to stdout, write no file")
@@ -81,6 +85,41 @@ func run(args []string) error {
 				s.WithinBound, s.PeakStreamBytes, s.BoundBytes, s.DumpParts, s.LegacyRecoveryOK, s.QueueBytesAfter)
 		}
 		res = r
+	case "recovery":
+		defaultOut = "BENCH_recovery.json"
+		opts := experiments.RecoveryBenchOptions{}
+		if *smoke {
+			opts.Seeds = 3
+		}
+		var r *experiments.RecoveryBenchResult
+		if r, err = experiments.RunRecoveryBench(opts); err != nil {
+			return err
+		}
+		anyLoss := false
+		for _, sc := range r.Scenarios {
+			fmt.Printf("%-18s RPO p50/p99 %7.1f/%7.1f ms  RTO p50/p99 %7.1f/%7.1f ms  (%d runs, %.0f objects, %.1f KiB)\n",
+				sc.Name+":", sc.RPOp50Ms, sc.RPOp99Ms, sc.RTOp50Ms, sc.RTOp99Ms,
+				sc.Runs, sc.MeanObjects, sc.MeanFetchedKB)
+			fmt.Printf("%-18s phases list %.1f, view %.1f, fetch %.1f, decode %.1f, apply %.1f, verify %.1f, total %.1f ms\n",
+				"", sc.Phases.List, sc.Phases.View, sc.Phases.Fetch,
+				sc.Phases.Decode, sc.Phases.Apply, sc.Phases.Verify, sc.Phases.Total)
+			// The RTO budget must be a real measurement: recovery happened
+			// (total > 0), fetched actual objects, and every run completed.
+			if sc.Runs != r.Seeds || sc.RTOp50Ms <= 0 || sc.Phases.Total <= 0 || sc.MeanObjects <= 0 {
+				return fmt.Errorf("recovery bench regressed: scenario %s runs=%d rto_p50=%.3f total=%.3f objects=%.1f",
+					sc.Name, sc.Runs, sc.RTOp50Ms, sc.Phases.Total, sc.MeanObjects)
+			}
+			if sc.RPOMaxMs > 0 {
+				anyLoss = true
+			}
+		}
+		// The disasters are scripted to strike with work in flight; a sweep
+		// where no run ever had a non-zero data-loss window means the RPO
+		// watermark (or the schedules) broke.
+		if !anyLoss {
+			return fmt.Errorf("recovery bench regressed: no scenario measured a non-zero RPO")
+		}
+		res = r
 	case "commit":
 		defaultOut = "BENCH_commitpath.json"
 		opts := experiments.CommitpathOptions{}
@@ -101,7 +140,7 @@ func run(args []string) error {
 			r.Unpacked.DollarsPerDay, r.Packed.DollarsPerDay, r.AllocsPerCommit)
 		res = r
 	default:
-		return fmt.Errorf("unknown -path %q (want datapath or commit)", *path)
+		return fmt.Errorf("unknown -path %q (want datapath, commit or recovery)", *path)
 	}
 
 	data, err := json.MarshalIndent(res, "", "  ")

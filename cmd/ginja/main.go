@@ -10,7 +10,7 @@
 //
 //	ginja boot    -data ./db -cloud ./bucket [-engine postgresql]
 //	ginja run     -data ./db -cloud ./bucket -duration 30s [-batch 100 -safety 1000]
-//	ginja run     -data ./db -cloud ./bucket -metrics-addr :9090   # + /metrics /healthz /statusz
+//	ginja run     -data ./db -cloud ./bucket -metrics-addr :9090   # + /metrics /healthz /statusz /tracez
 //	ginja recover -data ./db-restored -cloud ./bucket
 //	ginja verify  -cloud ./bucket
 //	ginja status  -cloud ./bucket
@@ -87,7 +87,7 @@ func run(args []string) error {
 	fs.DurationVar(&o.duration, "duration", 30*time.Second, "how long to run the demo workload")
 	fs.BoolVar(&o.verbose, "v", false, "log replication events to stderr")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
-		"serve /metrics (Prometheus), /healthz and /statusz on this address (e.g. :9090)")
+		"serve /metrics (Prometheus), /healthz, /statusz and /tracez on this address (e.g. :9090)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -164,7 +164,7 @@ func serveMetrics(o options, status func() any) (func(), error) {
 	}
 	srv := &http.Server{Handler: obs.Handler(o.registry, status)}
 	go srv.Serve(ln) //nolint:errcheck // closed via srv.Close
-	fmt.Printf("observability: http://%s/metrics /healthz /statusz\n", ln.Addr())
+	fmt.Printf("observability: http://%s/metrics /healthz /statusz /tracez\n", ln.Addr())
 	return func() { srv.Close() }, nil
 }
 
@@ -451,5 +451,5 @@ subcommands:
 
 common flags: -data DIR -cloud DIR|URL -engine postgresql|mysql
               -batch B -safety S -compress -encrypt -password PW
-              -metrics-addr :9090   serve /metrics /healthz /statusz`)
+              -metrics-addr :9090   serve /metrics /healthz /statusz /tracez`)
 }

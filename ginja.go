@@ -61,6 +61,9 @@ type (
 	Stats = core.Stats
 	// VerifyResult reports a backup-verification run.
 	VerifyResult = core.VerifyResult
+	// RecoveryBreakdown is the phased RTO budget of the last Recover,
+	// RecoverAt or Verify restore (also in Stats.LastRecovery).
+	RecoveryBreakdown = core.RecoveryBreakdown
 	// CloudView is Ginja's bookkeeping of the objects in the cloud.
 	CloudView = core.CloudView
 	// WALObjectInfo describes one WAL object in the cloud.
@@ -85,6 +88,13 @@ var NoLossParams = core.NoLoss
 // ErrNoDump is returned by Recover when the cloud holds no dump.
 var ErrNoDump = core.ErrNoDump
 
+// Version is the release version reported by the ginja_build_info metric.
+const Version = core.Version
+
+// ObjectFormatVersion is the cloud object wire-format generation, also a
+// ginja_build_info label (see DESIGN.md for the compatibility contract).
+const ObjectFormatVersion = core.ObjectFormatVersion
+
 // Deterministic time. Params.Clock (and SimOptions.Clock) accept any
 // Clock; nil means the wall clock. A SimClock runs the whole stack —
 // TB/TS timers, retry backoff, checkpoint scheduling, simulated-cloud
@@ -108,11 +118,13 @@ var NewSimClock = simclock.NewSim
 
 // Observability. Set Params.Metrics to a *MetricsRegistry and Ginja
 // streams per-stage pipeline latencies, queue-depth gauges, Safety
-// blocked time and cloud-operation telemetry into it; expose it over
-// HTTP with MetricsHandler (Prometheus /metrics, /healthz, /statusz).
-// Stats (above) stays the poll-style snapshot; the registry is the
-// always-on streaming view, and Stats.LastError lets health checks see
-// pipeline failures without internal access.
+// blocked time, the ginja_rpo_seconds durability watermark and
+// cloud-operation telemetry into it; expose it over HTTP with
+// MetricsHandler (Prometheus /metrics, /healthz, /statusz, and the
+// /tracez recent/slowest span buffer). Stats (above) stays the
+// poll-style snapshot — including Stats.RPO and Stats.LastRecovery —
+// and Stats.LastError lets health checks see pipeline failures without
+// internal access.
 type (
 	// MetricsRegistry is a concurrency-safe registry of named counters,
 	// gauges and bounded-memory streaming histograms.
@@ -133,6 +145,12 @@ type (
 	// InstrumentedStore wraps any ObjectStore with per-op latency, byte
 	// and error telemetry plus a reachability health check.
 	InstrumentedStore = obs.InstrumentedStore
+	// Span is one completed pipeline or recovery operation in the /tracez
+	// buffer (batch lifetimes, WAL PUTs, recovery phases).
+	Span = obs.Span
+	// SpanRing is the bounded recent + slowest-N span buffer behind
+	// /tracez; Registry.Spans exposes a registry's ring.
+	SpanRing = obs.SpanRing
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -143,9 +161,9 @@ var NewMetricsRegistry = obs.NewRegistry
 // reachability check on /healthz.
 var InstrumentStore = obs.InstrumentStore
 
-// MetricsHandler serves /metrics (Prometheus text format), /healthz and
-// /statusz for a registry. status (may be nil) is sampled per /statusz
-// request — pass func() any { return g.Stats() }.
+// MetricsHandler serves /metrics (Prometheus text format), /healthz,
+// /statusz and /tracez for a registry. status (may be nil) is sampled
+// per /statusz request — pass func() any { return g.Stats() }.
 func MetricsHandler(r *MetricsRegistry, status func() any) http.Handler {
 	return obs.Handler(r, status)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
@@ -71,6 +72,13 @@ type commitQueue struct {
 	// blockedTotal accumulates the time commits spent blocked on Safety —
 	// the quantity that shows up as throughput loss in Figure 5.
 	blockedTotal time.Duration
+
+	// lossHist, when set, observes each released update's realized
+	// data-loss window (enqueue → cloud ack) — the histogram behind
+	// ginja_data_loss_window_seconds. Observation happens in removeFront,
+	// i.e. exactly when the cloud acknowledgement arrives, so the RPO
+	// watermark and this histogram advance on the same event.
+	lossHist *obs.Histogram
 }
 
 func newCommitQueue(p Params) *commitQueue {
@@ -218,7 +226,14 @@ func (q *commitQueue) removeFront(n int) {
 	if n > q.liveLocked() {
 		n = q.liveLocked()
 	}
+	var ackAt time.Time
+	if q.lossHist != nil && n > 0 {
+		ackAt = q.clk.Now()
+	}
 	for i := q.head; i < q.head+n; i++ {
+		if q.lossHist != nil {
+			q.lossHist.ObserveDuration(ackAt.Sub(q.items[i].at))
+		}
 		if bp := q.items[i].pooled; bp != nil {
 			walBufPool.Put(bp)
 		}
@@ -259,6 +274,20 @@ func (q *commitQueue) size() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.liveLocked()
+}
+
+// oldestPendingAt returns the enqueue time of the oldest unacknowledged
+// update — the RPO watermark. ok is false when nothing is pending (RPO is
+// zero: the cloud holds everything the DBMS has committed). The watermark
+// moves only in removeFront, i.e. on cloud acknowledgement, never on
+// enqueue; its age is the data the paper's `e_dl` bounds.
+func (q *commitQueue) oldestPendingAt() (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.liveLocked() == 0 {
+		return time.Time{}, false
+	}
+	return q.items[q.head].at, true
 }
 
 // blockedDuration returns the cumulative time Put callers spent blocked.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
@@ -13,6 +15,15 @@ import (
 	"github.com/ginja-dr/ginja/internal/sealer"
 	"github.com/ginja-dr/ginja/internal/simclock"
 	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// Version names this middleware build; it surfaces in the
+// ginja_build_info metric and /statusz. ObjectFormatVersion is the cloud
+// object-format generation the build writes (2 = independently part-sealed
+// DB objects; 1, still readable, sealed a DB object as one envelope).
+const (
+	Version             = "0.6.0"
+	ObjectFormatVersion = 2
 )
 
 // ErrNoDump is returned by Recover when the cloud holds no dump to
@@ -65,6 +76,19 @@ type Stats struct {
 	// resident in the streaming DB data path — bounded by
 	// 2 × CheckpointUploaders × MaxObjectSize regardless of database size.
 	PeakStreamBytes int64
+	// RPO is the live durability watermark: the age of the oldest update
+	// not yet acknowledged by the cloud (0 when fully synchronized). Had a
+	// disaster struck at snapshot time, this is how much committed work a
+	// restore would lose.
+	RPO time.Duration
+	// SafetyLimit (S) and SafetyTimeout (TS) are the configured Safety
+	// bounds, surfaced beside the realized RPO so /statusz shows the
+	// contract next to the measurement.
+	SafetyLimit   int
+	SafetyTimeout time.Duration
+	// LastRecovery is the phase-by-phase RTO budget of the most recent
+	// Recover/RecoverAt on this instance (nil if it never recovered).
+	LastRecovery *RecoveryBreakdown
 	// LastError is the first fatal replication error, rendered as a
 	// string ("" while healthy), so health checks can consume a Stats
 	// snapshot without reaching into internals.
@@ -97,6 +121,11 @@ type Ginja struct {
 
 	recInflight *inflight
 	recFetch    *obs.Histogram // per-object GET during recovery prefetch
+
+	// lastRecovery holds the RTO breakdown of the most recent
+	// Recover/RecoverAt (atomic: Stats may race with RecoverAt on a
+	// started instance).
+	lastRecovery atomic.Pointer[RecoveryBreakdown]
 }
 
 var _ vfs.Observer = (*Ginja)(nil)
@@ -136,6 +165,7 @@ func New(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor, params
 		reg.GaugeFunc(metricStreamBytes,
 			"Payload+sealed bytes currently resident in the streaming DB data path.",
 			nil, func() float64 { return float64(g.tracker.cur.Load()) })
+		obs.RegisterBuildInfo(reg, Version, strconv.Itoa(ObjectFormatVersion))
 	}
 	return g, nil
 }
@@ -243,18 +273,13 @@ func (g *Ginja) Recover(ctx context.Context) error {
 	if g.started {
 		return errors.New("core: already started")
 	}
-	infos, err := g.listWithRetry(ctx)
+	bd, err := g.recoverInto(ctx, g.localFS, -1, "recover")
 	if err != nil {
-		return fmt.Errorf("core: recover list: %w", err)
-	}
-	if err := g.view.LoadFromList(infos); err != nil {
-		return err
-	}
-	if err := g.restoreTo(ctx, g.localFS, -1); err != nil {
 		return err
 	}
 	g.params.logger().Info("ginja recovery complete",
-		"wal_objects", len(g.view.WALObjects()), "db_objects", len(g.view.DBObjects()))
+		"wal_objects", len(g.view.WALObjects()), "db_objects", len(g.view.DBObjects()),
+		"rto_ms", bd.Total.Milliseconds(), "fetched_bytes", bd.Bytes)
 	g.start()
 	return nil
 }
@@ -264,18 +289,53 @@ func (g *Ginja) Recover(ctx context.Context) error {
 // starting replication — point-in-time restores are for inspection or
 // fork-off, not for resuming the production timeline.
 func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) error {
-	infos, err := g.listWithRetry(ctx)
-	if err != nil {
-		return fmt.Errorf("core: recover list: %w", err)
-	}
-	if err := g.view.LoadFromList(infos); err != nil {
-		return err
-	}
-	return g.restoreTo(ctx, target, dumpTs)
+	_, err := g.recoverInto(ctx, target, dumpTs, "recover_at")
+	return err
 }
 
-// restoreTo applies dump + checkpoints + WAL onto target. dumpTs selects a
-// specific dump (-1 = newest).
+// recoverInto runs the full recovery sequence — LIST, CloudView build,
+// restore, verify — onto target with every phase timed, publishing the
+// resulting RecoveryBreakdown (Stats.LastRecovery, the
+// ginja_recovery_phase_seconds histogram and "recovery:*" spans).
+func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, dumpTs int64, mode string) (*RecoveryBreakdown, error) {
+	clk := g.params.clock()
+	started := clk.Now()
+	bd := &RecoveryBreakdown{Mode: mode}
+
+	t := clk.Now()
+	infos, err := g.listWithRetry(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover list: %w", err)
+	}
+	bd.List = clk.Since(t)
+
+	t = clk.Now()
+	if err := g.view.LoadFromList(infos); err != nil {
+		return nil, err
+	}
+	bd.ViewBuild = clk.Since(t)
+
+	if err := g.restoreTo(ctx, target, dumpTs, bd); err != nil {
+		return nil, err
+	}
+
+	t = clk.Now()
+	files, bytes, err := verifyRestore(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover verify: %w", err)
+	}
+	bd.Verify = clk.Since(t)
+	bd.VerifiedFiles, bd.VerifiedBytes = files, bytes
+
+	bd.Total = clk.Since(started)
+	g.lastRecovery.Store(bd)
+	observeRecovery(g.params.Metrics, bd, started)
+	return bd, nil
+}
+
+// restoreTo applies dump + checkpoints + WAL onto target, accumulating the
+// fetch/decode/apply phase timings into bd. dumpTs selects a specific dump
+// (-1 = newest).
 //
 // The restore plan — which objects, in which order — is computed up front
 // from the view, then executed with prefetchInOrder: up to
@@ -284,7 +344,7 @@ func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) erro
 // checkpoints by (Ts, Gen), then the consecutive-timestamp WAL run). Only
 // the downloads overlap; the file-write side is identical to a serial
 // restore.
-func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) error {
+func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64, bd *RecoveryBreakdown) error {
 	var dump DBObjectInfo
 	if dumpTs < 0 {
 		d, ok := g.view.LatestDump()
@@ -359,7 +419,9 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 			break
 		}
 		items = append(items, restoreItem{label: w.Name(), names: []string{w.Name()}})
+		bd.WALObjects++
 	}
+	bd.DumpTs = dump.Ts
 
 	// Flatten the plan to one fetch list; itemOf maps each flattened index
 	// back to its item so the applier knows when an object is complete.
@@ -373,7 +435,12 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 			itemOf = append(itemOf, idx)
 		}
 	}
+	bd.Objects = len(names)
 	clk := g.params.clock()
+	// Fetchers run in parallel, so their phase accounting is atomic;
+	// decode/apply accumulate into bd directly because prefetchInOrder
+	// calls apply strictly sequentially.
+	var fetchNanos, fetchBytes atomic.Int64
 	fetch := func(ctx context.Context, name string) ([]byte, error) {
 		start := clk.Now()
 		g.recInflight.enter()
@@ -382,13 +449,17 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		if err != nil {
 			return nil, fmt.Errorf("core: recover %s: %w", name, err)
 		}
+		d := clk.Since(start)
+		fetchNanos.Add(int64(d))
+		fetchBytes.Add(int64(len(data)))
 		if g.recFetch != nil {
-			g.recFetch.ObserveDuration(clk.Since(start))
+			g.recFetch.ObserveDuration(d)
 		}
 		return data, nil
 	}
 	var sealed []byte // parts of the in-progress legacy item, concatenated
 	openAndApply := func(label string, env []byte) error {
+		decStart := clk.Now()
 		payload, err := g.seal.Open(env)
 		if err != nil {
 			return fmt.Errorf("core: recover %s: %w", label, err)
@@ -397,7 +468,11 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		if err != nil {
 			return fmt.Errorf("core: recover %s: %w", label, err)
 		}
-		return applyWrites(target, writes)
+		applyStart := clk.Now()
+		bd.Decode += applyStart.Sub(decStart)
+		err = applyWrites(target, writes)
+		bd.Apply += clk.Since(applyStart)
+		return err
 	}
 	apply := func(i int, data []byte) error {
 		it := items[itemOf[i]]
@@ -415,7 +490,10 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64) erro
 		sealed = sealed[:0]
 		return openAndApply(it.label, env)
 	}
-	return prefetchInOrder(ctx, g.params.RecoveryFetchers, names, fetch, apply)
+	err := prefetchInOrder(ctx, g.params.RecoveryFetchers, names, fetch, apply)
+	bd.Fetch = time.Duration(fetchNanos.Load())
+	bd.Bytes = fetchBytes.Load()
+	return err
 }
 
 // applyDBObject downloads (all parts of) a DB object and applies it.
@@ -626,6 +704,23 @@ func (g *Ginja) PendingUpdates() int {
 	return g.pipe.q.size()
 }
 
+// RPO returns the live durability watermark: the age of the oldest update
+// not yet acknowledged by the cloud, i.e. how much committed work would be
+// lost if the disaster struck now. Zero when the cloud holds everything
+// (or replication has not started). The watermark advances exactly when
+// the Unlocker releases updates on cloud acknowledgement — never on
+// enqueue — so it is the paper's `e_dl` measured rather than bounded.
+func (g *Ginja) RPO() time.Duration {
+	if g.pipe == nil {
+		return 0
+	}
+	at, ok := g.pipe.q.oldestPendingAt()
+	if !ok {
+		return 0
+	}
+	return g.pipe.clk.Since(at)
+}
+
 // Flush waits until every pending commit has been uploaded (bounded by
 // timeout) and reports whether the queue drained.
 func (g *Ginja) Flush(timeout time.Duration) bool {
@@ -666,6 +761,10 @@ func (g *Ginja) Stats() Stats {
 	if g.tracker != nil {
 		s.PeakStreamBytes = g.tracker.peak.Load()
 	}
+	s.RPO = g.RPO()
+	s.SafetyLimit = g.params.Safety
+	s.SafetyTimeout = g.params.SafetyTimeout
+	s.LastRecovery = g.lastRecovery.Load()
 	if err := g.Err(); err != nil {
 		s.LastError = err.Error()
 	}

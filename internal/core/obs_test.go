@@ -89,6 +89,9 @@ func TestPipelineMetricsEndToEnd(t *testing.T) {
 		"ginja_commit_queue_depth",
 		"ginja_upload_channel_depth",
 		`ginja_pipeline_stage_seconds_count{stage="upload"}`,
+		"ginja_rpo_seconds",
+		"ginja_safety_limit_updates",
+		`ginja_build_info{`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %s", want)

@@ -39,6 +39,16 @@ const (
 	metricCloudInflight = "ginja_cloud_inflight_requests"
 	metricDBPartPut     = "ginja_db_part_put_seconds"
 	metricRecoveryFetch = "ginja_recovery_fetch_seconds"
+
+	// Durability telemetry: the live RPO watermark (age of the oldest
+	// update not yet acked by the cloud), the realized data-loss window of
+	// each released update, the configured Safety bounds beside them, and
+	// the per-phase RTO breakdown of the most recent recovery.
+	metricRPOSeconds    = "ginja_rpo_seconds"
+	metricLossWindow    = "ginja_data_loss_window_seconds"
+	metricSafetyLimit   = "ginja_safety_limit_updates"
+	metricSafetyTimeout = "ginja_safety_timeout_seconds"
+	metricRecoveryPhase = "ginja_recovery_phase_seconds"
 )
 
 // inflight tracks the cloud requests currently in flight on one
@@ -93,6 +103,8 @@ type pipelineMetrics struct {
 
 	writesPerObject *obs.Histogram // writes packed into each WAL object
 	putsPerBatch    *obs.Histogram // WAL objects (PUTs) minted per batch
+
+	lossWindow *obs.Histogram // realized data-loss window per released update
 }
 
 // countBuckets returns power-of-two boundaries suited to small counts
@@ -136,6 +148,10 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 			"WAL writes packed into each uploaded object (1 = unpacked).", nil, countBuckets()),
 		putsPerBatch: reg.Histogram(metricPutsPerBatch,
 			"WAL objects (cloud PUTs) minted per Aggregator batch.", nil, countBuckets()),
+		lossWindow: reg.Histogram(metricLossWindow,
+			"Realized data-loss window per update: enqueue to cloud acknowledgement in seconds. "+
+				"Had a disaster struck while the update was pending, this is how stale the restored copy would have been.",
+			nil, nil),
 	}
 }
 

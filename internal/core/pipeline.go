@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/sealer"
 	"github.com/ginja-dr/ginja/internal/simclock"
 )
@@ -79,6 +80,12 @@ type pipeline struct {
 	putInflight *inflight
 	batchSeq    atomic.Int64
 	trace       bool // emit per-batch/per-object spans via params.Logger
+	// spans is the obs span ring: per-batch/per-object spans are recorded
+	// here whenever a metrics registry is attached, independent of the
+	// logger's level (slog emission stays Debug-gated via trace). Recording
+	// is a mutex + struct copy — nothing the allocator sees — so the packed
+	// commit hot path stays at 0 allocs/op with spans flowing.
+	spans *obs.SpanRing
 
 	// Aggregator scratch, reused across batches (the Aggregator is a
 	// single goroutine). Together with the pooled submit copies and
@@ -96,7 +103,7 @@ type pipeline struct {
 
 func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, params Params) *pipeline {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &pipeline{
+	p := &pipeline{
 		q:           newCommitQueue(params),
 		clk:         params.clock(),
 		view:        view,
@@ -112,6 +119,11 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 		ctx:         ctx,
 		cancel:      cancel,
 	}
+	if params.Metrics != nil {
+		p.spans = params.Metrics.Spans()
+		p.q.lossHist = p.metrics.lossWindow
+	}
+	return p
 }
 
 // start launches the Aggregator, the Uploader pool and the Unlocker.
@@ -128,6 +140,27 @@ func (p *pipeline) start(initialFrontier int64) {
 		reg.GaugeFunc(metricUploadChDepth,
 			"WAL objects buffered between the Aggregator and the Uploader pool.",
 			nil, func() float64 { return float64(len(p.uploadCh)) })
+		// The live RPO watermark: how stale a restore would be if the
+		// disaster struck at scrape time. Zero whenever the cloud holds
+		// everything committed.
+		reg.GaugeFunc(metricRPOSeconds,
+			"Age in seconds of the oldest update not yet acknowledged by the cloud (live RPO; 0 when fully synchronized).",
+			nil, func() float64 {
+				at, ok := p.q.oldestPendingAt()
+				if !ok {
+					return 0
+				}
+				return p.clk.Since(at).Seconds()
+			})
+		// The configured Safety bounds, exported beside the watermark so a
+		// dashboard (or /statusz reader) sees the contract next to the
+		// realized value.
+		reg.Gauge(metricSafetyLimit,
+			"Configured Safety limit S: maximum updates allowed pending cloud acknowledgement.",
+			nil).Set(float64(p.params.Safety))
+		reg.Gauge(metricSafetyTimeout,
+			"Configured Safety timeout TS in seconds: maximum age of a pending update before commits block.",
+			nil).Set(p.params.SafetyTimeout.Seconds())
 	}
 	var uploaderWG sync.WaitGroup
 	for i := 0; i < p.params.Uploaders; i++ {
@@ -333,6 +366,13 @@ func (p *pipeline) aggregator() {
 			m.putsPerBatch.Observe(float64(len(p.plan)))
 			m.aggregate.ObserveDuration(p.clk.Since(aggStart))
 		}
+		if p.spans != nil {
+			// spans != nil implies metrics != nil, so aggStart is set.
+			p.spans.Record(obs.Span{
+				Name: "aggregate", ID: batchID, Extra: int64(len(updates)),
+				Start: aggStart, Duration: p.clk.Since(aggStart),
+			})
+		}
 		rec := batchRec{
 			id:           batchID,
 			count:        len(updates),
@@ -407,6 +447,14 @@ func (p *pipeline) uploader() {
 			m.walBytes.Add(float64(len(sealed)))
 			m.rawBytes.Add(float64(len(payload)))
 			m.objectBytes.Observe(float64(len(sealed)))
+		}
+		if p.spans != nil {
+			// Seal + PUT (retries included) of one WAL object; ID is the
+			// object timestamp, Extra the sealed bytes shipped.
+			p.spans.Record(obs.Span{
+				Name: "wal_put", ID: u.ts, Extra: int64(len(sealed)),
+				Start: t0, Duration: p.clk.Since(t0),
+			})
 		}
 		if p.trace {
 			p.params.logger().Debug("wal object uploaded",
@@ -553,6 +601,13 @@ func (p *pipeline) unlocker(frontier int64) {
 				now := p.clk.Now()
 				m.durableWait.ObserveDuration(now.Sub(rec.aggregatedAt))
 				m.batchTotal.ObserveDuration(now.Sub(rec.enqueuedAt))
+				if p.spans != nil {
+					// End-to-end batch span: oldest enqueue → durable release.
+					p.spans.Record(obs.Span{
+						Name: "batch", ID: rec.id, Extra: int64(rec.count),
+						Start: rec.enqueuedAt, Duration: now.Sub(rec.enqueuedAt),
+					})
+				}
 			}
 			if p.trace {
 				p.params.logger().Debug("batch durable",

@@ -78,7 +78,7 @@ func (g *Ginja) Verify(ctx context.Context, target vfs.FS,
 	}
 
 	// Step 2: rebuild into the scratch target and restart the DBMS.
-	if err := g.restoreTo(ctx, target, -1); err != nil {
+	if err := g.restoreTo(ctx, target, -1, &RecoveryBreakdown{Mode: "verify"}); err != nil {
 		return res, err
 	}
 	if restart != nil {

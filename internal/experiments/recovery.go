@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/sim"
+)
+
+// This file measures RPO and RTO — the two quantities Ginja exists to
+// bound — instead of deriving them offline from bench math. Each scenario
+// replays a deterministic sim fault schedule under the virtual clock: the
+// full stack (minidb on the intercepted FS, commit pipeline, checkpointer,
+// latency-modelled cloud) runs to a scripted disaster, the primary is cut
+// off mid-flight, and a replacement site recovers. The measured data-loss
+// window at the instant of the crash (RPO) and the phased recovery time
+// (RTO) aggregate across seeds into BENCH_recovery.json. Every run also
+// re-checks the consistent-prefix invariant, so the bench doubles as a
+// correctness sweep.
+
+// RecoveryBenchOptions configures the RPO/RTO measurement.
+type RecoveryBenchOptions struct {
+	// Seeds is how many deterministic runs each scenario aggregates.
+	Seeds int
+}
+
+func (o RecoveryBenchOptions) withDefaults() RecoveryBenchOptions {
+	if o.Seeds == 0 {
+		o.Seeds = 8
+	}
+	return o
+}
+
+// recoveryScenario is one scripted fault schedule, replayed across seeds.
+type recoveryScenario struct {
+	name string
+	desc string
+	cfg  func(seed int64) sim.Config
+}
+
+// scenarios returns the three deterministic fault schedules the bench
+// replays: a crash with a packed batch mid-flight, a crash while a cloud
+// outage has the commit queue backed up, and a crash cutting a multi-part
+// dump upload short.
+func scenarios() []recoveryScenario {
+	return []recoveryScenario{
+		{
+			name: "crash-mid-batch",
+			desc: "primary dies mid-workload with packed WAL batches in flight; no cloud faults",
+			cfg: func(seed int64) sim.Config {
+				return sim.Config{Seed: seed, Schedule: &sim.Schedule{
+					Seed: seed, Steps: 48, CrashAfterStep: 24,
+				}}
+			},
+		},
+		{
+			name: "outage-crash",
+			desc: "cloud outage backs the commit queue up, then the primary dies",
+			cfg: func(seed int64) sim.Config {
+				return sim.Config{Seed: seed, Schedule: &sim.Schedule{
+					Seed: seed, Steps: 48, CrashAfterStep: 30,
+					Events: []sim.Event{
+						{At: 1 * time.Second, Kind: sim.OutageStart},
+						{At: 9 * time.Second, Kind: sim.OutageEnd},
+					},
+				}}
+			},
+		},
+		{
+			name: "crash-during-dump",
+			desc: "primary dies with a multi-part dump upload in flight (stranded parts pruned on recovery)",
+			cfg: func(seed int64) sim.Config {
+				return sim.Config{Seed: seed, Schedule: &sim.Schedule{
+					Seed: seed, Steps: 40, CrashAfterStep: 40,
+				}, CrashDuringCheckpoint: true}
+			},
+		},
+	}
+}
+
+// RecoveryPhaseMs is the mean per-phase RTO budget across a scenario's
+// runs, in virtual milliseconds. Fetch is cumulative across the parallel
+// prefetchers, so it can exceed Total.
+type RecoveryPhaseMs struct {
+	List   float64 `json:"list_ms"`
+	View   float64 `json:"view_ms"`
+	Fetch  float64 `json:"fetch_ms"`
+	Decode float64 `json:"decode_ms"`
+	Apply  float64 `json:"apply_ms"`
+	Verify float64 `json:"verify_ms"`
+	Total  float64 `json:"total_ms"`
+}
+
+// RecoveryBenchScenario aggregates one fault schedule across seeds.
+type RecoveryBenchScenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Runs        int    `json:"runs"`
+	// RPO quantiles: the measured data-loss window (age of the oldest
+	// unacknowledged update, virtual clock) at the instant of the crash.
+	RPOp50Ms float64 `json:"rpo_p50_ms"`
+	RPOp99Ms float64 `json:"rpo_p99_ms"`
+	RPOMaxMs float64 `json:"rpo_max_ms"`
+	// RTO quantiles: the replacement site's Recover duration.
+	RTOp50Ms float64 `json:"rto_p50_ms"`
+	RTOp99Ms float64 `json:"rto_p99_ms"`
+	// Phases is the mean per-phase RTO budget.
+	Phases RecoveryPhaseMs `json:"phases"`
+	// Mean restore-plan shape: cloud objects fetched (DB parts + WAL),
+	// the WAL portion, and sealed bytes downloaded.
+	MeanObjects    float64 `json:"mean_objects"`
+	MeanWALObjects float64 `json:"mean_wal_objects"`
+	MeanFetchedKB  float64 `json:"mean_fetched_kb"`
+	// MeanCommitsLost is how many committed updates the recovered prefix
+	// lost on average (commits − (cut+1)); the paper bounds this by S.
+	MeanCommitsLost float64 `json:"mean_commits_lost"`
+	// MaxSafety is the largest seed-drawn S among the runs, the bound
+	// MeanCommitsLost must respect.
+	MaxSafety int `json:"max_safety"`
+}
+
+// RecoveryBenchResult is the machine-readable content of BENCH_recovery.json.
+type RecoveryBenchResult struct {
+	Seeds     int                      `json:"seeds"`
+	Scenarios []RecoveryBenchScenario `json:"scenarios"`
+}
+
+// quantileMs picks an exact sample quantile (nearest-rank on the sorted
+// slice) and renders it in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// RunRecovery replays every scenario across opts.Seeds deterministic
+// seeds and aggregates the measured RPO/RTO distributions.
+func RunRecoveryBench(opts RecoveryBenchOptions) (*RecoveryBenchResult, error) {
+	opts = opts.withDefaults()
+	res := &RecoveryBenchResult{Seeds: opts.Seeds}
+	for _, sc := range scenarios() {
+		agg := RecoveryBenchScenario{Name: sc.name, Description: sc.desc}
+		var (
+			rpos, rtos []time.Duration
+			ph         RecoveryPhaseMs
+			lost       float64
+		)
+		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
+			r, err := sim.Run(sc.cfg(seed))
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", sc.name, seed, err)
+			}
+			if r.Recovery == nil {
+				return nil, fmt.Errorf("%s seed %d: recovery produced no breakdown", sc.name, seed)
+			}
+			agg.Runs++
+			rpos = append(rpos, r.RPO)
+			rtos = append(rtos, r.RTO)
+			bd := r.Recovery
+			ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+			ph.List += ms(bd.List)
+			ph.View += ms(bd.ViewBuild)
+			ph.Fetch += ms(bd.Fetch)
+			ph.Decode += ms(bd.Decode)
+			ph.Apply += ms(bd.Apply)
+			ph.Verify += ms(bd.Verify)
+			ph.Total += ms(bd.Total)
+			agg.MeanObjects += float64(bd.Objects)
+			agg.MeanWALObjects += float64(bd.WALObjects)
+			agg.MeanFetchedKB += float64(bd.Bytes) / 1024
+			lost += float64(r.Commits - (r.Cut + 1))
+			if r.Safety > agg.MaxSafety {
+				agg.MaxSafety = r.Safety
+			}
+		}
+		n := float64(agg.Runs)
+		ph.List /= n
+		ph.View /= n
+		ph.Fetch /= n
+		ph.Decode /= n
+		ph.Apply /= n
+		ph.Verify /= n
+		ph.Total /= n
+		agg.Phases = ph
+		agg.MeanObjects /= n
+		agg.MeanWALObjects /= n
+		agg.MeanFetchedKB /= n
+		agg.MeanCommitsLost = lost / n
+		sort.Slice(rpos, func(i, j int) bool { return rpos[i] < rpos[j] })
+		sort.Slice(rtos, func(i, j int) bool { return rtos[i] < rtos[j] })
+		agg.RPOp50Ms = quantileMs(rpos, 0.50)
+		agg.RPOp99Ms = quantileMs(rpos, 0.99)
+		agg.RPOMaxMs = quantileMs(rpos, 1.0)
+		agg.RTOp50Ms = quantileMs(rtos, 0.50)
+		agg.RTOp99Ms = quantileMs(rtos, 0.99)
+		res.Scenarios = append(res.Scenarios, agg)
+	}
+	return res, nil
+}

@@ -1,0 +1,19 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo registers the conventional ginja_build_info constant
+// gauge: value 1, identity carried in labels (the Prometheus idiom for
+// joining version metadata onto any other series). version names the
+// middleware build, formatVersion the cloud object-format generation the
+// build writes; the Go runtime version is filled in here. The same labels
+// surface on /statusz via the registry snapshot.
+func RegisterBuildInfo(reg *Registry, version, formatVersion string) {
+	reg.Gauge("ginja_build_info",
+		"Constant 1; middleware version, Go runtime and cloud object-format version as labels.",
+		Labels{
+			"version":        version,
+			"go_version":     runtime.Version(),
+			"format_version": formatVersion,
+		}).Set(1)
+}

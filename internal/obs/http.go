@@ -13,6 +13,9 @@ import (
 //     otherwise, with a JSON body listing each check
 //   - /statusz — JSON: the optional status value (e.g. core.Stats) plus a
 //     full registry snapshot
+//   - /tracez — JSON: the span ring's recent spans (newest first) and its
+//     slowest-retained spans, for tracing batches, uploads and recoveries
+//     without raising any log level
 //
 // status may be nil; it is sampled per request. The handler is a plain
 // mux, so it can be mounted standalone (cmd/ginja -metrics-addr) or under
@@ -39,6 +42,18 @@ func Handler(r *Registry, status func() any) http.Handler {
 			Checks []HealthStatus `json:"checks"`
 		}{state, time.Now().UTC(), checks})
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		recent, slowest, total := r.Spans().Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Time    time.Time    `json:"time"`
+			Total   uint64       `json:"total"`
+			Recent  []tracezSpan `json:"recent"`
+			Slowest []tracezSpan `json:"slowest"`
+		}{time.Now().UTC(), total, tracezSpans(recent), tracezSpans(slowest)})
+	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		var st any
 		if status != nil {
@@ -54,4 +69,29 @@ func Handler(r *Registry, status func() any) http.Handler {
 		}{time.Now().UTC(), st, r.Snapshot()})
 	})
 	return mux
+}
+
+// tracezSpan is the /tracez wire rendering of a Span: durations in
+// milliseconds, start as RFC3339, so the endpoint reads well in a terminal
+// and diffs cleanly in tests.
+type tracezSpan struct {
+	Name       string    `json:"name"`
+	ID         int64     `json:"id"`
+	Extra      int64     `json:"extra,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+}
+
+func tracezSpans(spans []Span) []tracezSpan {
+	out := make([]tracezSpan, len(spans))
+	for i, s := range spans {
+		out[i] = tracezSpan{
+			Name:       s.Name,
+			ID:         s.ID,
+			Extra:      s.Extra,
+			Start:      s.Start.UTC(),
+			DurationMs: float64(s.Duration) / float64(time.Millisecond),
+		}
+	}
+	return out
 }

@@ -48,8 +48,12 @@ func TestHealthzFlipsDuringOutage(t *testing.T) {
 	}
 
 	sim.StartOutage()
-	if err := store.Put(ctx, "wal/2", []byte("x")); err == nil {
-		t.Fatal("Put during outage should fail")
+	// Health has flap hysteresis: it takes DefaultHealthThreshold
+	// consecutive failures to trip, so drive that many failing ops.
+	for i := 0; i < DefaultHealthThreshold; i++ {
+		if err := store.Put(ctx, "wal/2", []byte("x")); err == nil {
+			t.Fatal("Put during outage should fail")
+		}
 	}
 	if _, err := store.Get(ctx, "wal/1"); err == nil {
 		t.Fatal("Get during outage should fail")

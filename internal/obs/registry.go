@@ -131,8 +131,9 @@ type family struct {
 	series map[string]*series
 }
 
-// Registry holds instruments and health checks. The zero value is not
-// usable; call NewRegistry. All methods are safe for concurrent use.
+// Registry holds instruments, health checks and the trace-span ring. The
+// zero value is not usable; call NewRegistry. All methods are safe for
+// concurrent use.
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
@@ -140,14 +141,39 @@ type Registry struct {
 	healthMu sync.Mutex
 	health   map[string]func() error
 	horder   []string
+
+	spansMu sync.Mutex
+	spans   *SpanRing
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry (span ring at default capacity).
 func NewRegistry() *Registry {
 	return &Registry{
 		families: make(map[string]*family),
 		health:   make(map[string]func() error),
+		spans:    NewSpanRing(DefaultSpanRecent, DefaultSpanSlowest),
 	}
+}
+
+// Spans returns the registry's trace-span ring. Instrumented subsystems
+// record completed spans here whenever a registry is attached — capture is
+// independent of any logger's level — and /tracez serves its snapshot.
+func (r *Registry) Spans() *SpanRing {
+	r.spansMu.Lock()
+	defer r.spansMu.Unlock()
+	return r.spans
+}
+
+// ConfigureSpans replaces the span ring with one retaining recentCap
+// recent and slowCap slowest spans. Call before wiring the registry into a
+// Ginja instance: subsystems capture the ring at construction, so spans
+// recorded into a replaced ring are not visible to handlers any more.
+func (r *Registry) ConfigureSpans(recentCap, slowCap int) *SpanRing {
+	ring := NewSpanRing(recentCap, slowCap)
+	r.spansMu.Lock()
+	r.spans = ring
+	r.spansMu.Unlock()
+	return ring
 }
 
 // Counter returns the counter for (name, labels), registering it on first

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed trace span: a named operation with a correlation
+// id, a start time and a duration. Spans are fixed-size values (no maps,
+// no per-span allocation), so recording one from the commit hot path costs
+// a mutex acquisition and a struct copy — nothing the allocator sees.
+type Span struct {
+	// Name identifies the operation ("aggregate", "wal_put", "batch",
+	// "recovery:fetch", ...). Call sites pass string constants, so the
+	// field never forces an allocation.
+	Name string `json:"name"`
+	// ID correlates related spans: WAL-object spans carry the object
+	// timestamp, batch spans the Aggregator batch id, recovery-phase spans
+	// the dump timestamp they restore from. Spans of one batch/object/
+	// recovery share an ID, so a trace can be reassembled from the ring.
+	ID int64 `json:"id"`
+	// Extra is a secondary quantity whose meaning depends on Name: updates
+	// in a batch, sealed bytes uploaded, objects fetched.
+	Extra int64 `json:"extra,omitempty"`
+	// Start is when the operation began (wall or virtual clock — whatever
+	// clock the recording subsystem runs on).
+	Start time.Time `json:"start"`
+	// Duration is how long it took.
+	Duration time.Duration `json:"duration"`
+}
+
+// Default span-ring capacities (see Registry.Spans / ConfigureSpans).
+const (
+	DefaultSpanRecent  = 256
+	DefaultSpanSlowest = 32
+)
+
+// SpanRing is a bounded buffer of completed spans with two retention
+// policies side by side: a ring of the most recent spans (what is the
+// system doing right now?) and a keep-the-slowest-N set (what were the
+// worst operations since start?). Both are fixed-size, so an instance can
+// record spans indefinitely; Record never allocates. It backs the /tracez
+// endpoint and is independent of log levels — spans flow here whenever a
+// registry is attached, while slog emission stays Debug-gated.
+type SpanRing struct {
+	mu     sync.Mutex
+	recent []Span // ring storage, len == capacity
+	total  uint64 // spans ever recorded; recent[total%len] is the next slot
+	slow   []Span // slowest-N, unordered; len grows to cap then stays
+}
+
+// NewSpanRing returns a span ring retaining the recentCap most recent
+// spans and the slowCap slowest spans (minimums of 1 each).
+func NewSpanRing(recentCap, slowCap int) *SpanRing {
+	if recentCap < 1 {
+		recentCap = 1
+	}
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	return &SpanRing{
+		recent: make([]Span, recentCap),
+		slow:   make([]Span, 0, slowCap),
+	}
+}
+
+// Record stores one completed span. Safe for concurrent use; does not
+// allocate.
+func (r *SpanRing) Record(s Span) {
+	r.mu.Lock()
+	r.recent[r.total%uint64(len(r.recent))] = s
+	r.total++
+	if len(r.slow) < cap(r.slow) {
+		r.slow = append(r.slow, s)
+	} else {
+		// Replace the fastest retained span if this one is slower. cap is
+		// small (tens), so the scan is cheaper than heap bookkeeping.
+		min := 0
+		for i := 1; i < len(r.slow); i++ {
+			if r.slow[i].Duration < r.slow[min].Duration {
+				min = i
+			}
+		}
+		if s.Duration > r.slow[min].Duration {
+			r.slow[min] = s
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many spans have ever been recorded.
+func (r *SpanRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained spans: recent newest-first, slowest by
+// descending duration, plus the total ever recorded. The slices are
+// copies; the ring keeps recording concurrently.
+func (r *SpanRing) Snapshot() (recent, slowest []Span, total uint64) {
+	r.mu.Lock()
+	n := uint64(len(r.recent))
+	have := r.total
+	if have > n {
+		have = n
+	}
+	recent = make([]Span, 0, have)
+	for i := uint64(1); i <= have; i++ {
+		recent = append(recent, r.recent[(r.total-i)%n])
+	}
+	slowest = append([]Span(nil), r.slow...)
+	total = r.total
+	r.mu.Unlock()
+	sort.SliceStable(slowest, func(i, j int) bool { return slowest[i].Duration > slowest[j].Duration })
+	return recent, slowest, total
+}

@@ -32,10 +32,19 @@ type InstrumentedStore struct {
 	bytesDown *Counter
 
 	consecutiveErrs atomic.Int64
+	failThreshold   atomic.Int64
 	lastMu          sync.Mutex
 	lastErr         error
 	lastSuccess     time.Time
 }
+
+// DefaultHealthThreshold is how many consecutive failed operations an
+// InstrumentedStore tolerates before its health check reports unhealthy.
+// One failed PUT followed by a successful retry is the pipeline's normal
+// operating mode under transient faults; flipping /healthz on every such
+// blip makes the signal useless to an orchestrator, so health trips only
+// after a run of failures long enough to indicate a real outage.
+const DefaultHealthThreshold = 3
 
 type opInstruments struct {
 	latency *Histogram
@@ -65,6 +74,7 @@ func InstrumentStore(inner cloud.ObjectStore, reg *Registry, backend string) *In
 				"Cloud object-store operations that failed (not-found excluded).", l),
 		}
 	}
+	s.failThreshold.Store(DefaultHealthThreshold)
 	s.bytesUp = reg.Counter("ginja_cloud_bytes_total",
 		"Payload bytes transferred to/from the cloud.",
 		Labels{"backend": backend, "direction": "up"})
@@ -75,11 +85,23 @@ func InstrumentStore(inner cloud.ObjectStore, reg *Registry, backend string) *In
 	return s
 }
 
-// Healthy reports store reachability: nil after the most recent operation
-// succeeded, the last error while one or more operations have failed in a
-// row. A store that has seen no traffic yet is considered healthy.
+// SetHealthThreshold overrides how many consecutive failures it takes
+// before Healthy reports unhealthy (flap hysteresis; default
+// DefaultHealthThreshold). n < 1 is clamped to 1.
+func (s *InstrumentedStore) SetHealthThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.failThreshold.Store(int64(n))
+}
+
+// Healthy reports store reachability: nil while the most recent operations
+// succeeded or only a short run of them failed (below the flap-hysteresis
+// threshold), the last error once failures have accumulated past it. A
+// store that has seen no traffic yet is considered healthy; any single
+// success resets the failure run.
 func (s *InstrumentedStore) Healthy() error {
-	if s.consecutiveErrs.Load() == 0 {
+	if s.consecutiveErrs.Load() < s.failThreshold.Load() {
 		return nil
 	}
 	s.lastMu.Lock()

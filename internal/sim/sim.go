@@ -84,6 +84,15 @@ type Result struct {
 	OrphanParts int
 	// VirtualElapsed is how much virtual time the run spanned.
 	VirtualElapsed time.Duration
+	// RPO is the measured data-loss window at the instant of the crash:
+	// the age (virtual clock) of the oldest update the cloud had not yet
+	// acknowledged when the primary died. Zero means the disaster struck a
+	// fully synchronized instance.
+	RPO time.Duration
+	// RTO is the measured recovery time (virtual clock) of the
+	// replacement site's Recover call; Recovery is its per-phase budget.
+	RTO      time.Duration
+	Recovery *core.RecoveryBreakdown
 }
 
 // chaosWrite is one committed write in history order.
@@ -322,6 +331,9 @@ func Run(cfg Config) (*Result, error) {
 		// to land but not the stragglers behind them in the uploader pool.
 		clk.Sleep(simProfile().BaseLatency + 20*time.Millisecond)
 	}
+	// Measure the realized data-loss window at the instant of the
+	// disaster, then cut the primary off.
+	res.RPO = g.RPO()
 	kill.kill()
 	for _, t := range timers {
 		t.Stop()
@@ -345,9 +357,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return fail("new recovery instance: %v", err)
 	}
+	recoverStart := clk.Now()
 	if err := g2.Recover(ctx); err != nil {
 		return fail("recover: %v", err)
 	}
+	res.RTO = clk.Since(recoverStart)
+	res.Recovery = g2.Stats().LastRecovery
 	defer g2.Close()
 	res.OrphanParts = len(g2.View().OrphanParts())
 	db2, err := minidb.Open(g2.FS(), engine(), minidb.Options{})
