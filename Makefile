@@ -3,7 +3,12 @@ GO ?= go
 # Per-target budget for fuzz-smoke (Go -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-recovery bench-recovery-smoke
+# Statement-coverage floors for cover-check (percent). The replication
+# core and the observability layer are where silent regressions hide.
+COVER_FLOOR_CORE ?= 85
+COVER_FLOOR_OBS  ?= 85
+
+.PHONY: build test vet race verify cover-check fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-recovery bench-recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -27,10 +32,26 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseWALObjectName$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseDBObjectName$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeWrites$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzListDiff$$' -fuzztime $(FUZZTIME)
+
+# cover-check enforces per-package statement-coverage floors on the two
+# packages where a silent test regression hurts most, and leaves a
+# machine-readable summary in coverage_summary.txt (uploaded by CI).
+cover-check:
+	$(GO) test -count=1 -coverprofile=coverage_core.out ./internal/core
+	$(GO) test -count=1 -coverprofile=coverage_obs.out ./internal/obs
+	@rm -f coverage_summary.txt
+	@$(GO) tool cover -func=coverage_core.out | awk -v floor=$(COVER_FLOOR_CORE) \
+		'/^total:/ { pct = $$3 + 0; printf "internal/core  %.1f%%  (floor %d%%)\n", pct, floor >> "coverage_summary.txt"; \
+		if (pct < floor) { printf "FAIL: internal/core coverage %.1f%% below floor %d%%\n", pct, floor; exit 1 } }'
+	@$(GO) tool cover -func=coverage_obs.out | awk -v floor=$(COVER_FLOOR_OBS) \
+		'/^total:/ { pct = $$3 + 0; printf "internal/obs   %.1f%%  (floor %d%%)\n", pct, floor >> "coverage_summary.txt"; \
+		if (pct < floor) { printf "FAIL: internal/obs coverage %.1f%% below floor %d%%\n", pct, floor; exit 1 } }'
+	@cat coverage_summary.txt
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race fuzz-smoke bench-data-smoke bench-commit-smoke bench-recovery-smoke
+verify: build vet test race cover-check fuzz-smoke bench-data-smoke bench-commit-smoke bench-recovery-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

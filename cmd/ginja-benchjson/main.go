@@ -119,6 +119,20 @@ func run(args []string) error {
 		if !anyLoss {
 			return fmt.Errorf("recovery bench regressed: no scenario measured a non-zero RPO")
 		}
+		w := r.WarmStandby
+		fmt.Printf("%-18s cold RTO p50/p99 %7.1f/%7.1f ms -> warm promote %7.1f/%7.1f ms (%.1fx, lag %.0f ms, %.0f vs %.0f objects)\n",
+			"warm-standby:", w.ColdRTOp50Ms, w.ColdRTOp99Ms, w.WarmRTOp50Ms, w.WarmRTOp99Ms,
+			w.Speedup, w.MeanFollowerLagMs, w.MeanColdObjects, w.MeanWarmObjects)
+		fmt.Printf("%-18s promote-during-outage drill RTO %.1f ms (rides a 1 s provider outage)\n",
+			"", w.OutageDrillRTOMs)
+		// The warm standby's reason to exist: promoting the tailed replica
+		// must beat re-downloading the database by a wide margin. Enforced
+		// here so `make verify` fails the build when the follower regresses
+		// to cold-restore behaviour.
+		if w.Runs != r.Seeds || w.WarmRTOp50Ms <= 0 || w.Speedup < 5 {
+			return fmt.Errorf("warm standby regressed: runs=%d warm_rto_p50=%.3f speedup=%.2f (want >= 5x over cold)",
+				w.Runs, w.WarmRTOp50Ms, w.Speedup)
+		}
 		res = r
 	case "commit":
 		defaultOut = "BENCH_commitpath.json"

@@ -12,6 +12,7 @@
 //	ginja run     -data ./db -cloud ./bucket -duration 30s [-batch 100 -safety 1000]
 //	ginja run     -data ./db -cloud ./bucket -metrics-addr :9090   # + /metrics /healthz /statusz /tracez
 //	ginja recover -data ./db-restored -cloud ./bucket
+//	ginja follow  -data ./db-replica -cloud ./bucket [-promote]
 //	ginja verify  -cloud ./bucket
 //	ginja status  -cloud ./bucket
 package main
@@ -24,7 +25,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
@@ -53,6 +56,10 @@ type options struct {
 	duration    time.Duration
 	verbose     bool
 	metricsAddr string
+	retainFor   time.Duration
+	retainMax   int
+	followEvery time.Duration
+	promote     bool
 
 	// registry is non-nil when -metrics-addr is set; store() and params()
 	// route telemetry through it.
@@ -88,6 +95,14 @@ func run(args []string) error {
 	fs.BoolVar(&o.verbose, "v", false, "log replication events to stderr")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve /metrics (Prometheus), /healthz, /statusz and /tracez on this address (e.g. :9090)")
+	fs.DurationVar(&o.retainFor, "retain", 0,
+		"keep superseded cloud objects this long so `pitr restore` can hit any point in the window (0 = GC immediately)")
+	fs.IntVar(&o.retainMax, "retain-objects", 0,
+		"cap on retained superseded objects (0 = default cap; only meaningful with -retain)")
+	fs.DurationVar(&o.followEvery, "follow-interval", 0,
+		"follow only: poll cadence for tailing the bucket (0 = default)")
+	fs.BoolVar(&o.promote, "promote", false,
+		"follow only: on interrupt, promote the warm replica to a live site instead of just stopping")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -109,6 +124,8 @@ func run(args []string) error {
 		return cmdStatus(ctx, o)
 	case "pitr":
 		return cmdPITR(ctx, o, fs.Args())
+	case "follow":
+		return cmdFollow(ctx, o)
 	default:
 		usage()
 		return fmt.Errorf("unknown subcommand %q", sub)
@@ -148,6 +165,13 @@ func (o options) params() core.Params {
 		p.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 	p.Metrics = o.registry
+	p.RetainFor = o.retainFor
+	if o.retainMax > 0 {
+		p.RetainObjects = o.retainMax
+	}
+	if o.followEvery > 0 {
+		p.FollowInterval = o.followEvery
+	}
 	return p
 }
 
@@ -379,11 +403,15 @@ func cmdStatus(ctx context.Context, o options) error {
 	return nil
 }
 
-// cmdPITR lists or restores point-in-time generations (retained when the
-// protected instance runs with PITRGenerations > 0).
+// cmdPITR lists or restores point-in-time recovery points. Dump
+// generations are retained when the protected instance runs with
+// PITRGenerations > 0; with -retain set, superseded WAL and checkpoint
+// objects are kept too, so restore hits ANY commit timestamp inside the
+// retention window (RecoverAt's exact consistent prefix), not just dump
+// boundaries.
 func cmdPITR(ctx context.Context, o options, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ginja pitr [flags] list | restore <generation-ts>")
+		return fmt.Errorf("usage: ginja pitr [flags] list | restore <timestamp>")
 	}
 	store, err := o.store()
 	if err != nil {
@@ -413,14 +441,15 @@ func cmdPITR(ctx context.Context, o options, args []string) error {
 			}
 			fmt.Printf("  generation ts=%d (%.1f KB)\n", d.Ts, float64(d.Size)/1024)
 		}
+		fmt.Println("restore accepts any commit timestamp >= the oldest generation (exact prefix within the retention window)")
 		return nil
 	case "restore":
 		if len(args) < 2 {
-			return fmt.Errorf("usage: ginja pitr [flags] restore <generation-ts>")
+			return fmt.Errorf("usage: ginja pitr [flags] restore <timestamp>")
 		}
 		var ts int64
 		if _, err := fmt.Sscanf(args[1], "%d", &ts); err != nil {
-			return fmt.Errorf("bad generation %q: %w", args[1], err)
+			return fmt.Errorf("bad timestamp %q: %w", args[1], err)
 		}
 		target, err := vfs.NewOSFS(o.dataDir)
 		if err != nil {
@@ -430,11 +459,79 @@ func cmdPITR(ctx context.Context, o options, args []string) error {
 		if err := g.RecoverAt(ctx, target, ts); err != nil {
 			return err
 		}
-		fmt.Printf("restored generation ts=%d into %s in %s\n",
+		fmt.Printf("restored to ts=%d into %s in %s\n",
 			ts, o.dataDir, time.Since(start).Round(time.Millisecond))
 		return nil
 	default:
 		return fmt.Errorf("unknown pitr action %q (want list or restore)", args[0])
+	}
+}
+
+// cmdFollow runs a warm standby: it tails the bucket into -data until
+// interrupted, printing the replication lag; with -promote the interrupt
+// is treated as the disaster and the replica is promoted to a live site
+// (the database engine then validates the files via its own restart).
+func cmdFollow(ctx context.Context, o options) error {
+	localFS, err := vfs.NewOSFS(o.dataDir)
+	if err != nil {
+		return err
+	}
+	store, err := o.store()
+	if err != nil {
+		return err
+	}
+	engine, proc, err := o.engineAndProc()
+	if err != nil {
+		return err
+	}
+	fol, err := core.NewFollower(localFS, store, proc, o.params())
+	if err != nil {
+		return err
+	}
+	stopMetrics, err := serveMetrics(o, func() any { return fol.Stats() })
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	if err := fol.Start(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("following %s into %s (interrupt to %s)\n",
+		o.cloudSpec, o.dataDir, map[bool]string{true: "promote", false: "stop"}[o.promote])
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s := fol.Stats()
+			fmt.Printf("lag %s, applied ts %d (%d WAL / %d DB objects, %d polls)\n",
+				s.Lag.Round(time.Millisecond), s.AppliedTs, s.AppliedWALObjects, s.AppliedDBObjects, s.Polls)
+		case <-sigs:
+			if !o.promote {
+				return fol.Close()
+			}
+			start := time.Now()
+			g, err := fol.Promote(ctx)
+			if err != nil {
+				return err
+			}
+			defer g.Close()
+			db, err := minidb.Open(g.FS(), engine, minidb.Options{})
+			if err != nil {
+				return fmt.Errorf("promoted files failed DBMS restart: %w", err)
+			}
+			tables := db.Tables()
+			if err := db.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("promoted: %d tables live in %s after %s\n",
+				len(tables), o.dataDir, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
 	}
 }
 
@@ -447,9 +544,11 @@ subcommands:
   recover   rebuild the database from the cloud after a disaster
   verify    check the backup (MACs, DBMS restart, probe queries)
   status    summarise the cloud objects and their storage cost
-  pitr      list / restore retained point-in-time generations
+  pitr      list / restore retained point-in-time recovery points
+  follow    run a warm standby tailing the bucket (-promote for handoff)
 
 common flags: -data DIR -cloud DIR|URL -engine postgresql|mysql
               -batch B -safety S -compress -encrypt -password PW
+              -retain 24h -retain-objects N   point-in-time retention window
               -metrics-addr :9090   serve /metrics /healthz /statusz /tracez`)
 }

@@ -239,6 +239,25 @@ type (
 	RepairReport = core.RepairReport
 )
 
+// Warm standby. A Follower continuously tails the cloud bucket into a
+// local replica (incremental LIST diffing, parallel prefetch,
+// recovery-order apply), so that after a disaster Promote hands back a
+// live Ginja in O(replication lag) instead of the O(database size) a cold
+// Recover pays. Set Params.RetainFor (and RetainObjects) on the primary
+// to keep superseded objects long enough for RecoverAt to hit any
+// point in the retention window.
+type (
+	// Follower is the warm-standby replica tailing an ObjectStore.
+	Follower = core.Follower
+	// FollowerStats snapshots a Follower's tailing activity and lag.
+	FollowerStats = core.FollowerStats
+)
+
+// NewFollower creates a warm standby replicating the bucket in store
+// into localFS; Start begins tailing, Promote performs the disaster
+// handoff.
+var NewFollower = core.NewFollower
+
 // File system interposition.
 type (
 	// FS is the file-system surface database engines run on.

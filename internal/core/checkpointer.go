@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,8 +95,38 @@ type checkpointer struct {
 	putInflight *inflight
 	delInflight *inflight
 
+	// The settle hook: enqueuedN counts objects handed to the upload queue,
+	// processedN counts upload() calls that finished — including their GC
+	// sweep, which runs before the deferred noteProcessed. sync waits for
+	// processedN to catch up, giving tests and operators a deterministic
+	// "everything you triggered is durable and swept" barrier instead of
+	// polling counters that move mid-sweep.
+	settleMu   sync.Mutex
+	enqueuedN  int64
+	processedN int64
+	settleCh   chan struct{}
+
+	// The point-in-time retention window (Params.RetainFor): superseded
+	// objects are stamped here instead of deleted, first stamp wins (a
+	// re-marked victim must not have its window restarted), and the trimmer
+	// deletes them once the window expires or the RetainObjects cap evicts
+	// the oldest-superseded early.
+	retMu      sync.Mutex
+	walRetired map[int64]retiredObject
+	dbRetired  map[dbKey]retiredObject
+	trimMu     sync.Mutex
+	trimDone   chan struct{}
+
 	errMu sync.Mutex
 	err   error
+}
+
+// retiredObject is one superseded-but-retained cloud object: the stamp is
+// when supersession happened, which starts its RetainFor window.
+type retiredObject struct {
+	wal WALObjectInfo
+	db  DBObjectInfo
+	at  time.Time
 }
 
 func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
@@ -113,6 +144,8 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 		putInflight: newInflight(params.Metrics, "put", "checkpoint"),
 		delInflight: newInflight(params.Metrics, "delete", "gc"),
 		genAlloc:    make(map[int64]int),
+		walRetired:  make(map[int64]retiredObject),
+		dbRetired:   make(map[dbKey]retiredObject),
 		queue:       make(chan dbObject, 4),
 		ctx:         ctx,
 		cancel:      cancel,
@@ -188,6 +221,25 @@ func (c *checkpointer) start() {
 			}
 		}
 	}()
+	if c.params.RetainFor > 0 {
+		// Background trimmer: enforce the retention window even when no
+		// dump happens to run GC — a quiet database must still converge to
+		// its bounded chain.
+		interval := c.params.RetainFor / 4
+		if interval <= 0 {
+			interval = time.Second
+		}
+		c.trimDone = make(chan struct{})
+		go func() {
+			defer close(c.trimDone)
+			for simclock.SleepCtx(c.ctx, c.clk, interval) == nil {
+				if err := c.trimRetention(); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		}()
+	}
 }
 
 // stop flushes the queue (bounded by timeout) and terminates the
@@ -204,6 +256,9 @@ func (c *checkpointer) stop(timeout time.Duration) error {
 	}
 	c.cancel()
 	<-c.done
+	if c.trimDone != nil {
+		<-c.trimDone
+	}
 	return c.lastErr()
 }
 
@@ -294,6 +349,7 @@ func (c *checkpointer) finalizeLocked() {
 	c.bufBytes.Add(obj.bufBytes - rawBytes)
 	select {
 	case c.queue <- obj:
+		c.noteEnqueued()
 	case <-c.ctx.Done():
 		c.bufBytes.Add(-obj.bufBytes)
 		if obj.gated {
@@ -335,6 +391,7 @@ func (c *checkpointer) localDBSize() (int64, error) {
 // recovery) and the next dump's GC deletes them (collectOldDBObjects
 // sweeps view.OrphanParts).
 func (c *checkpointer) upload(obj dbObject) error {
+	defer c.noteProcessed() // runs last: GC and retention trimming included
 	defer c.bufBytes.Add(-obj.bufBytes)
 	var gateOnce sync.Once
 	release := func() {
@@ -408,30 +465,57 @@ func (c *checkpointer) upload(obj dbObject) error {
 			victims = append(victims, w)
 		}
 	}
-	err = runLimited(c.ctx, c.params.CheckpointUploaders, len(victims), func(ctx context.Context, i int) error {
-		w := victims[i]
-		c.delInflight.enter()
-		err := c.deleteObject(ctx, w.Name())
-		c.delInflight.exit()
+	if c.params.RetainFor > 0 {
+		// Point-in-time retention: stamp the supersession instead of
+		// deleting. The WAL stays in the cloud (and in the view, so
+		// RecoverAt can replay it) until the window expires.
+		now := c.clk.Now()
+		c.retMu.Lock()
+		marked := 0
+		for _, w := range victims {
+			if _, ok := c.walRetired[w.Ts]; !ok {
+				c.walRetired[w.Ts] = retiredObject{wal: w, at: now}
+				marked++
+			}
+		}
+		c.retMu.Unlock()
+		if marked > 0 {
+			c.params.logger().Debug("retained superseded WAL objects",
+				"count", marked, "up_to_ts", obj.ts, "window", c.params.RetainFor)
+		}
+	} else {
+		err = runLimited(c.ctx, c.params.CheckpointUploaders, len(victims), func(ctx context.Context, i int) error {
+			w := victims[i]
+			c.delInflight.enter()
+			err := c.deleteObject(ctx, w.Name())
+			c.delInflight.exit()
+			if err != nil {
+				return err
+			}
+			c.view.DeleteWAL(w.Ts)
+			c.stats.walDeleted.Add(1)
+			if c.metrics != nil {
+				c.metrics.walDeleted.Inc()
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		c.view.DeleteWAL(w.Ts)
-		c.stats.walDeleted.Add(1)
-		if c.metrics != nil {
-			c.metrics.walDeleted.Inc()
+		if len(victims) > 0 {
+			c.params.logger().Debug("garbage-collected WAL objects",
+				"count", len(victims), "up_to_ts", obj.ts)
 		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	if len(victims) > 0 {
-		c.params.logger().Debug("garbage-collected WAL objects",
-			"count", len(victims), "up_to_ts", obj.ts)
 	}
 	if obj.typ == Dump {
 		if err := c.collectOldDBObjects(); err != nil {
+			return err
+		}
+	}
+	if c.params.RetainFor > 0 {
+		// Trim inline too: the cap (RetainObjects) must hold even between
+		// trimmer ticks, and an expired window should not wait for one.
+		if err := c.trimRetention(); err != nil {
 			return err
 		}
 	}
@@ -474,6 +558,20 @@ func (c *checkpointer) collectOldDBObjects() error {
 		cutoff := dumps[len(dumps)-keep]
 		for _, d := range objs {
 			if !d.Before(cutoff) {
+				continue
+			}
+			if c.params.RetainFor > 0 {
+				// Retention window: retire instead of delete. The object
+				// stays listed for RecoverAt but leaves the 150 %-rule size
+				// accounting; the trimmer deletes it when the window closes.
+				now := c.clk.Now()
+				c.retMu.Lock()
+				k := dbKey{ts: d.Ts, gen: d.Gen}
+				if _, ok := c.dbRetired[k]; !ok {
+					c.dbRetired[k] = retiredObject{db: d, at: now}
+				}
+				c.retMu.Unlock()
+				c.view.MarkDBRetired(d.Ts, d.Gen)
 				continue
 			}
 			v := &dbVictim{d: d}
@@ -561,6 +659,143 @@ func (c *checkpointer) putWithRetry(ctx context.Context, name string, data []byt
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
+		}
+	}
+}
+
+// trimRetention deletes retired objects whose RetainFor window has
+// closed, plus — BtrLog-style bounded chain length — the oldest-superseded
+// entries beyond the RetainObjects cap, even if their window is still
+// open. Runs from the background trimmer and inline after each upload's
+// GC; trimMu keeps the two from racing each other.
+func (c *checkpointer) trimRetention() error {
+	c.trimMu.Lock()
+	defer c.trimMu.Unlock()
+	now := c.clk.Now()
+
+	type victim struct {
+		at    time.Time
+		isWAL bool
+		wal   WALObjectInfo
+		db    DBObjectInfo
+	}
+	c.retMu.Lock()
+	all := make([]victim, 0, len(c.walRetired)+len(c.dbRetired))
+	for _, r := range c.walRetired {
+		all = append(all, victim{at: r.at, isWAL: true, wal: r.wal})
+	}
+	for _, r := range c.dbRetired {
+		all = append(all, victim{at: r.at, db: r.db})
+	}
+	c.retMu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].at.Equal(all[j].at) {
+			return all[i].at.Before(all[j].at)
+		}
+		// Same stamp (one GC sweep): trim WAL before the checkpoint that
+		// superseded it, and older timestamps first, for determinism.
+		if all[i].isWAL != all[j].isWAL {
+			return all[i].isWAL
+		}
+		if all[i].isWAL {
+			return all[i].wal.Ts < all[j].wal.Ts
+		}
+		return all[i].db.Before(all[j].db)
+	})
+	overflow := len(all) - c.params.RetainObjects
+	var victims []victim
+	for i, v := range all {
+		if i < overflow || !now.Before(v.at.Add(c.params.RetainFor)) {
+			victims = append(victims, v)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	err := runLimited(c.ctx, c.params.CheckpointUploaders, len(victims), func(ctx context.Context, i int) error {
+		v := victims[i]
+		if v.isWAL {
+			c.delInflight.enter()
+			err := c.deleteObject(ctx, v.wal.Name())
+			c.delInflight.exit()
+			if err != nil {
+				return err
+			}
+			c.view.DeleteWAL(v.wal.Ts)
+			c.stats.walDeleted.Add(1)
+			if c.metrics != nil {
+				c.metrics.walDeleted.Inc()
+			}
+			c.retMu.Lock()
+			delete(c.walRetired, v.wal.Ts)
+			c.retMu.Unlock()
+			return nil
+		}
+		for _, name := range v.db.PartNames() {
+			c.delInflight.enter()
+			err := c.deleteObject(ctx, name)
+			c.delInflight.exit()
+			if err != nil {
+				return err
+			}
+		}
+		c.view.DeleteDB(v.db.Ts, v.db.Gen)
+		c.stats.dbDeleted.Add(1)
+		if c.metrics != nil {
+			c.metrics.dbDeleted.Inc()
+		}
+		c.retMu.Lock()
+		delete(c.dbRetired, dbKey{ts: v.db.Ts, gen: v.db.Gen})
+		c.retMu.Unlock()
+		return nil
+	})
+	if err == nil {
+		c.params.logger().Debug("trimmed retention window",
+			"deleted", len(victims), "retained", len(all)-len(victims))
+	}
+	return err
+}
+
+func (c *checkpointer) noteEnqueued() {
+	c.settleMu.Lock()
+	c.enqueuedN++
+	c.settleMu.Unlock()
+}
+
+func (c *checkpointer) noteProcessed() {
+	c.settleMu.Lock()
+	c.processedN++
+	if c.processedN >= c.enqueuedN && c.settleCh != nil {
+		close(c.settleCh)
+		c.settleCh = nil
+	}
+	c.settleMu.Unlock()
+}
+
+// sync blocks until every checkpoint/dump enqueued so far has been fully
+// processed — uploaded, recorded in the view, and its GC sweep finished —
+// or until the timeout (false). A failed checkpointer returns false
+// immediately: its queue will never drain.
+func (c *checkpointer) sync(timeout time.Duration) bool {
+	t := c.clk.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		c.settleMu.Lock()
+		if c.processedN >= c.enqueuedN {
+			c.settleMu.Unlock()
+			return true
+		}
+		if c.settleCh == nil {
+			c.settleCh = make(chan struct{})
+		}
+		ch := c.settleCh
+		c.settleMu.Unlock()
+		select {
+		case <-ch:
+		case <-t.C():
+			return false
+		case <-c.ctx.Done():
+			return false
 		}
 	}
 }

@@ -98,6 +98,13 @@ type CloudView struct {
 	nextTs int64
 	dbSize int64
 
+	// retired marks DB objects superseded by a newer dump but kept in the
+	// cloud by the point-in-time retention window (Params.RetainFor). They
+	// stay listed (RecoverAt needs them) but leave the 150 %-rule size
+	// accounting: retained history must not count as live cloud state, or
+	// every checkpoint after the first retirement would trigger a dump.
+	retired map[dbKey]bool
+
 	// orphans holds the parts of incomplete DB objects found by
 	// LoadFromList, keyed by object name, until GC deletes them.
 	orphans map[string]OrphanPart
@@ -115,6 +122,7 @@ func NewCloudView() *CloudView {
 	return &CloudView{
 		wal:       make(map[int64]WALObjectInfo),
 		db:        make(map[dbKey]*DBObjectInfo),
+		retired:   make(map[dbKey]bool),
 		orphans:   make(map[string]OrphanPart),
 		orphanGen: make(map[int64]int),
 		nextTs:    1,
@@ -205,13 +213,29 @@ func (v *CloudView) DeleteWAL(ts int64) {
 }
 
 // DeleteDB forgets a DB object.
+// MarkDBRetired flags a DB object as superseded-but-retained: it stays in
+// DBObjects (point-in-time recovery can still use it) but stops counting
+// toward TotalDBSize. Idempotent; unknown keys are ignored.
+func (v *CloudView) MarkDBRetired(ts int64, gen int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := dbKey{ts: ts, gen: gen}
+	if d, ok := v.db[key]; ok && !v.retired[key] {
+		v.retired[key] = true
+		v.dbSize -= d.Size
+	}
+}
+
 func (v *CloudView) DeleteDB(ts int64, gen int) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	key := dbKey{ts: ts, gen: gen}
 	if d, ok := v.db[key]; ok {
-		v.dbSize -= d.Size
+		if !v.retired[key] {
+			v.dbSize -= d.Size
+		}
 		delete(v.db, key)
+		delete(v.retired, key)
 	}
 }
 
@@ -314,6 +338,7 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.mu.Lock()
 	v.wal = make(map[int64]WALObjectInfo, len(infos))
 	v.db = make(map[dbKey]*DBObjectInfo)
+	v.retired = make(map[dbKey]bool)
 	v.orphans = make(map[string]OrphanPart)
 	v.orphanGen = make(map[int64]int)
 	v.nextTs = 1

@@ -284,12 +284,21 @@ func (g *Ginja) Recover(ctx context.Context) error {
 	return nil
 }
 
-// RecoverAt rebuilds the local files to the point-in-time generation
-// whose dump has timestamp dumpTs (as retained by PITRGenerations), NOT
-// starting replication — point-in-time restores are for inspection or
-// fork-off, not for resuming the production timeline.
-func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) error {
-	_, err := g.recoverInto(ctx, target, dumpTs, "recover_at")
+// RecoverAt rebuilds the local files to the exact consistent prefix of
+// the commit history up to and including WAL timestamp ts: the newest
+// retained dump at or before ts, the incremental checkpoints up to ts,
+// then the consecutive WAL run ending at ts. Any ts whose objects are
+// still retained (Params.RetainFor / PITRGenerations) is a valid
+// recovery point; a ts older than the retention window fails with
+// ErrNoDump. ts = -1 recovers the newest state (like Recover, but onto
+// target). RecoverAt does NOT start replication — point-in-time restores
+// are for inspection or fork-off, not for resuming the production
+// timeline.
+func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, ts int64) error {
+	if ts < -1 {
+		return fmt.Errorf("core: RecoverAt target ts must be ≥ 0 (or -1 for newest), got %d", ts)
+	}
+	_, err := g.recoverInto(ctx, target, ts, "recover_at")
 	return err
 }
 
@@ -297,7 +306,7 @@ func (g *Ginja) RecoverAt(ctx context.Context, target vfs.FS, dumpTs int64) erro
 // restore, verify — onto target with every phase timed, publishing the
 // resulting RecoveryBreakdown (Stats.LastRecovery, the
 // ginja_recovery_phase_seconds histogram and "recovery:*" spans).
-func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, dumpTs int64, mode string) (*RecoveryBreakdown, error) {
+func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, upTo int64, mode string) (*RecoveryBreakdown, error) {
 	clk := g.params.clock()
 	started := clk.Now()
 	bd := &RecoveryBreakdown{Mode: mode}
@@ -315,7 +324,7 @@ func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, dumpTs int64, mo
 	}
 	bd.ViewBuild = clk.Since(t)
 
-	if err := g.restoreTo(ctx, target, dumpTs, bd); err != nil {
+	if err := g.restoreTo(ctx, target, upTo, bd); err != nil {
 		return nil, err
 	}
 
@@ -333,9 +342,12 @@ func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, dumpTs int64, mo
 	return bd, nil
 }
 
-// restoreTo applies dump + checkpoints + WAL onto target, accumulating the
-// fetch/decode/apply phase timings into bd. dumpTs selects a specific dump
-// (-1 = newest).
+// restoreTo applies dump + checkpoints + WAL onto target, accumulating
+// the fetch/decode/apply phase timings into bd. upTo bounds the restore
+// to the consistent prefix ending at that WAL timestamp (-1 = no bound,
+// restore the newest state): the plan takes the newest dump at or before
+// upTo, the checkpoints between it and upTo, and the consecutive WAL run
+// stopping at upTo inclusive.
 //
 // The restore plan — which objects, in which order — is computed up front
 // from the view, then executed with prefetchInOrder: up to
@@ -344,25 +356,22 @@ func (g *Ginja) recoverInto(ctx context.Context, target vfs.FS, dumpTs int64, mo
 // checkpoints by (Ts, Gen), then the consecutive-timestamp WAL run). Only
 // the downloads overlap; the file-write side is identical to a serial
 // restore.
-func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64, bd *RecoveryBreakdown) error {
-	var dump DBObjectInfo
-	if dumpTs < 0 {
-		d, ok := g.view.LatestDump()
-		if !ok {
+func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, upTo int64, bd *RecoveryBreakdown) error {
+	var (
+		dump  DBObjectInfo
+		found bool
+	)
+	for _, d := range g.view.DBObjects() { // (Ts, Gen) ascending
+		if d.Type == Dump && (upTo < 0 || d.Ts <= upTo) {
+			dump = d // newest qualifying dump wins
+			found = true
+		}
+	}
+	if !found {
+		if upTo < 0 {
 			return ErrNoDump
 		}
-		dump = d
-	} else {
-		found := false
-		for _, d := range g.view.DBObjects() { // (Ts, Gen) ascending
-			if d.Type == Dump && d.Ts == dumpTs {
-				dump = d // highest Gen with this ts wins
-				found = true
-			}
-		}
-		if !found {
-			return fmt.Errorf("core: no dump with ts %d: %w", dumpTs, ErrNoDump)
-		}
+		return fmt.Errorf("core: no dump at or before ts %d (outside the retention window): %w", upTo, ErrNoDump)
 	}
 
 	// An item is one DB or WAL object. For legacy whole-sealed objects the
@@ -378,23 +387,15 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64, bd *
 	// 1. The dump (Algorithm 1 lines 27-29).
 	items := []restoreItem{{label: fmt.Sprintf("DB ts=%d", dump.Ts), names: dump.PartNames(), partSealed: dump.PartSealed()}}
 	// 2. Incremental checkpoints after it, in (Ts, Gen) order (lines
-	// 30-36). When restoring to an older generation (dumpTs >= 0), stop
-	// before the next generation's dump.
+	// 30-36). When restoring to a point in time (upTo >= 0), only
+	// checkpoints covering WAL up to the target participate; later ones
+	// belong to the future being excluded.
 	maxCkptTs := dump.Ts
-	var nextDump *DBObjectInfo
-	if dumpTs >= 0 {
-		for _, d := range g.view.DBObjects() {
-			d := d
-			if d.Type == Dump && dump.Before(d) && (nextDump == nil || d.Before(*nextDump)) {
-				nextDump = &d
-			}
-		}
-	}
 	for _, d := range g.view.DBObjects() {
 		if d.Type != Checkpoint || !dump.Before(d) {
 			continue
 		}
-		if nextDump != nil && !d.Before(*nextDump) {
+		if upTo >= 0 && d.Ts > upTo {
 			continue
 		}
 		items = append(items, restoreItem{label: fmt.Sprintf("DB ts=%d", d.Ts), names: d.PartNames(), partSealed: d.PartSealed()})
@@ -404,18 +405,20 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, dumpTs int64, bd *
 	}
 	// 3. WAL objects with consecutive timestamps (lines 37-40). A gap —
 	// an object lost mid-upload when the disaster struck — ends the
-	// replay; this is exactly what bounds data loss to S.
+	// replay; this is exactly what bounds data loss to S. The run stops at
+	// upTo inclusive, which is what makes RecoverAt(ts) the exact prefix
+	// ≤ ts rather than the nearest checkpoint.
 	wal := g.view.WALObjects()
 	byTs := make(map[int64]WALObjectInfo, len(wal))
 	for _, w := range wal {
 		byTs[w.Ts] = w
 	}
 	for ts := maxCkptTs + 1; ; ts++ {
-		w, ok := byTs[ts]
-		if !ok {
+		if upTo >= 0 && ts > upTo {
 			break
 		}
-		if nextDump != nil && ts > nextDump.Ts {
+		w, ok := byTs[ts]
+		if !ok {
 			break
 		}
 		items = append(items, restoreItem{label: w.Name(), names: []string{w.Name()}})
@@ -534,73 +537,90 @@ func (g *Ginja) applyDBObject(ctx context.Context, target vfs.FS, d DBObjectInfo
 // putWithRetry uploads an object, absorbing transient cloud failures
 // (used by Boot; steady-state uploads retry inside the pipeline).
 func (g *Ginja) putWithRetry(ctx context.Context, name string, data []byte) error {
-	delay := g.params.RetryBaseDelay
-	if delay < minRetryDelay {
-		delay = minRetryDelay
-	}
-	for attempt := 0; ; attempt++ {
-		err := g.store.Put(ctx, name, data)
-		if err == nil || ctx.Err() != nil {
-			return err
-		}
-		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
-			return err
-		}
-		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
-			return err
-		}
-		if delay < maxRetryDelay {
-			delay *= 2
-		}
-	}
+	return storePutWithRetry(ctx, g.store, g.params, name, data)
 }
 
 // listWithRetry lists the store, absorbing transient cloud failures.
 func (g *Ginja) listWithRetry(ctx context.Context) ([]cloud.ObjectInfo, error) {
-	delay := g.params.RetryBaseDelay
-	if delay < minRetryDelay {
-		delay = minRetryDelay
-	}
-	for attempt := 0; ; attempt++ {
-		infos, err := g.store.List(ctx, "")
-		if err == nil || ctx.Err() != nil {
-			return infos, err
-		}
-		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
-			return nil, err
-		}
-		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
-			return nil, err
-		}
-		if delay < maxRetryDelay {
-			delay *= 2
-		}
-	}
+	return storeListWithRetry(ctx, g.store, g.params)
 }
 
 // getWithRetry downloads an object, absorbing transient cloud failures
 // with the same retry policy as uploads. ErrNotFound is permanent and is
 // returned immediately.
 func (g *Ginja) getWithRetry(ctx context.Context, name string) ([]byte, error) {
-	delay := g.params.RetryBaseDelay
-	if delay < minRetryDelay {
-		delay = minRetryDelay
-	}
+	return storeGetWithRetry(ctx, g.store, g.params, name)
+}
+
+// storePutWithRetry / storeListWithRetry / storeGetWithRetry are the one
+// shared retry policy for direct store operations (exponential backoff
+// from RetryBaseDelay on the configured clock, bounded by UploadRetries,
+// 0 = retry forever): Ginja's boot/recovery paths and the warm-standby
+// Follower all speak to the cloud through these.
+func storePutWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, name string, data []byte) error {
+	delay := retryStartDelay(p)
 	for attempt := 0; ; attempt++ {
-		data, err := g.store.Get(ctx, name)
-		if err == nil || errors.Is(err, cloud.ErrNotFound) || ctx.Err() != nil {
-			return data, err
+		err := store.Put(ctx, name, data)
+		if err == nil || ctx.Err() != nil {
+			return err
 		}
-		if g.params.UploadRetries > 0 && attempt+1 >= g.params.UploadRetries {
+		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
+			return err
+		}
+		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
+			return err
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+func storeListWithRetry(ctx context.Context, store cloud.ObjectStore, p Params) ([]cloud.ObjectInfo, error) {
+	delay := retryStartDelay(p)
+	for attempt := 0; ; attempt++ {
+		infos, err := store.List(ctx, "")
+		if err == nil || ctx.Err() != nil {
+			return infos, err
+		}
+		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
 			return nil, err
 		}
-		if simclock.SleepCtx(ctx, g.params.clock(), delay) != nil {
+		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
 			return nil, err
 		}
 		if delay < maxRetryDelay {
 			delay *= 2
 		}
 	}
+}
+
+// storeGetWithRetry treats cloud.ErrNotFound as permanent and returns it
+// immediately.
+func storeGetWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, name string) ([]byte, error) {
+	delay := retryStartDelay(p)
+	for attempt := 0; ; attempt++ {
+		data, err := store.Get(ctx, name)
+		if err == nil || errors.Is(err, cloud.ErrNotFound) || ctx.Err() != nil {
+			return data, err
+		}
+		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
+			return nil, err
+		}
+		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
+			return nil, err
+		}
+		if delay < maxRetryDelay {
+			delay *= 2
+		}
+	}
+}
+
+func retryStartDelay(p Params) time.Duration {
+	if p.RetryBaseDelay < minRetryDelay {
+		return minRetryDelay
+	}
+	return p.RetryBaseDelay
 }
 
 // applyWrites replays file writes locally (Algorithm 1's writeLocally).
@@ -637,6 +657,19 @@ func (g *Ginja) start() {
 			return g.Err()
 		})
 	}
+}
+
+// SyncCheckpoints blocks until every checkpoint and dump triggered so far
+// has been fully processed — uploaded, recorded, and its garbage-collection
+// sweep finished — or until the timeout elapses (returning false). It is
+// the deterministic barrier for tests and operators who would otherwise
+// poll Stats counters that move mid-sweep (the upload is counted before
+// its GC runs). Returns true immediately if replication has not started.
+func (g *Ginja) SyncCheckpoints(timeout time.Duration) bool {
+	if g.ckpt == nil {
+		return true
+	}
+	return g.ckpt.sync(timeout)
 }
 
 // OnBeforeWrite implements vfs.Observer: data-class writes block here

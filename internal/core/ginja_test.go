@@ -223,15 +223,14 @@ func TestDumpTriggeredAt150Percent(t *testing.T) {
 	if s.Dumps == 0 {
 		t.Fatalf("150%% rule never produced a dump (stats %+v)", s)
 	}
-	// The dump is counted when its parts are durable; the GC sweep of the
-	// superseded DB objects runs after it on the checkpoint worker, so
-	// poll rather than snapshot.
-	deadline := time.Now().Add(5 * time.Second)
-	for r.g.Stats().DBObjectsDeleted == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("dump did not garbage-collect older DB objects")
-		}
-		time.Sleep(2 * time.Millisecond)
+	// The dump is counted when its parts are durable, before its GC sweep
+	// runs on the checkpoint worker; SyncCheckpoints is the deterministic
+	// barrier for "uploaded AND swept", so no polling is needed.
+	if !r.g.SyncCheckpoints(5 * time.Second) {
+		t.Fatal("checkpoint queue did not settle")
+	}
+	if r.g.Stats().DBObjectsDeleted == 0 {
+		t.Fatal("dump did not garbage-collect older DB objects")
 	}
 	// And the database remains recoverable afterwards.
 	db2 := r.disasterRecover(t)

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// listTracker turns a sequence of cloud LISTs into a stream of newly
+// completed objects, for the warm-standby Follower: each observe call
+// diffs the listing against everything seen before and reports only the
+// WAL objects and *complete* DB objects that appeared since the last
+// call. It applies the same completeness rules as CloudView.LoadFromList
+// (legacy groups complete when their listed bytes sum to the declared
+// size; part-sealed groups when exactly one commit marker is present,
+// indices are contiguous and every part's listed bytes match its
+// declared sealed size) — FuzzListDiff pins the two implementations to
+// each other.
+//
+// The tracker is tolerant of read-after-write list lag: an object seen
+// once is never un-seen when a later listing omits it (eventual-
+// consistency flapping must not re-emit or stall a group), and a group
+// that is incomplete in this listing simply waits for a later one.
+// Names that disappear because the primary garbage-collected them stay
+// in the seen set — the follower applied them (or the checkpoint that
+// superseded them) already, so forgetting them could only cause
+// re-emission. Memory therefore grows with the number of objects ever
+// listed, which the primary's retention cap (Params.RetainObjects)
+// bounds in steady state.
+type listTracker struct {
+	seen    map[string]struct{}
+	emitted map[dbKey]DBObjectInfo // complete DB object already reported per (ts, gen)
+
+	legacy map[trackerSizedKey]*trackerLegacyGroup
+	sealed map[dbKey]*trackerSealedGroup
+}
+
+type trackerSizedKey struct {
+	ts   int64
+	gen  int
+	size int64
+}
+
+type trackerLegacyGroup struct {
+	typ          DBObjectType
+	unsplitBytes int64
+	haveUnsplit  bool
+	splitBytes   int64
+	maxPart      int
+}
+
+type trackerSealedGroup struct {
+	typ     DBObjectType
+	invalid bool
+	parts   map[int]trackerSealedPart
+}
+
+type trackerSealedPart struct {
+	declared int64
+	listed   int64
+	count    int
+}
+
+func newListTracker() *listTracker {
+	return &listTracker{
+		seen:    make(map[string]struct{}),
+		emitted: make(map[dbKey]DBObjectInfo),
+		legacy:  make(map[trackerSizedKey]*trackerLegacyGroup),
+		sealed:  make(map[dbKey]*trackerSealedGroup),
+	}
+}
+
+// observe ingests one cloud listing and returns the WAL objects and
+// complete DB objects that became known with it, each emitted exactly
+// once across the tracker's lifetime. WAL results are sorted by Ts, DB
+// results by (Ts, Gen). A foreign object name is an error, as in
+// LoadFromList; a second complete object claiming an already-emitted
+// (ts, gen) slot with a different identity is genuine corruption and is
+// reported too.
+func (t *listTracker) observe(infos []cloud.ObjectInfo) (wal []WALObjectInfo, db []DBObjectInfo, err error) {
+	emit := func(info DBObjectInfo) error {
+		k := dbKey{ts: info.Ts, gen: info.Gen}
+		if prev, ok := t.emitted[k]; ok {
+			if prev.Size != info.Size || prev.Type != info.Type {
+				return fmt.Errorf(
+					"core: conflicting DB objects at ts=%d gen=%d: have %s size=%d, got %s size=%d",
+					info.Ts, info.Gen, prev.Type, prev.Size, info.Type, info.Size)
+			}
+			return nil
+		}
+		t.emitted[k] = info
+		db = append(db, info)
+		return nil
+	}
+	touchedLegacy := make(map[trackerSizedKey]struct{})
+	touchedSealed := make(map[dbKey]struct{})
+	for _, info := range infos {
+		if _, ok := t.seen[info.Name]; ok {
+			continue
+		}
+		t.seen[info.Name] = struct{}{}
+		switch {
+		case strings.HasPrefix(info.Name, walPrefix):
+			ts, filename, offset, perr := ParseWALObjectName(info.Name)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			wal = append(wal, WALObjectInfo{Ts: ts, Filename: filename, Offset: offset, Size: info.Size})
+		case strings.HasPrefix(info.Name, dbPrefix):
+			n, perr := ParseDBObjectName(info.Name)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			if n.Sealed {
+				k := dbKey{ts: n.Ts, gen: n.Gen}
+				g := t.sealed[k]
+				if g == nil {
+					g = &trackerSealedGroup{typ: n.Type, parts: make(map[int]trackerSealedPart)}
+					t.sealed[k] = g
+				}
+				if n.Type != g.typ {
+					g.invalid = true
+				}
+				if _, dup := g.parts[n.Part]; dup {
+					g.invalid = true
+				} else {
+					g.parts[n.Part] = trackerSealedPart{declared: n.Size, listed: info.Size, count: n.Count}
+				}
+				touchedSealed[k] = struct{}{}
+				continue
+			}
+			k := trackerSizedKey{ts: n.Ts, gen: n.Gen, size: n.Size}
+			g := t.legacy[k]
+			if g == nil {
+				g = &trackerLegacyGroup{typ: n.Type, maxPart: -1}
+				t.legacy[k] = g
+			}
+			if n.Part < 0 {
+				g.haveUnsplit = true
+				g.unsplitBytes = info.Size
+			} else {
+				g.splitBytes += info.Size
+				if n.Part > g.maxPart {
+					g.maxPart = n.Part
+				}
+			}
+			touchedLegacy[k] = struct{}{}
+		default:
+			return nil, nil, fmt.Errorf("core: unrecognised object %q in cloud listing", info.Name)
+		}
+	}
+	for k := range touchedLegacy {
+		if info, ok := t.legacy[k].complete(k); ok {
+			if err := emit(info); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for k := range touchedSealed {
+		if info, ok := t.sealed[k].complete(k); ok {
+			if err := emit(info); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	sort.Slice(wal, func(i, j int) bool { return wal[i].Ts < wal[j].Ts })
+	sort.Slice(db, func(i, j int) bool { return db[i].Before(db[j]) })
+	return wal, db, nil
+}
+
+// complete applies LoadFromList's legacy completeness rule: an unsplit
+// listing whose stored bytes match the declared size, or a split set
+// whose parts sum to it (parts of one upload are disjoint chunks of
+// exactly that many bytes, so any missing or truncated part falls short).
+func (g *trackerLegacyGroup) complete(k trackerSizedKey) (DBObjectInfo, bool) {
+	switch {
+	case g.haveUnsplit && g.unsplitBytes == k.size:
+		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size}, true
+	case g.maxPart >= 0 && g.splitBytes == k.size:
+		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: g.maxPart + 1}, true
+	}
+	return DBObjectInfo{}, false
+}
+
+// complete applies LoadFromList's part-sealed completeness rule: exactly
+// one commit marker, contiguous indices 0..count-1, and every part's
+// listed bytes matching its name-declared sealed size.
+func (g *trackerSealedGroup) complete(k dbKey) (DBObjectInfo, bool) {
+	if g.invalid {
+		return DBObjectInfo{}, false
+	}
+	count, markers := 0, 0
+	for _, p := range g.parts {
+		if p.count > 0 {
+			markers++
+			count = p.count
+		}
+	}
+	if markers != 1 || len(g.parts) != count {
+		return DBObjectInfo{}, false
+	}
+	sizes := make([]int64, count)
+	var total int64
+	for i := 0; i < count; i++ {
+		p, present := g.parts[i]
+		if !present || p.listed != p.declared {
+			return DBObjectInfo{}, false
+		}
+		sizes[i] = p.declared
+		total += p.declared
+	}
+	return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: total, Parts: count, PartSizes: sizes}, true
+}

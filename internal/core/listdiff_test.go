@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+)
+
+// TestListTrackerIncremental pins the tracker's contract on a handcrafted
+// sequence: emit-once, completion across rounds, tolerance of list-lag
+// flapping, and WAL/DB ordering of the per-round output.
+func TestListTrackerIncremental(t *testing.T) {
+	tr := newListTracker()
+
+	// Round 1: one WAL object, half of a split dump.
+	wal, db, err := tr.observe([]cloud.ObjectInfo{
+		{Name: "WAL/1_seg_0", Size: 3},
+		{Name: "DB/0_dump_6.p0", Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) != 1 || wal[0].Ts != 1 {
+		t.Fatalf("round 1 wal = %+v", wal)
+	}
+	if len(db) != 0 {
+		t.Fatalf("round 1 emitted incomplete dump: %+v", db)
+	}
+
+	// Round 2: the missing part completes the dump; the old names reappear
+	// (and one flaps away — omission must not matter); a new WAL lands.
+	wal, db, err = tr.observe([]cloud.ObjectInfo{
+		{Name: "DB/0_dump_6.p1", Size: 3},
+		{Name: "DB/0_dump_6.p0", Size: 3}, // re-listed: must not double-count
+		{Name: "WAL/2_seg_0", Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) != 1 || wal[0].Ts != 2 {
+		t.Fatalf("round 2 wal = %+v", wal)
+	}
+	if len(db) != 1 || db[0].Ts != 0 || db[0].Size != 6 || db[0].Parts != 2 {
+		t.Fatalf("round 2 db = %+v, want completed 2-part dump", db)
+	}
+
+	// Round 3: everything re-listed plus a part-sealed checkpoint arriving
+	// marker-first across the round boundary.
+	wal, db, err = tr.observe([]cloud.ObjectInfo{
+		{Name: "WAL/1_seg_0", Size: 3},
+		{Name: "DB/0_dump_6.p0", Size: 3},
+		{Name: "DB/0_dump_6.p1", Size: 3},
+		{Name: "DB/2_checkpoint_4.g1.s1.n2", Size: 4},
+	})
+	if err != nil || len(wal) != 0 || len(db) != 0 {
+		t.Fatalf("round 3 = %+v, %+v, %v; want nothing new", wal, db, err)
+	}
+	wal, db, err = tr.observe([]cloud.ObjectInfo{
+		{Name: "DB/2_checkpoint_5.g1.s0", Size: 5},
+	})
+	if err != nil || len(wal) != 0 {
+		t.Fatalf("round 4 = %+v, %v", wal, err)
+	}
+	if len(db) != 1 || db[0].Ts != 2 || db[0].Gen != 1 || db[0].Size != 9 || len(db[0].PartSizes) != 2 {
+		t.Fatalf("round 4 db = %+v, want completed sealed checkpoint", db)
+	}
+
+	// A foreign name is an error, as in LoadFromList.
+	if _, _, err := tr.observe([]cloud.ObjectInfo{{Name: "junk", Size: 1}}); err == nil {
+		t.Fatal("foreign object accepted")
+	}
+}
+
+// FuzzListDiff feeds an arbitrary sequence of listings ("size name"
+// lines, "==" starting a new round) through the listTracker and pins it
+// to CloudView.LoadFromList: whatever rounds the fuzzer invents, the
+// tracker must never panic, never emit one DB object twice, and its
+// cumulative output must equal what a one-shot LoadFromList of the union
+// considers complete — the invariant the warm-standby follower rides on.
+func FuzzListDiff(f *testing.F) {
+	f.Add("3 WAL/1_seg_0\n==\n4 WAL/2_seg_0")
+	f.Add("5 DB/0_dump_5")
+	f.Add("3 DB/7_dump_6.p0\n==\n3 DB/7_dump_6.p1\n3 DB/7_dump_6.p0")
+	f.Add("4 DB/9_dump_4.g2.s1.n2\n==\n6 DB/9_dump_6.g2.s0")
+	f.Add("5 DB/3_checkpoint_5.g10\n==\n5 DB/3_checkpoint_5.g11\n2 WAL/3_seg_8")
+	f.Add("1 junk")
+	f.Add("9 DB/5_dump_9\n==\n9 DB/5_dump_9.g0\n==\n7 DB/5_checkpoint_7.g1")
+	f.Add("4 DB/1_dump_4.s0.n1\n==\n4 DB/1_dump_9.s0.n1")
+	f.Fuzz(func(t *testing.T, script string) {
+		tr := newListTracker()
+		var cumulative []cloud.ObjectInfo
+		seen := make(map[string]bool)
+		walTs := make(map[int64]bool)
+		emittedDB := make(map[dbKey]DBObjectInfo)
+		var round []cloud.ObjectInfo
+		trackerErr := false
+		flush := func() {
+			if trackerErr {
+				return
+			}
+			wal, db, err := tr.observe(round)
+			round = round[:0]
+			if err != nil {
+				trackerErr = true
+				return
+			}
+			for _, w := range wal {
+				walTs[w.Ts] = true
+			}
+			for _, d := range db {
+				k := dbKey{ts: d.Ts, gen: d.Gen}
+				if _, dup := emittedDB[k]; dup {
+					t.Fatalf("DB object ts=%d gen=%d emitted twice", d.Ts, d.Gen)
+				}
+				emittedDB[k] = d
+			}
+		}
+		for _, line := range strings.Split(script, "\n") {
+			if line == "==" {
+				flush()
+				continue
+			}
+			sp := strings.IndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			size, err := strconv.ParseInt(line[:sp], 10, 64)
+			if err != nil || size < 0 {
+				continue
+			}
+			name := line[sp+1:]
+			if name == "" {
+				continue
+			}
+			// A real bucket lists each name once per round with a stable
+			// size; the tracker keys on first sight, so the cumulative
+			// union must too.
+			if !seen[name] {
+				seen[name] = true
+				cumulative = append(cumulative, cloud.ObjectInfo{Name: name, Size: size})
+			}
+			round = append(round, cloud.ObjectInfo{Name: name, Size: size})
+		}
+		flush()
+		if trackerErr {
+			return
+		}
+		view := NewCloudView()
+		if err := view.LoadFromList(cumulative); err != nil {
+			return
+		}
+		// WAL parity: same timestamps known (the view keys WAL by ts).
+		viewWAL := view.WALObjects()
+		viewTs := make(map[int64]bool, len(viewWAL))
+		for _, w := range viewWAL {
+			viewTs[w.Ts] = true
+		}
+		if len(viewTs) != len(walTs) {
+			t.Fatalf("WAL divergence: tracker %d ts, view %d ts", len(walTs), len(viewTs))
+		}
+		for ts := range viewTs {
+			if !walTs[ts] {
+				t.Fatalf("view knows WAL ts %d the tracker never emitted", ts)
+			}
+		}
+		// DB parity: identical complete-object sets with identical identity.
+		viewDB := view.DBObjects()
+		if len(viewDB) != len(emittedDB) {
+			t.Fatalf("DB divergence: tracker emitted %d, view holds %d\ntracker: %v\nview: %v",
+				len(emittedDB), len(viewDB), emittedDB, viewDB)
+		}
+		for _, d := range viewDB {
+			e, ok := emittedDB[dbKey{ts: d.Ts, gen: d.Gen}]
+			if !ok {
+				t.Fatalf("view object ts=%d gen=%d never emitted by tracker", d.Ts, d.Gen)
+			}
+			if e.Type != d.Type || e.Size != d.Size || e.Parts != d.Parts {
+				t.Fatalf("object ts=%d gen=%d identity differs: tracker %+v, view %+v",
+					d.Ts, d.Gen, e, d)
+			}
+		}
+	})
+}

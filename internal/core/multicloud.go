@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/obs"
@@ -14,12 +16,26 @@ import (
 // replication of objects in multiple clouds, for tolerating
 // provider-scale failures", in the spirit of DepSky [19]).
 //
-// Writes must reach a majority of providers; reads and lists are served
-// by the first provider that answers; deletes are best-effort everywhere
+// Writes must reach a majority of providers; reads are served by the
+// first provider that has the object; deletes are best-effort everywhere
 // (a leftover object on a crashed provider is garbage, not a safety
 // problem, and will be re-deleted by a later GC pass after Reboot).
+//
+// Listing is health-aware. While every replica has acknowledged every
+// operation, any single listing is complete and the first answer wins.
+// But once any replica has failed an operation it is marked unhealthy —
+// stickily: only a successful Repair pass clears the flag — because its
+// listing may be missing the writes that reached only the quorum. From
+// then on List fans out to every reachable replica and merges the union
+// of names: an object a stale replica still lists after a missed GC round
+// is harmless garbage (recovery always picks the newest dump, and Repair
+// removes minority leftovers), whereas an object missing from a stale
+// first responder is silent data loss at recovery time.
 type ReplicatedStore struct {
 	stores []cloud.ObjectStore
+	// unhealthy[i] is set when replica i fails any operation and cleared
+	// only by a Repair pass that restored it to full redundancy.
+	unhealthy []atomic.Bool
 }
 
 var _ cloud.ObjectStore = (*ReplicatedStore)(nil)
@@ -29,7 +45,7 @@ func NewReplicatedStore(stores ...cloud.ObjectStore) (*ReplicatedStore, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("core: replicated store needs at least one backend")
 	}
-	return &ReplicatedStore{stores: stores}, nil
+	return &ReplicatedStore{stores: stores, unhealthy: make([]atomic.Bool, len(stores))}, nil
 }
 
 // NewObservedReplicatedStore is NewReplicatedStore with every provider
@@ -55,10 +71,14 @@ func (r *ReplicatedStore) majority() int { return len(r.stores)/2 + 1 }
 func (r *ReplicatedStore) Put(ctx context.Context, name string, data []byte) error {
 	type result struct{ err error }
 	results := make(chan result, len(r.stores))
-	for _, s := range r.stores {
-		go func(s cloud.ObjectStore) {
-			results <- result{err: s.Put(ctx, name, data)}
-		}(s)
+	for i, s := range r.stores {
+		go func(i int, s cloud.ObjectStore) {
+			err := s.Put(ctx, name, data)
+			if err != nil {
+				r.unhealthy[i].Store(true)
+			}
+			results <- result{err: err}
+		}(i, s)
 	}
 	oks := 0
 	var firstErr error
@@ -78,12 +98,17 @@ func (r *ReplicatedStore) Put(ctx context.Context, name string, data []byte) err
 }
 
 // Get implements cloud.ObjectStore: first provider that has the object.
+// A replica answering ErrNotFound is lagging, not down, so only other
+// failures mark it unhealthy.
 func (r *ReplicatedStore) Get(ctx context.Context, name string) ([]byte, error) {
 	var firstErr error
-	for _, s := range r.stores {
+	for i, s := range r.stores {
 		data, err := s.Get(ctx, name)
 		if err == nil {
 			return data, nil
+		}
+		if !errors.Is(err, cloud.ErrNotFound) {
+			r.unhealthy[i].Store(true)
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -92,22 +117,86 @@ func (r *ReplicatedStore) Get(ctx context.Context, name string) ([]byte, error) 
 	return nil, firstErr
 }
 
-// List implements cloud.ObjectStore: first provider that answers. An
-// object written to a majority may be missing from a minority listing;
-// callers that need certainty should list during healthy operation
-// (Reboot), exactly as the paper assumes.
+// List implements cloud.ObjectStore: first answer while every replica is
+// healthy; the union of all reachable listings once any replica has been
+// marked unhealthy (its listing may miss quorum-only writes, and a stale
+// first responder at recovery time is silent data loss — see the type
+// comment).
 func (r *ReplicatedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
-	var firstErr error
-	for _, s := range r.stores {
-		infos, err := s.List(ctx, prefix)
+	if r.allHealthy() {
+		infos, err := r.stores[0].List(ctx, prefix)
 		if err == nil {
 			return infos, nil
 		}
-		if firstErr == nil {
-			firstErr = err
+		r.unhealthy[0].Store(true)
+	}
+	return r.listMerged(ctx, prefix)
+}
+
+// listMerged fans the listing out to every replica and merges the union
+// of names. Objects are written once and never overwritten, so on a size
+// disagreement the larger (complete) copy wins over a truncated one.
+func (r *ReplicatedStore) listMerged(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	type result struct {
+		idx   int
+		infos []cloud.ObjectInfo
+		err   error
+	}
+	results := make(chan result, len(r.stores))
+	for i, s := range r.stores {
+		go func(i int, s cloud.ObjectStore) {
+			infos, err := s.List(ctx, prefix)
+			results <- result{idx: i, infos: infos, err: err}
+		}(i, s)
+	}
+	merged := make(map[string]cloud.ObjectInfo)
+	oks := 0
+	var firstErr error
+	for range r.stores {
+		res := <-results
+		if res.err != nil {
+			r.unhealthy[res.idx].Store(true)
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		oks++
+		for _, info := range res.infos {
+			if prev, ok := merged[info.Name]; !ok || info.Size > prev.Size {
+				merged[info.Name] = info
+			}
 		}
 	}
-	return nil, firstErr
+	if oks == 0 {
+		return nil, firstErr
+	}
+	out := make([]cloud.ObjectInfo, 0, len(merged))
+	for _, info := range merged {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// allHealthy reports whether no replica is currently marked unhealthy.
+func (r *ReplicatedStore) allHealthy() bool {
+	for i := range r.unhealthy {
+		if r.unhealthy[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Healthy returns the per-replica health flags (true = healthy), for
+// operators and tests.
+func (r *ReplicatedStore) Healthy() []bool {
+	out := make([]bool, len(r.unhealthy))
+	for i := range r.unhealthy {
+		out[i] = !r.unhealthy[i].Load()
+	}
+	return out
 }
 
 // Delete implements cloud.ObjectStore: best-effort on every provider;
@@ -115,12 +204,13 @@ func (r *ReplicatedStore) List(ctx context.Context, prefix string) ([]cloud.Obje
 func (r *ReplicatedStore) Delete(ctx context.Context, name string) error {
 	oks := 0
 	var firstErr error
-	for _, s := range r.stores {
+	for i, s := range r.stores {
 		err := s.Delete(ctx, name)
 		if err == nil || errors.Is(err, cloud.ErrNotFound) {
 			oks++
 			continue
 		}
+		r.unhealthy[i].Store(true)
 		if firstErr == nil {
 			firstErr = err
 		}
@@ -161,6 +251,7 @@ func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
 		infos, err := s.List(ctx, "")
 		if err != nil {
 			listings[i] = listing{store: s}
+			r.unhealthy[i].Store(true)
 			report.Unreachable++
 			continue
 		}
@@ -180,7 +271,7 @@ func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
 		if count >= quorum {
 			// Canonical object: copy to reachable providers missing it.
 			var data []byte
-			for _, l := range listings {
+			for i, l := range listings {
 				if !l.ok {
 					continue
 				}
@@ -193,6 +284,7 @@ func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
 						}
 					}
 					if err := l.store.Put(ctx, name, data); err != nil {
+						r.unhealthy[i].Store(true)
 						return report, fmt.Errorf("core: repair write %s: %w", name, err)
 					}
 					report.Copied++
@@ -205,13 +297,22 @@ func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
 		if reachable < len(r.stores) {
 			continue
 		}
-		for _, l := range listings {
+		for i, l := range listings {
 			if _, has := l.names[name]; has {
 				if err := l.store.Delete(ctx, name); err != nil && !errors.Is(err, cloud.ErrNotFound) {
+					r.unhealthy[i].Store(true)
 					return report, fmt.Errorf("core: repair delete %s: %w", name, err)
 				}
 				report.Removed++
 			}
+		}
+	}
+	// Every reachable replica now holds exactly the quorum state: clear
+	// their sticky unhealthy flags. Unreachable replicas stay flagged, so
+	// List keeps merging until a later Repair restores them.
+	for i, l := range listings {
+		if l.ok {
+			r.unhealthy[i].Store(false)
 		}
 	}
 	return report, nil

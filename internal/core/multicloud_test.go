@@ -3,10 +3,16 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
 func threeProviders() (*ReplicatedStore, *cloud.MemStore, *cloud.MemStore, *cloudsim.Store) {
@@ -146,6 +152,141 @@ func TestRepairSkipsGarbageJudgementWhenProviderDown(t *testing.T) {
 	}
 	if report.Unreachable != 1 {
 		t.Fatalf("Unreachable = %d, want 1", report.Unreachable)
+	}
+}
+
+// TestReplicatedListMergesAfterOutage is the divergence bug: a replica
+// that missed quorum writes during its outage answers the next LIST
+// first. A first-responder listing would silently drop the missed
+// objects; the health-aware merge must union them back in, and a Repair
+// pass must restore the fast path.
+func TestReplicatedListMergesAfterOutage(t *testing.T) {
+	// The flaky replica is FIRST, so a naive first-responder List would
+	// trust its stale listing.
+	stale := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{TimeScale: -1})
+	b := cloud.NewMemStore()
+	c := cloud.NewMemStore()
+	repl, err := NewReplicatedStore(stale, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := repl.Put(ctx, "WAL/1_seg_0", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	stale.StartOutage()
+	if err := repl.Put(ctx, "WAL/2_seg_0", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	stale.EndOutage()
+	if h := repl.Healthy(); h[0] || !h[1] || !h[2] {
+		t.Fatalf("health after outage = %v, want [false true true]", h)
+	}
+	infos, err := repl.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		names[info.Name] = true
+	}
+	if !names["WAL/1_seg_0"] || !names["WAL/2_seg_0"] {
+		t.Fatalf("merged listing dropped a quorum object: %v", names)
+	}
+	report, err := repl.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Copied == 0 {
+		t.Fatal("repair copied nothing to the lagging replica")
+	}
+	if h := repl.Healthy(); !h[0] || !h[1] || !h[2] {
+		t.Fatalf("health after repair = %v, want all true", h)
+	}
+}
+
+// TestReplicatedRecoveryAfterDivergentOutage drives the whole stack: a
+// 2-of-3 write quorum survives one replica's outage across a checkpoint,
+// and disaster recovery through the replicated store — with the stale
+// replica answering LISTs first — still reaches the flushed frontier.
+func TestReplicatedRecoveryAfterDivergentOutage(t *testing.T) {
+	stale := cloudsim.New(cloud.NewMemStore(), cloudsim.Options{TimeScale: -1})
+	repl, err := NewReplicatedStore(stale, cloud.NewMemStore(), cloud.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := pitrParams()
+	params.UploadRetries = 2
+	g, err := New(vfs.NewMemFS(), repl, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	put := func(k, v string) {
+		t.Helper()
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte(k), []byte(v))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("pre", "outage")
+	if !g.Flush(5 * time.Second) {
+		t.Fatal("flush")
+	}
+	// Replica 0 goes dark across commits AND a checkpoint: everything in
+	// this window exists only on the 2-of-3 quorum.
+	stale.StartOutage()
+	for i := 0; i < 8; i++ {
+		put(fmt.Sprintf("during-%d", i), "quorum-only")
+	}
+	if !g.Flush(5 * time.Second) {
+		t.Fatal("flush during outage")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.SyncCheckpoints(5 * time.Second) {
+		t.Fatal("settle")
+	}
+	stale.EndOutage()
+	if err := g.Err(); err != nil {
+		t.Fatalf("replication failed despite quorum: %v", err)
+	}
+
+	// Disaster: recover on a fresh machine through the same replicated
+	// store. The stale replica is reachable again and answers first.
+	target := vfs.NewMemFS()
+	gr, err := New(target, repl, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.Recover(context.Background()); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer gr.Close()
+	db2, err := minidb.Open(gr.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Get("kv", []byte("pre")); err != nil {
+		t.Fatalf("pre-outage key lost: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		v, err := db2.Get("kv", []byte(fmt.Sprintf("during-%d", i)))
+		if err != nil || string(v) != "quorum-only" {
+			t.Fatalf("during-%d: %q, %v — stale first responder leaked into recovery", i, v, err)
+		}
 	}
 }
 

@@ -138,6 +138,10 @@ func TestCheckpointMetrics(t *testing.T) {
 	if !r.g.Flush(5 * time.Second) {
 		t.Fatal("flush timed out")
 	}
+	// Flush drains the WAL queue only; the checkpoint upload is async.
+	if !r.g.SyncCheckpoints(5 * time.Second) {
+		t.Fatal("checkpoint queue did not settle")
+	}
 
 	ckpts := reg.Counter("ginja_checkpoints_total", "", obs.Labels{"type": "checkpoint"}).Value() +
 		reg.Counter("ginja_checkpoints_total", "", obs.Labels{"type": "dump"}).Value()

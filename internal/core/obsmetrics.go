@@ -49,6 +49,11 @@ const (
 	metricSafetyLimit   = "ginja_safety_limit_updates"
 	metricSafetyTimeout = "ginja_safety_timeout_seconds"
 	metricRecoveryPhase = "ginja_recovery_phase_seconds"
+
+	// Warm-standby telemetry: how far the follower's replica trails the
+	// bucket, and the applied-WAL-timestamp watermark it has reached.
+	metricFollowerLag       = "ginja_follower_lag_seconds"
+	metricFollowerAppliedTs = "ginja_follower_applied_ts"
 )
 
 // inflight tracks the cloud requests currently in flight on one

@@ -23,6 +23,8 @@ const (
 	DefaultDumpThreshold  = 1.5
 	DefaultUploadRetries  = 8
 	DefaultRetryBaseDelay = 50 * time.Millisecond
+	DefaultFollowInterval = 1 * time.Second
+	DefaultRetainObjects  = 4096
 )
 
 // Params is Ginja's user-facing configuration (§5.1): the Batch (B, TB)
@@ -72,6 +74,25 @@ type Params struct {
 	// plus its incremental checkpoints) instead of garbage-collecting
 	// them, enabling point-in-time recovery (§5.4). 0 disables retention.
 	PITRGenerations int
+	// RetainFor is the point-in-time recovery window: objects superseded
+	// by garbage collection (WAL covered by a checkpoint, generations
+	// retired by a dump) stay in the cloud until they have been superseded
+	// for this long, so RecoverAt(ts) can rebuild the exact consistent
+	// prefix for any ts committed inside the window. 0 disables the window
+	// (superseded objects are deleted immediately, today's behaviour).
+	// Retention composes with PITRGenerations: an object is deleted only
+	// when both policies allow it.
+	RetainFor time.Duration
+	// RetainObjects caps how many superseded objects the retention window
+	// may hold (BtrLog-style bounded chain length: recovery work is
+	// bounded even if RetainFor outpaces the trimmer). When the cap is
+	// exceeded, the oldest-superseded objects are trimmed early. 0 means
+	// DefaultRetainObjects. Only meaningful with RetainFor > 0.
+	RetainObjects int
+	// FollowInterval is the warm-standby poll cadence: a Follower LISTs
+	// the bucket this often and applies whatever new objects completed.
+	// 0 means DefaultFollowInterval. Only used by NewFollower.
+	FollowInterval time.Duration
 	// DisableAggregation turns off the coalescing of page rewrites before
 	// upload (one object per intercepted write). Exists only for the
 	// ablation benchmarks quantifying how much aggregation saves; never
@@ -151,6 +172,12 @@ func (p Params) Validate() (Params, error) {
 	if p.RetryBaseDelay == 0 {
 		p.RetryBaseDelay = d.RetryBaseDelay
 	}
+	if p.RetainObjects == 0 {
+		p.RetainObjects = DefaultRetainObjects
+	}
+	if p.FollowInterval == 0 {
+		p.FollowInterval = DefaultFollowInterval
+	}
 	if p.Batch < 1 {
 		return p, fmt.Errorf("core: Batch must be ≥ 1, got %d", p.Batch)
 	}
@@ -174,6 +201,15 @@ func (p Params) Validate() (Params, error) {
 	}
 	if p.PITRGenerations < 0 {
 		return p, fmt.Errorf("core: PITRGenerations must be ≥ 0, got %d", p.PITRGenerations)
+	}
+	if p.RetainFor < 0 {
+		return p, fmt.Errorf("core: RetainFor must be ≥ 0, got %v", p.RetainFor)
+	}
+	if p.RetainObjects < 1 {
+		return p, fmt.Errorf("core: RetainObjects must be ≥ 1, got %d", p.RetainObjects)
+	}
+	if p.FollowInterval < 0 {
+		return p, fmt.Errorf("core: FollowInterval must be > 0, got %v", p.FollowInterval)
 	}
 	return p, nil
 }

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// pitrParams: one WAL object per commit (B = 1) so every flushed commit
+// is its own recovery point, a long retention window so nothing is
+// trimmed mid-property, and tiny objects so dumps split into parts.
+func pitrParams() Params {
+	p := DefaultParams()
+	p.Batch = 1
+	p.Safety = 16
+	p.BatchTimeout = 20 * time.Millisecond
+	p.RetryBaseDelay = time.Millisecond
+	p.MaxObjectSize = 4096
+	p.RetainFor = time.Hour
+	return p
+}
+
+// TestPITRExactPrefixProperty is the point-in-time recovery property:
+// for EVERY retained commit timestamp, RecoverAt(ts) rebuilds exactly
+// the consistent prefix of commits ≤ ts — not the nearest checkpoint,
+// not a superset — across randomized put/delete/checkpoint workloads.
+// Recovery points are recorded at flush boundaries, where the WAL
+// frontier is durable and unambiguous (see DESIGN §15 for why mid-flush
+// targets are only guaranteed at those boundaries).
+func TestPITRExactPrefixProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			pitrPropertyRun(t, seed)
+		})
+	}
+}
+
+func pitrPropertyRun(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	params := pitrParams()
+	store := cloud.NewMemStore()
+	proc := dbevent.NewPGProcessor()
+	g, err := New(vfs.NewMemFS(), store, proc, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	type point struct {
+		ts   int64
+		snap map[string]string
+	}
+	var points []point
+	cur := map[string]string{}
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	steps := 24 + rng.Intn(12)
+	for step := 0; step < steps; step++ {
+		key := keys[rng.Intn(len(keys))]
+		if _, exists := cur[key]; exists && rng.Intn(4) == 0 {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Delete("kv", []byte(key))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			delete(cur, key)
+		} else {
+			val := fmt.Sprintf("s%d-v%d", step, rng.Intn(1000))
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(key), []byte(val))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cur[key] = val
+		}
+		if !g.Flush(5 * time.Second) {
+			t.Fatal("flush")
+		}
+		snap := make(map[string]string, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		points = append(points, point{ts: g.view.LastWALTs(), snap: snap})
+		if step%7 == 6 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if !g.SyncCheckpoints(5 * time.Second) {
+				t.Fatal("checkpoint settle")
+			}
+		}
+	}
+
+	// Every recorded commit timestamp must recover to exactly its prefix.
+	for _, p := range points {
+		target := vfs.NewMemFS()
+		gr, err := New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gr.RecoverAt(context.Background(), target, p.ts); err != nil {
+			t.Fatalf("RecoverAt(%d): %v", p.ts, err)
+		}
+		db2, err := minidb.Open(target, pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+		if err != nil {
+			t.Fatalf("open at ts %d: %v", p.ts, err)
+		}
+		for _, k := range keys {
+			got, gerr := db2.Get("kv", []byte(k))
+			want, exists := p.snap[k]
+			switch {
+			case exists && (gerr != nil || string(got) != want):
+				t.Fatalf("ts %d key %s: got %q, %v; want %q", p.ts, k, got, gerr, want)
+			case !exists && gerr == nil:
+				t.Fatalf("ts %d key %s: present as %q; want absent (not a consistent prefix)", p.ts, k, got)
+			}
+		}
+	}
+}
+
+// TestRetentionTrimExpiresWindow: once the RetainFor window closes, the
+// trimmer deletes retired objects and RecoverAt before the oldest
+// surviving dump reports ErrNoDump ("outside the retention window").
+func TestRetentionTrimExpiresWindow(t *testing.T) {
+	params := pitrParams()
+	params.RetainFor = 30 * time.Millisecond
+	store := cloud.NewMemStore()
+	g, err := New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Churn until the 150 % rule retires the boot generation, then let the
+	// window expire and a later sweep trim it.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Stats().WALObjectsDeleted == 0 || g.Stats().DBObjectsDeleted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retention never trimmed (stats %+v)", g.Stats())
+		}
+		for i := 0; i < 8; i++ {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("%d", time.Now().UnixNano())))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !g.Flush(5 * time.Second) {
+			t.Fatal("flush")
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.SyncCheckpoints(5 * time.Second) {
+			t.Fatal("settle")
+		}
+	}
+	// The boot dump (ts 0) is gone: a target before the oldest surviving
+	// dump has no qualifying recovery point.
+	gr, err := New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.RecoverAt(context.Background(), vfs.NewMemFS(), 0); !errors.Is(err, ErrNoDump) {
+		t.Fatalf("RecoverAt(0) after trim: got %v, want ErrNoDump", err)
+	}
+	// The newest state still recovers fine.
+	if err := gr.RecoverAt(context.Background(), vfs.NewMemFS(), -1); err != nil {
+		t.Fatalf("RecoverAt(-1) after trim: %v", err)
+	}
+}
+
+// TestRetentionObjectCapTrimsEarly: with an effectively infinite window,
+// the RetainObjects cap still bounds the retained chain (BtrLog-style),
+// trimming the oldest-superseded objects inline with GC.
+func TestRetentionObjectCapTrimsEarly(t *testing.T) {
+	params := pitrParams()
+	params.RetainFor = time.Hour
+	params.RetainObjects = 4
+	store := cloud.NewMemStore()
+	g, err := New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10 && g.Stats().WALObjectsDeleted == 0; round++ {
+		for i := 0; i < 8; i++ {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("r%d", round)))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !g.Flush(5 * time.Second) {
+			t.Fatal("flush")
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.SyncCheckpoints(5 * time.Second) {
+			t.Fatal("settle")
+		}
+	}
+	if g.Stats().WALObjectsDeleted == 0 {
+		t.Fatalf("RetainObjects cap never trimmed (stats %+v)", g.Stats())
+	}
+}

@@ -2,11 +2,13 @@ package core_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/core"
 	"github.com/ginja-dr/ginja/internal/minidb"
 	"github.com/ginja-dr/ginja/internal/vfs"
@@ -110,8 +112,11 @@ func TestVerifyWithEncryptedBackup(t *testing.T) {
 	}
 }
 
-// TestRecoverAtUnknownGeneration returns a wrapped ErrNoDump.
-func TestRecoverAtUnknownGeneration(t *testing.T) {
+// TestRecoverAtTargetBounds pins RecoverAt's target semantics: an invalid
+// target (< -1) errors, a timestamp far past the frontier recovers the
+// newest consistent prefix (every retained commit ≤ ts, i.e. everything),
+// and a timestamp before the oldest retained dump reports ErrNoDump.
+func TestRecoverAtTargetBounds(t *testing.T) {
 	r := pgRig(t, fastParams())
 	if err := r.db.CreateTable("kv", 0); err != nil {
 		t.Fatal(err)
@@ -124,8 +129,23 @@ func TestRecoverAtUnknownGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gr.RecoverAt(context.Background(), vfs.NewMemFS(), 424242); err == nil {
-		t.Fatal("RecoverAt with a bogus generation succeeded")
+	if err := gr.RecoverAt(context.Background(), vfs.NewMemFS(), -2); err == nil {
+		t.Fatal("RecoverAt(-2) succeeded; want invalid-target error")
+	}
+	// A ts far beyond the WAL frontier means "everything committed up to
+	// ts": with nothing newer in the cloud that is simply the newest state.
+	if err := gr.RecoverAt(context.Background(), vfs.NewMemFS(), 424242); err != nil {
+		t.Fatalf("RecoverAt far past the frontier: %v", err)
+	}
+	// Boot's dump is at reserved ts 0, so no target can precede every dump
+	// here; an impossible target must still surface ErrNoDump when no dump
+	// qualifies. Simulate by asking a fresh empty bucket.
+	empty, err := core.New(vfs.NewMemFS(), cloud.NewMemStore(), r.proc(), r.g.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.RecoverAt(context.Background(), vfs.NewMemFS(), 5); !errors.Is(err, core.ErrNoDump) {
+		t.Fatalf("RecoverAt on empty bucket: got %v, want ErrNoDump", err)
 	}
 }
 

@@ -120,10 +120,38 @@ type RecoveryBenchScenario struct {
 	MaxSafety int `json:"max_safety"`
 }
 
+// WarmStandbyBench compares cold disaster recovery against promoting a
+// warm standby on the same seeds and workload: the database carries
+// FillerRows of untracked bulk so cold recovery pays O(database size)
+// while Promote pays O(replication lag). The outage drill (promote
+// starting against a dark provider and riding it out) is reported but
+// excluded from the speedup, which compares healthy-provider handoffs.
+type WarmStandbyBench struct {
+	Runs       int `json:"runs"`
+	FillerRows int `json:"filler_rows"`
+	// Cold vs warm RTO quantiles over the same seeds.
+	ColdRTOp50Ms float64 `json:"cold_rto_p50_ms"`
+	ColdRTOp99Ms float64 `json:"cold_rto_p99_ms"`
+	WarmRTOp50Ms float64 `json:"warm_rto_p50_ms"`
+	WarmRTOp99Ms float64 `json:"warm_rto_p99_ms"`
+	// Speedup is cold p50 / warm p50 — the warm-standby payoff.
+	Speedup float64 `json:"speedup"`
+	// MeanFollowerLagMs is the standby's mean replication lag at the
+	// instant of the crash; MeanColdObjects / MeanWarmObjects are the mean
+	// cloud objects each path fetched during recovery.
+	MeanFollowerLagMs float64 `json:"mean_follower_lag_ms"`
+	MeanColdObjects   float64 `json:"mean_cold_objects"`
+	MeanWarmObjects   float64 `json:"mean_warm_objects"`
+	// OutageDrillRTOMs is one promote-during-outage run: the handoff rides
+	// a one-virtual-second provider outage out under the retry policy.
+	OutageDrillRTOMs float64 `json:"outage_drill_rto_ms"`
+}
+
 // RecoveryBenchResult is the machine-readable content of BENCH_recovery.json.
 type RecoveryBenchResult struct {
-	Seeds     int                      `json:"seeds"`
-	Scenarios []RecoveryBenchScenario `json:"scenarios"`
+	Seeds       int                     `json:"seeds"`
+	Scenarios   []RecoveryBenchScenario `json:"scenarios"`
+	WarmStandby *WarmStandbyBench       `json:"warm_standby"`
 }
 
 // quantileMs picks an exact sample quantile (nearest-rank on the sorted
@@ -198,5 +226,57 @@ func RunRecoveryBench(opts RecoveryBenchOptions) (*RecoveryBenchResult, error) {
 		agg.RTOp99Ms = quantileMs(rtos, 0.99)
 		res.Scenarios = append(res.Scenarios, agg)
 	}
+	warm, err := runWarmStandby(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmStandby = warm
 	return res, nil
+}
+
+// runWarmStandby replays the same seeded crash twice per seed — once
+// recovering cold on a fresh machine, once promoting a warm standby that
+// tailed the bucket all along — over a database padded with filler bulk.
+func runWarmStandby(opts RecoveryBenchOptions) (*WarmStandbyBench, error) {
+	const fillerRows = 600
+	w := &WarmStandbyBench{FillerRows: fillerRows}
+	var coldRTOs, warmRTOs []time.Duration
+	for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
+		cold, err := sim.Run(sim.Config{Seed: seed, FillerRows: fillerRows})
+		if err != nil {
+			return nil, fmt.Errorf("warm-standby cold seed %d: %w", seed, err)
+		}
+		warm, err := sim.Run(sim.Config{Seed: seed, FillerRows: fillerRows, Follower: true})
+		if err != nil {
+			return nil, fmt.Errorf("warm-standby warm seed %d: %w", seed, err)
+		}
+		if !warm.Promoted || warm.Recovery == nil || cold.Recovery == nil {
+			return nil, fmt.Errorf("warm-standby seed %d: promoted=%v", seed, warm.Promoted)
+		}
+		w.Runs++
+		coldRTOs = append(coldRTOs, cold.RTO)
+		warmRTOs = append(warmRTOs, warm.RTO)
+		w.MeanFollowerLagMs += float64(warm.FollowerLag) / float64(time.Millisecond)
+		w.MeanColdObjects += float64(cold.Recovery.Objects)
+		w.MeanWarmObjects += float64(warm.Recovery.Objects)
+	}
+	n := float64(w.Runs)
+	w.MeanFollowerLagMs /= n
+	w.MeanColdObjects /= n
+	w.MeanWarmObjects /= n
+	sort.Slice(coldRTOs, func(i, j int) bool { return coldRTOs[i] < coldRTOs[j] })
+	sort.Slice(warmRTOs, func(i, j int) bool { return warmRTOs[i] < warmRTOs[j] })
+	w.ColdRTOp50Ms = quantileMs(coldRTOs, 0.50)
+	w.ColdRTOp99Ms = quantileMs(coldRTOs, 0.99)
+	w.WarmRTOp50Ms = quantileMs(warmRTOs, 0.50)
+	w.WarmRTOp99Ms = quantileMs(warmRTOs, 0.99)
+	if w.WarmRTOp50Ms > 0 {
+		w.Speedup = w.ColdRTOp50Ms / w.WarmRTOp50Ms
+	}
+	outage, err := sim.Run(sim.Config{Seed: 57, FillerRows: fillerRows, Follower: true, PromoteDuringOutage: true})
+	if err != nil {
+		return nil, fmt.Errorf("promote-during-outage drill: %w", err)
+	}
+	w.OutageDrillRTOMs = float64(outage.RTO) / float64(time.Millisecond)
+	return w, nil
 }

@@ -48,6 +48,20 @@ type Config struct {
 	// enough that the rest never do. The crash lands mid part-stream by
 	// construction instead of by winning a race.
 	CrashDuringCheckpoint bool
+	// Follower runs a warm standby tailing the bucket (on its own seed-drawn
+	// poll interval) throughout the workload, and recovers by Promote
+	// instead of a cold Recover — the warm-standby drill.
+	Follower bool
+	// PromoteDuringOutage (requires Follower) starts a provider outage at
+	// the instant of the disaster and ends it one virtual second later:
+	// Promote's final catch-up must ride the outage out under the retry
+	// policy rather than fail.
+	PromoteDuringOutage bool
+	// FillerRows pre-populates this many untracked rows before the workload
+	// so the database (and its dumps) carry real bulk: the cold-vs-warm RTO
+	// comparison in the experiments depends on recovery work scaling with
+	// database size while promote scales with lag.
+	FillerRows int
 }
 
 // Result summarises one simulation run.
@@ -89,10 +103,16 @@ type Result struct {
 	// acknowledged when the primary died. Zero means the disaster struck a
 	// fully synchronized instance.
 	RPO time.Duration
-	// RTO is the measured recovery time (virtual clock) of the
-	// replacement site's Recover call; Recovery is its per-phase budget.
+	// RTO is the measured recovery time (virtual clock) of the replacement
+	// site's Recover call — or, when Promoted, of the warm standby's
+	// Promote; Recovery is its per-phase budget either way.
 	RTO      time.Duration
 	Recovery *core.RecoveryBreakdown
+	// Promoted reports that recovery went through the warm standby.
+	Promoted bool
+	// FollowerLag is the standby's replication lag at the instant of the
+	// crash (how long ago it last held everything the bucket listed).
+	FollowerLag time.Duration
 }
 
 // chaosWrite is one committed write in history order.
@@ -249,6 +269,40 @@ func Run(cfg Config) (*Result, error) {
 	if err := db.CreateTable("kv", 4); err != nil {
 		return fail("create table: %v", err)
 	}
+	if cfg.FillerRows > 0 {
+		// Bulk outside the tracked key set: it weighs down dumps and cold
+		// restores without touching the prefix check.
+		pad := strings.Repeat("b", 128)
+		for i := 0; i < cfg.FillerRows; i++ {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(fmt.Sprintf("pad-%05d", i)), []byte(pad))
+			}); err != nil {
+				return fail("filler put %d: %v", i, err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			return fail("filler checkpoint: %v", err)
+		}
+		if !g.Flush(2 * time.Minute) {
+			return fail("filler flush timed out")
+		}
+	}
+
+	// The warm standby tails the same bucket from a second site on its own
+	// cadence; the primary's crash does not touch it.
+	var fol *core.Follower
+	if cfg.Follower {
+		fparams := params
+		fparams.FollowInterval = time.Duration(100+prng.Intn(800)) * time.Millisecond
+		fparams.UploadRetries = 0 // Promote's catch-up rides outages out
+		fol, err = core.NewFollower(vfs.NewMemFS(), simStore, dbevent.NewPGProcessor(), fparams)
+		if err != nil {
+			return fail("new follower: %v", err)
+		}
+		if err := fol.Start(ctx); err != nil {
+			return fail("follower start: %v", err)
+		}
+	}
 
 	keys := make([]string, 6)
 	for i := range keys {
@@ -334,6 +388,9 @@ func Run(cfg Config) (*Result, error) {
 	// Measure the realized data-loss window at the instant of the
 	// disaster, then cut the primary off.
 	res.RPO = g.RPO()
+	if fol != nil {
+		res.FollowerLag = fol.Lag()
+	}
 	kill.kill()
 	for _, t := range timers {
 		t.Stop()
@@ -348,20 +405,38 @@ func Run(cfg Config) (*Result, error) {
 
 	// The replacement site sees a healthy provider (the schedule's faults
 	// hit the primary's lifetime; recovery-time faults are exercised by
-	// the retry-path tests).
+	// the retry-path tests and the promote-during-outage drill below).
 	simStore.EndOutage()
 	simStore.SetFailureRate(0)
 
-	freshFS := vfs.NewMemFS()
-	g2, err := core.New(freshFS, simStore, dbevent.NewPGProcessor(), params)
-	if err != nil {
-		return fail("new recovery instance: %v", err)
+	var g2 *core.Ginja
+	if fol != nil {
+		if cfg.PromoteDuringOutage {
+			// The disaster window: the provider is dark when promote starts
+			// and comes back one virtual second in. The final catch-up LIST
+			// and GETs must ride it out under the retry policy.
+			simStore.StartOutage()
+			clk.AfterFunc(time.Second, simStore.EndOutage)
+		}
+		recoverStart := clk.Now()
+		g2, err = fol.Promote(ctx)
+		if err != nil {
+			return fail("promote: %v", err)
+		}
+		res.RTO = clk.Since(recoverStart)
+		res.Promoted = true
+	} else {
+		freshFS := vfs.NewMemFS()
+		g2, err = core.New(freshFS, simStore, dbevent.NewPGProcessor(), params)
+		if err != nil {
+			return fail("new recovery instance: %v", err)
+		}
+		recoverStart := clk.Now()
+		if err := g2.Recover(ctx); err != nil {
+			return fail("recover: %v", err)
+		}
+		res.RTO = clk.Since(recoverStart)
 	}
-	recoverStart := clk.Now()
-	if err := g2.Recover(ctx); err != nil {
-		return fail("recover: %v", err)
-	}
-	res.RTO = clk.Since(recoverStart)
 	res.Recovery = g2.Stats().LastRecovery
 	defer g2.Close()
 	res.OrphanParts = len(g2.View().OrphanParts())

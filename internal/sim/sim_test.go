@@ -295,3 +295,74 @@ func TestRunFlappingProviderDuringDumps(t *testing.T) {
 		})
 	}
 }
+
+// TestRunWarmStandbyDrill: a follower tails the bucket across seeded
+// workloads (checkpoint churn, GC, flaky windows included) and recovery
+// goes through Promote. The consistent-prefix invariant and the flushed
+// floor must hold exactly as for cold recovery.
+func TestRunWarmStandbyDrill(t *testing.T) {
+	seeds := []int64{7, 23, 42, 77, 131}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Follower: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Promoted {
+				t.Fatal("warm drill did not promote")
+			}
+			if res.Recovery == nil || res.Recovery.Mode != "promote" {
+				t.Fatalf("Recovery = %+v, want promote breakdown", res.Recovery)
+			}
+			t.Logf("warm drill: commits=%d cut=%d flushed=%d lag=%v rto=%v",
+				res.Commits, res.Cut, res.FlushedUpTo, res.FollowerLag, res.RTO)
+		})
+	}
+}
+
+// TestRunPromoteDuringOutage: the disaster takes the provider down with
+// it; Promote starts against a dark bucket and must ride the outage out
+// through the retry policy instead of failing the handoff.
+func TestRunPromoteDuringOutage(t *testing.T) {
+	res, err := Run(Config{Seed: 57, Follower: true, PromoteDuringOutage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted {
+		t.Fatal("promote-during-outage drill did not promote")
+	}
+	// The outage spans the first virtual second of the handoff, so the
+	// promote RTO must reflect riding it out.
+	if res.RTO < time.Second {
+		t.Fatalf("RTO = %v; promote cannot have finished inside the outage window", res.RTO)
+	}
+	t.Logf("promote-during-outage: cut=%d flushed=%d rto=%v", res.Cut, res.FlushedUpTo, res.RTO)
+}
+
+// TestRunFillerScalesColdNotWarm: with heavy untracked bulk in the
+// database, cold recovery pays for the whole dump while promote pays only
+// for the lag — the separation the warm-standby experiment measures.
+func TestRunFillerScalesColdNotWarm(t *testing.T) {
+	cold, err := Run(Config{Seed: 99, FillerRows: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(Config{Seed: 99, FillerRows: 600, Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Promoted || !warm.Promoted {
+		t.Fatalf("modes crossed: cold.Promoted=%v warm.Promoted=%v", cold.Promoted, warm.Promoted)
+	}
+	t.Logf("filler drill: cold rto=%v (%d objects) vs warm rto=%v (%d objects)",
+		cold.RTO, cold.Recovery.Objects, warm.RTO, warm.Recovery.Objects)
+	if warm.RTO >= cold.RTO {
+		t.Fatalf("warm promote (%v) not faster than cold recover (%v) despite %d filler rows",
+			warm.RTO, cold.RTO, 600)
+	}
+}
