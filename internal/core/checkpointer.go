@@ -234,7 +234,12 @@ func (c *checkpointer) start() {
 			defer close(c.trimDone)
 			for simclock.SleepCtx(c.ctx, c.clk, interval) == nil {
 				if err := c.trimRetention(); err != nil {
-					c.fail(err)
+					// stop() cancelling the context mid-trim is a clean
+					// shutdown, not a checkpointer failure (mirrors the
+					// follower's loop).
+					if c.ctx.Err() == nil {
+						c.fail(err)
+					}
 					return
 				}
 			}

@@ -46,7 +46,7 @@ type Follower struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{}
-	looping  bool
+	looping  atomic.Bool // true once loop() was launched (f.done will close)
 	started  atomic.Bool
 	promoted atomic.Bool
 
@@ -60,7 +60,13 @@ type Follower struct {
 	pendingDB  []DBObjectInfo
 	appliedDBs []DBObjectInfo // DB objects applied, in (Ts, Gen) order
 	appliedTs  int64          // WAL frontier: every ts ≤ this is reflected locally
-	caughtUpAt time.Time      // last instant the replica held everything listed
+	// appliedWALs remembers the WAL objects applied beyond the newest
+	// applied DB object (entries at or below it are pruned: the DB object
+	// covers them). They exist so an out-of-order DB repair — which
+	// clobbers the local WAL files with older whole-file images — can
+	// re-queue and replay the run instead of silently losing it.
+	appliedWALs map[int64]WALObjectInfo
+	caughtUpAt  time.Time // last instant the replica held everything listed
 
 	polls      atomic.Int64
 	listErrs   atomic.Int64
@@ -120,17 +126,18 @@ func NewFollower(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{
-		localFS:    localFS,
-		store:      store,
-		proc:       proc,
-		params:     params,
-		seal:       seal,
-		clk:        params.clock(),
-		ctx:        ctx,
-		cancel:     cancel,
-		done:       make(chan struct{}),
-		tracker:    newListTracker(),
-		pendingWAL: make(map[int64]WALObjectInfo),
+		localFS:     localFS,
+		store:       store,
+		proc:        proc,
+		params:      params,
+		seal:        seal,
+		clk:         params.clock(),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		tracker:     newListTracker(),
+		pendingWAL:  make(map[int64]WALObjectInfo),
+		appliedWALs: make(map[int64]WALObjectInfo),
 	}
 	f.caughtUpAt = f.clk.Now()
 	if reg := params.Metrics; reg != nil {
@@ -156,15 +163,20 @@ func (f *Follower) Start(ctx context.Context) error {
 	}
 	infos, err := storeListWithRetry(ctx, f.store, f.params)
 	if err != nil {
+		// Reset started so a failed Start can be retried and so Promote
+		// reports ErrNotStarted instead of waiting on a loop that never
+		// launched (f.done only closes once loop() runs).
+		f.started.Store(false)
 		return fmt.Errorf("core: follower initial list: %w", err)
 	}
 	f.polls.Add(1)
 	if err := f.ingestAndApply(ctx, infos, nil); err != nil {
+		f.started.Store(false)
 		return fmt.Errorf("core: follower initial sync: %w", err)
 	}
 	f.params.logger().Info("follower started",
 		"applied_ts", f.watermark.Load(), "poll_interval", f.params.FollowInterval)
-	f.looping = true
+	f.looping.Store(true)
 	go f.loop()
 	return nil
 }
@@ -278,6 +290,29 @@ func (f *Follower) applyReady(ctx context.Context, bd *RecoveryBreakdown) error 
 						delete(f.pendingWAL, ts)
 					}
 				}
+				for ts := range f.appliedWALs {
+					if ts <= f.appliedTs {
+						delete(f.appliedWALs, ts)
+					}
+				}
+			} else if outOfOrder {
+				// The out-of-order apply wrote d's older whole-file images —
+				// including its snapshot of the WAL files — and the re-apply
+				// above restored only the newer DB objects, not the WAL run
+				// applied past them. Roll the frontier back to the newest
+				// applied DB Ts and re-queue that run from appliedWALs so the
+				// normal drain below replays it; until then the watermark must
+				// not claim timestamps the files no longer hold.
+				top := f.appliedDBs[len(f.appliedDBs)-1].Ts
+				if f.appliedTs > top {
+					for ts := top + 1; ts <= f.appliedTs; ts++ {
+						if w, ok := f.appliedWALs[ts]; ok {
+							f.pendingWAL[ts] = w
+						}
+					}
+					f.appliedTs = top
+					f.watermark.Store(top)
+				}
 			}
 			f.mu.Unlock()
 			f.appliedDB.Add(1)
@@ -299,6 +334,7 @@ func (f *Follower) applyReady(ctx context.Context, bd *RecoveryBreakdown) error 
 		f.mu.Lock()
 		for _, w := range run[:applied] {
 			delete(f.pendingWAL, w.Ts)
+			f.appliedWALs[w.Ts] = w
 			f.appliedTs = w.Ts
 		}
 		f.watermark.Store(f.appliedTs)
@@ -440,7 +476,9 @@ func (f *Follower) Promote(ctx context.Context) (*Ginja, error) {
 		return nil, errors.New("core: follower already promoted")
 	}
 	f.cancel()
-	<-f.done
+	if f.looping.Load() {
+		<-f.done
+	}
 	if err := f.Err(); err != nil {
 		return nil, fmt.Errorf("core: promote after fatal tail error: %w", err)
 	}
@@ -543,7 +581,7 @@ func (f *Follower) fail(err error) {
 // already stopped; Close is then a no-op.
 func (f *Follower) Close() error {
 	f.cancel()
-	if f.started.Load() && f.looping {
+	if f.looping.Load() {
 		<-f.done
 	}
 	return f.Err()

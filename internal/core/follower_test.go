@@ -2,12 +2,16 @@ package core_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
 	"github.com/ginja-dr/ginja/internal/minidb"
 	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/vfs"
@@ -190,6 +194,246 @@ func TestFollowerSurvivesGCAndDumps(t *testing.T) {
 		if err != nil || string(v) != "round-11" {
 			t.Fatalf("k%02d after promote: %q, %v (want round-11)", i, v, err)
 		}
+	}
+}
+
+// maskedStore hides a set of names from List (read-after-write list lag
+// in miniature): the follower must behave as if those objects do not
+// exist yet, then cope when a later listing reveals them.
+type maskedStore struct {
+	cloud.ObjectStore
+	mu     sync.Mutex
+	hidden map[string]bool
+}
+
+func (s *maskedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	infos, err := s.ObjectStore.List(ctx, prefix)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]cloud.ObjectInfo, 0, len(infos))
+	for _, info := range infos {
+		if !s.hidden[info.Name] {
+			out = append(out, info)
+		}
+	}
+	return out, nil
+}
+
+func (s *maskedStore) reveal() {
+	s.mu.Lock()
+	s.hidden = make(map[string]bool)
+	s.mu.Unlock()
+}
+
+// TestFollowerLateListedDumpKeepsTailWAL is the out-of-order repair
+// regression: the bucket holds dump D, a newer checkpoint C and WAL
+// beyond C, but D's parts are missing from the follower's listings until
+// after C and the WAL run were already applied (read-after-write list
+// lag). Applying D late clobbers the replica with D's older images, and
+// re-applying the newer DB objects restores only what THEY contain — the
+// WAL run applied past C is not theirs to restore. The follower must
+// roll its frontier back to C and replay that run (the watermark must
+// never claim WAL the files are not guaranteed to hold), and the
+// re-apply must leave the replica byte-equivalent to a cold restore, so
+// Promote serves every committed write.
+func TestFollowerLateListedDumpKeepsTailWAL(t *testing.T) {
+	params := fastParams()
+	r := pgRig(t, params)
+	if err := r.db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the same keys through checkpoints until the 150 % rule
+	// produces dump D.
+	var ckpts int64
+	for round := 0; round < 40 && r.g.Stats().Dumps == 0; round++ {
+		for i := 0; i < 10; i++ {
+			r.put(t, "kv", fmt.Sprintf("k%02d", i), fmt.Sprintf("round-%d", round))
+		}
+		if !r.g.Flush(5 * time.Second) {
+			t.Fatal("flush")
+		}
+		if err := r.db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		ckpts++
+		waitCheckpointUploaded(t, r.g, ckpts)
+	}
+	if r.g.Stats().Dumps == 0 {
+		t.Fatalf("150%% rule never produced a dump (stats %+v)", r.g.Stats())
+	}
+	if !r.g.SyncCheckpoints(5 * time.Second) {
+		t.Fatal("dump GC did not settle")
+	}
+
+	// Checkpoint C after the dump...
+	for i := 0; i < 10; i++ {
+		r.put(t, "kv", fmt.Sprintf("k%02d", i), "post-dump")
+	}
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush")
+	}
+	if err := r.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts++
+	waitCheckpointUploaded(t, r.g, ckpts)
+	if !r.g.SyncCheckpoints(5 * time.Second) {
+		t.Fatal("checkpoint did not settle")
+	}
+	if d := r.g.Stats().Dumps; d != 1 {
+		t.Fatalf("post-dump checkpoint became another dump (%d dumps); scenario needs checkpoint C newer than the dump", d)
+	}
+
+	// ...and tail commits that exist only as WAL objects beyond C.
+	for i := 0; i < 6; i++ {
+		r.put(t, "kv", fmt.Sprintf("tail-%d", i), "wal-only")
+	}
+	if !r.g.Flush(5 * time.Second) {
+		t.Fatal("flush")
+	}
+
+	// The primary crashes here: simply stop touching it. A clean db.Close
+	// would run a final checkpoint covering the tail commits, which must
+	// stay WAL-only for this scenario. With no further commits the bucket
+	// is static from now on.
+
+	// Hide every part of the newest dump from the follower's listings.
+	ctx := context.Background()
+	infos, err := r.store.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumpTs int64
+	dumpGen := -1
+	for _, info := range infos {
+		if !strings.HasPrefix(info.Name, "DB/") {
+			continue
+		}
+		n, err := core.ParseDBObjectName(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Type == core.Dump && (n.Ts > dumpTs || (n.Ts == dumpTs && n.Gen > dumpGen)) {
+			dumpTs, dumpGen = n.Ts, n.Gen
+		}
+	}
+	if dumpGen < 0 {
+		t.Fatal("no dump in the bucket")
+	}
+	masked := &maskedStore{ObjectStore: r.store, hidden: make(map[string]bool)}
+	for _, info := range infos {
+		if !strings.HasPrefix(info.Name, "DB/") {
+			continue
+		}
+		if n, _ := core.ParseDBObjectName(info.Name); n.Type == core.Dump && n.Ts == dumpTs && n.Gen == dumpGen {
+			masked.hidden[info.Name] = true
+		}
+	}
+	if len(masked.hidden) == 0 {
+		t.Fatal("found no dump parts to hide")
+	}
+
+	params.FollowInterval = 2 * time.Millisecond
+	fol, err := core.NewFollower(vfs.NewMemFS(), masked, r.proc(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.Start(ctx); err != nil {
+		t.Fatalf("follower start: %v", err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	pre := fol.Stats()
+	if pre.AppliedWALObjects == 0 {
+		t.Fatalf("initial sync applied no tail WAL (stats %+v)", pre)
+	}
+
+	// Reveal the dump: the next listing emits it out of order.
+	masked.reveal()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := fol.Stats()
+		if s.AppliedDBObjects > pre.AppliedDBObjects && s.PendingWAL == 0 && s.AppliedTs >= pre.AppliedTs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late dump never applied (stats %+v)", s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := fol.Err(); err != nil {
+		t.Fatalf("follower tail error: %v", err)
+	}
+	// The out-of-order repair must have replayed the WAL run past the
+	// newest re-applied DB object, not just re-applied DB objects: the
+	// frontier rolled back to C and walked forward through the run again.
+	if s := fol.Stats(); s.AppliedWALObjects <= pre.AppliedWALObjects {
+		t.Fatalf("WAL run not replayed after out-of-order dump repair (before %+v, after %+v)", pre, s)
+	}
+
+	g2, err := fol.Promote(ctx)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer g2.Close()
+	db2, err := minidb.Open(g2.FS(), r.engine(), minidb.Options{})
+	if err != nil {
+		t.Fatalf("open promoted replica: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := db2.Get("kv", []byte(fmt.Sprintf("k%02d", i)))
+		if err != nil || string(v) != "post-dump" {
+			t.Fatalf("k%02d after promote: %q, %v", i, v, err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		v, err := db2.Get("kv", []byte(fmt.Sprintf("tail-%d", i)))
+		if err != nil || string(v) != "wal-only" {
+			t.Fatalf("tail-%d after promote: %q, %v — WAL run lost by out-of-order dump repair", i, v, err)
+		}
+	}
+}
+
+// failingListStore makes every LIST fail, so Follower.Start's initial
+// sync cannot succeed.
+type failingListStore struct{ cloud.ObjectStore }
+
+func (s failingListStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	return nil, errors.New("list down")
+}
+
+// TestFollowerStartFailureUnblocksPromoteAndClose pins the failed-Start
+// lifecycle: the tail loop never launched, so Promote must report the
+// follower as unstarted instead of waiting forever on it, and Close must
+// return cleanly.
+func TestFollowerStartFailureUnblocksPromoteAndClose(t *testing.T) {
+	params := fastParams()
+	params.UploadRetries = 2
+	fol, err := core.NewFollower(vfs.NewMemFS(), failingListStore{cloud.NewMemStore()}, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.Start(context.Background()); err == nil {
+		t.Fatal("start succeeded with LIST down")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := fol.Promote(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("promote after failed start succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("promote blocked forever after failed start")
+	}
+	if err := fol.Close(); err != nil {
+		t.Fatalf("close after failed start: %v", err)
 	}
 }
 

@@ -21,21 +21,30 @@ import (
 // (a leftover object on a crashed provider is garbage, not a safety
 // problem, and will be re-deleted by a later GC pass after Reboot).
 //
-// Listing is health-aware. While every replica has acknowledged every
-// operation, any single listing is complete and the first answer wins.
-// But once any replica has failed an operation it is marked unhealthy —
-// stickily: only a successful Repair pass clears the flag — because its
-// listing may be missing the writes that reached only the quorum. From
-// then on List fans out to every reachable replica and merges the union
-// of names: an object a stale replica still lists after a missed GC round
-// is harmless garbage (recovery always picks the newest dump, and Repair
-// removes minority leftovers), whereas an object missing from a stale
-// first responder is silent data loss at recovery time.
+// Listing is health-aware and pessimistic about history it has not
+// observed. A fresh process starts with List fanning out to every
+// reachable replica and merging the union of names: replica health flags
+// live in memory, so a replica that missed quorum writes during an outage
+// seen only by a previous (now dead) process looks healthy here — and a
+// freshly started process is exactly the disaster-recovery case where a
+// stale first responder means silent data loss. Only after a Repair pass
+// in this process has verified full redundancy does List trust a single
+// first responder; any subsequent failure marks the replica unhealthy —
+// stickily, until the next successful Repair — and merging resumes. An
+// object a stale replica still lists after a missed GC round is harmless
+// garbage (recovery always picks the newest dump, and Repair removes
+// minority leftovers), whereas an object missing from a stale first
+// responder is silent data loss at recovery time.
 type ReplicatedStore struct {
 	stores []cloud.ObjectStore
 	// unhealthy[i] is set when replica i fails any operation and cleared
 	// only by a Repair pass that restored it to full redundancy.
 	unhealthy []atomic.Bool
+	// verified is set once a Repair pass in this process reached every
+	// provider and restored full redundancy. Until then List always
+	// merges: in-memory health flags say nothing about outages a previous
+	// incarnation observed.
+	verified atomic.Bool
 }
 
 var _ cloud.ObjectStore = (*ReplicatedStore)(nil)
@@ -117,13 +126,14 @@ func (r *ReplicatedStore) Get(ctx context.Context, name string) ([]byte, error) 
 	return nil, firstErr
 }
 
-// List implements cloud.ObjectStore: first answer while every replica is
-// healthy; the union of all reachable listings once any replica has been
-// marked unhealthy (its listing may miss quorum-only writes, and a stale
-// first responder at recovery time is silent data loss — see the type
-// comment).
+// List implements cloud.ObjectStore: the union of all reachable listings
+// until a Repair pass in this process has verified full redundancy, and
+// again whenever any replica is marked unhealthy afterwards (its listing
+// may miss quorum-only writes, and a stale first responder at recovery
+// time is silent data loss — see the type comment). Only a
+// verified-and-healthy store serves the single-LIST fast path.
 func (r *ReplicatedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
-	if r.allHealthy() {
+	if r.verified.Load() && r.allHealthy() {
 		infos, err := r.stores[0].List(ctx, prefix)
 		if err == nil {
 			return infos, nil
@@ -314,6 +324,12 @@ func (r *ReplicatedStore) Repair(ctx context.Context) (RepairReport, error) {
 		if l.ok {
 			r.unhealthy[i].Store(false)
 		}
+	}
+	// Full redundancy verified in this process only when every provider
+	// took part in the pass; from here List may trust a first responder
+	// until the next failure.
+	if report.Unreachable == 0 {
+		r.verified.Store(true)
 	}
 	return report, nil
 }

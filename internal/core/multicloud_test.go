@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -287,6 +288,77 @@ func TestReplicatedRecoveryAfterDivergentOutage(t *testing.T) {
 		if err != nil || string(v) != "quorum-only" {
 			t.Fatalf("during-%d: %q, %v — stale first responder leaked into recovery", i, v, err)
 		}
+	}
+}
+
+// countingStore counts LIST calls, to observe which replicas a
+// ReplicatedStore.List actually consulted.
+type countingStore struct {
+	cloud.ObjectStore
+	lists atomic.Int64
+}
+
+func (s *countingStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	s.lists.Add(1)
+	return s.ObjectStore.List(ctx, prefix)
+}
+
+// TestReplicatedListMergesOnFreshProcess is the boot-time half of the
+// divergence bug: health flags live in memory, so a freshly started
+// process (exactly the disaster-recovery case) sees every replica as
+// healthy — even if replica 0 missed quorum writes during an outage
+// observed only by the previous, now-dead process. A fresh store must
+// merge listings until a Repair pass has verified full redundancy in
+// this process; only then may a single first responder be trusted.
+func TestReplicatedListMergesOnFreshProcess(t *testing.T) {
+	ctx := context.Background()
+	stale := &countingStore{ObjectStore: cloud.NewMemStore()}
+	b := &countingStore{ObjectStore: cloud.NewMemStore()}
+	c := &countingStore{ObjectStore: cloud.NewMemStore()}
+	// A previous process wrote "WAL/1" to all three replicas, then
+	// "WAL/2" to only the 2-of-3 quorum while replica 0 was down. That
+	// process — and its health flags — are gone.
+	for _, s := range []cloud.ObjectStore{stale, b, c} {
+		if err := s.Put(ctx, "WAL/1_seg_0", []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []cloud.ObjectStore{b, c} {
+		if err := s.Put(ctx, "WAL/2_seg_0", []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	repl, err := NewReplicatedStore(stale, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := repl.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		names[info.Name] = true
+	}
+	if !names["WAL/1_seg_0"] || !names["WAL/2_seg_0"] {
+		t.Fatalf("fresh-process listing trusted the stale first responder: %v", names)
+	}
+	if b.lists.Load() == 0 || c.lists.Load() == 0 {
+		t.Fatal("fresh-process List did not fan out to every replica")
+	}
+
+	// A full Repair verifies redundancy; from then on the single-LIST
+	// fast path is allowed again.
+	if _, err := repl.Repair(ctx); err != nil {
+		t.Fatal(err)
+	}
+	bBefore, cBefore := b.lists.Load(), c.lists.Load()
+	if _, err := repl.List(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	if b.lists.Load() != bBefore || c.lists.Load() != cBefore {
+		t.Fatal("verified healthy store still fans every LIST out")
 	}
 }
 

@@ -209,7 +209,7 @@ func (p Params) Validate() (Params, error) {
 		return p, fmt.Errorf("core: RetainObjects must be ≥ 1, got %d", p.RetainObjects)
 	}
 	if p.FollowInterval < 0 {
-		return p, fmt.Errorf("core: FollowInterval must be > 0, got %v", p.FollowInterval)
+		return p, fmt.Errorf("core: FollowInterval must be ≥ 0 (0 = default), got %v", p.FollowInterval)
 	}
 	return p, nil
 }
