@@ -139,6 +139,9 @@ func run(args []string) error {
 		opts := experiments.CommitpathOptions{}
 		if *smoke {
 			opts.Commits = 150
+			opts.AdaptiveCommits = 896 // 7 batches of 128, 28 of 32, 112 of 8
+			opts.ThroughputCommits = 8192 // shorter runs don't outlive controller convergence
+			opts.PipelineCommits = 512 // fewer batches would be startup-dominated
 		}
 		var r *experiments.CommitpathResult
 		if r, err = experiments.RunCommitpath(opts); err != nil {
@@ -152,6 +155,50 @@ func run(args []string) error {
 			r.Unpacked.P50BatchMs, r.Unpacked.P99BatchMs, r.Packed.P50BatchMs, r.Packed.P99BatchMs)
 		fmt.Printf("cost model:  $%.3f/day unpacked -> $%.3f/day packed; %.2f allocs/commit\n",
 			r.Unpacked.DollarsPerDay, r.Packed.DollarsPerDay, r.AllocsPerCommit)
+		for _, reg := range r.AdaptiveRegimes {
+			a := reg.Adaptive
+			fmt.Printf("adaptive rtt=%3.0fms ceiling=$%.2f/day: B->%d TB->%.0fms p50 %.0f ms (best feasible fixed %.0f ms), steady $%.3f/day\n",
+				reg.RTTMs, reg.CeilingPerDay, a.EffectiveBatch, a.EffectiveTimeoutMs,
+				a.P50BatchMs, reg.BestFeasibleFixedP50Ms, a.SteadyDollarsPerDay)
+			// The controller's contract, enforced per regime: the solved
+			// knobs stay inside [1, Safety], the steady-state spend fits the
+			// ceiling, and the median commit latency is within 10% of the
+			// best fixed configuration that also fits the ceiling.
+			if a.EffectiveBatch < 1 || a.EffectiveBatch > 1024 {
+				return fmt.Errorf("adaptive regime rtt=%.0fms: effective batch %d outside [1, 1024]",
+					reg.RTTMs, a.EffectiveBatch)
+			}
+			if a.SteadyDollarsPerDay > reg.CeilingPerDay*1.001 {
+				return fmt.Errorf("adaptive regime rtt=%.0fms: steady spend $%.3f/day exceeds ceiling $%.3f/day",
+					reg.RTTMs, a.SteadyDollarsPerDay, reg.CeilingPerDay)
+			}
+			if reg.BestFeasibleFixedP50Ms > 0 && a.P50BatchMs > 1.1*reg.BestFeasibleFixedP50Ms {
+				return fmt.Errorf("adaptive regime rtt=%.0fms ceiling=$%.2f: p50 %.1f ms worse than 1.1x best feasible fixed %.1f ms",
+					reg.RTTMs, reg.CeilingPerDay, a.P50BatchMs, reg.BestFeasibleFixedP50Ms)
+			}
+		}
+		tg := r.AdaptiveThroughput
+		fmt.Printf("adaptive throughput: %7.0f commits/s default -> %7.0f commits/s adaptive (%.2fx), $%.2f -> $%.2f/day\n",
+			tg.FixedDefault.CommitsPerSec, tg.Adaptive.CommitsPerSec, tg.Speedup,
+			tg.FixedDefault.DollarsPerDay, tg.Adaptive.DollarsPerDay)
+		// The unpaced gate: adaptive must beat the default fixed knobs on
+		// throughput at equal-or-lower $/day, or the controller regressed.
+		if tg.Adaptive.CommitsPerSec < tg.FixedDefault.CommitsPerSec {
+			return fmt.Errorf("adaptive throughput regressed: %.0f commits/s < fixed default %.0f commits/s",
+				tg.Adaptive.CommitsPerSec, tg.FixedDefault.CommitsPerSec)
+		}
+		if tg.Adaptive.DollarsPerDay > tg.FixedDefault.DollarsPerDay {
+			return fmt.Errorf("adaptive throughput gate overspends: $%.3f/day > fixed default $%.3f/day",
+				tg.Adaptive.DollarsPerDay, tg.FixedDefault.DollarsPerDay)
+		}
+		pl := r.Pipelined
+		fmt.Printf("pipelined uploader: %7.0f commits/s serial -> %7.0f commits/s pipelined (%.2fx at %.0f ms RTT)\n",
+			pl.SerialCommitsPerSec, pl.PipelinedCommitsPerSec, pl.Speedup, pl.RTTMs)
+		// Overlapping seal with the in-flight PUT must show a real
+		// wall-clock win over the serial seal→PUT loop.
+		if pl.Speedup < 1.15 {
+			return fmt.Errorf("pipelined uploader regressed: %.2fx speedup over serial (want >= 1.15x)", pl.Speedup)
+		}
 		res = r
 	default:
 		return fmt.Errorf("unknown -path %q (want datapath, commit or recovery)", *path)

@@ -60,6 +60,8 @@ type options struct {
 	retainMax   int
 	followEvery time.Duration
 	promote     bool
+	adaptive    bool
+	costCeiling float64
 
 	// registry is non-nil when -metrics-addr is set; store() and params()
 	// route telemetry through it.
@@ -103,6 +105,10 @@ func run(args []string) error {
 		"follow only: poll cadence for tailing the bucket (0 = default)")
 	fs.BoolVar(&o.promote, "promote", false,
 		"follow only: on interrupt, promote the warm replica to a live site instead of just stopping")
+	fs.BoolVar(&o.adaptive, "adaptive", false,
+		"retune B and the batch timeout online from measured PUT latency and commit rate (-batch becomes the initial value, -safety the hard cap)")
+	fs.Float64Var(&o.costCeiling, "cost-ceiling", 0,
+		"adaptive only: $/day the retuned knobs may spend on WAL PUTs at S3 prices (0 = the one-dollar-per-month default)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -172,6 +178,8 @@ func (o options) params() core.Params {
 	if o.followEvery > 0 {
 		p.FollowInterval = o.followEvery
 	}
+	p.AdaptiveBatching = o.adaptive
+	p.CostCeilingPerDay = o.costCeiling
 	return p
 }
 
@@ -549,6 +557,7 @@ subcommands:
 
 common flags: -data DIR -cloud DIR|URL -engine postgresql|mysql
               -batch B -safety S -compress -encrypt -password PW
+              -adaptive -cost-ceiling $/DAY   retune B/TB online under a spend ceiling
               -retain 24h -retain-objects N   point-in-time retention window
               -metrics-addr :9090   serve /metrics /healthz /statusz /tracez`)
 }

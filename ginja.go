@@ -88,6 +88,11 @@ var NoLossParams = core.NoLoss
 // ErrNoDump is returned by Recover when the cloud holds no dump.
 var ErrNoDump = core.ErrNoDump
 
+// DefaultCostCeilingPerDay is the WAL-PUT spend ceiling the adaptive
+// batch controller enforces when Params.CostCeilingPerDay is zero —
+// the paper's one-dollar-per-month budget expressed per day.
+const DefaultCostCeilingPerDay = core.DefaultCostCeilingPerDay
+
 // Version is the release version reported by the ginja_build_info metric.
 const Version = core.Version
 

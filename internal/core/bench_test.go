@@ -105,9 +105,14 @@ func BenchmarkCommitPath(b *testing.B) {
 	for _, bc := range []struct {
 		name           string
 		disablePacking bool
+		adaptive       bool
 	}{
-		{"packed", false},
-		{"unpacked", true},
+		{"packed", false, false},
+		{"unpacked", true, false},
+		// The adaptive controller must not cost the hot path anything:
+		// observePut runs off the submit path and knob publication is one
+		// amortized pointer store per tick.
+		{"packed-adaptive", false, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			p := DefaultParams()
@@ -115,6 +120,7 @@ func BenchmarkCommitPath(b *testing.B) {
 			p.Safety = 1000
 			p.BatchTimeout = 5 * time.Millisecond
 			p.DisablePacking = bc.disablePacking
+			p.AdaptiveBatching = bc.adaptive
 			params, err := p.Validate()
 			if err != nil {
 				b.Fatal(err)

@@ -269,6 +269,33 @@ func (q *commitQueue) removeFront(n int) {
 	}
 }
 
+// setKnobs installs new effective Batch/BatchTimeout values from the
+// adaptive controller. Taking mu gives every reader (nextBatch's cut,
+// put's timer arming) a consistent snapshot of the pair. Shrinking the
+// batch must wake a parked Aggregator — pending items that were short of
+// the old B may already fill the new one — and re-aim the TB timer at the
+// new deadline while unsent items are waiting.
+func (q *commitQueue) setKnobs(batch int, batchTimeout time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || (batch == q.batch && batchTimeout == q.batchTimeout) {
+		return
+	}
+	q.batch = batch
+	q.batchTimeout = batchTimeout
+	if len(q.items)-q.taken > 0 {
+		q.tbTimer.Reset(q.batchTimeout)
+		q.more.Broadcast()
+	}
+}
+
+// knobs returns the effective (Batch, BatchTimeout) pair.
+func (q *commitQueue) knobs() (int, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.batch, q.batchTimeout
+}
+
 // size returns the number of unacknowledged updates.
 func (q *commitQueue) size() int {
 	q.mu.Lock()

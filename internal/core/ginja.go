@@ -86,6 +86,16 @@ type Stats struct {
 	// contract next to the measurement.
 	SafetyLimit   int
 	SafetyTimeout time.Duration
+	// EffectiveBatch and EffectiveBatchTimeout are the (B, TB) knobs the
+	// commit path is actually running: the adaptive controller's current
+	// choice under Params.AdaptiveBatching, the configured values
+	// otherwise.
+	EffectiveBatch        int
+	EffectiveBatchTimeout time.Duration
+	// FittedPutLatency is the controller's fitted cloud PUT latency at
+	// the current effective batch size (0 until the fit has enough
+	// samples, or when adaptive batching is off).
+	FittedPutLatency time.Duration
 	// LastRecovery is the phase-by-phase RTO budget of the most recent
 	// Recover/RecoverAt on this instance (nil if it never recovered).
 	LastRecovery *RecoveryBreakdown
@@ -554,11 +564,13 @@ func (g *Ginja) getWithRetry(ctx context.Context, name string) ([]byte, error) {
 
 // storePutWithRetry / storeListWithRetry / storeGetWithRetry are the one
 // shared retry policy for direct store operations (exponential backoff
-// from RetryBaseDelay on the configured clock, bounded by UploadRetries,
-// 0 = retry forever): Ginja's boot/recovery paths and the warm-standby
-// Follower all speak to the cloud through these.
+// from RetryBaseDelay on the configured clock, jittered per retryJitter,
+// bounded by UploadRetries, 0 = retry forever): Ginja's boot/recovery
+// paths and the warm-standby Follower all speak to the cloud through
+// these.
 func storePutWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, name string, data []byte) error {
 	delay := retryStartDelay(p)
+	clk := p.clock()
 	for attempt := 0; ; attempt++ {
 		err := store.Put(ctx, name, data)
 		if err == nil || ctx.Err() != nil {
@@ -567,7 +579,7 @@ func storePutWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, n
 		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
 			return err
 		}
-		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
+		if simclock.SleepCtx(ctx, clk, retryJitter(delay, name, attempt, clk.Now())) != nil {
 			return err
 		}
 		if delay < maxRetryDelay {
@@ -578,6 +590,7 @@ func storePutWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, n
 
 func storeListWithRetry(ctx context.Context, store cloud.ObjectStore, p Params) ([]cloud.ObjectInfo, error) {
 	delay := retryStartDelay(p)
+	clk := p.clock()
 	for attempt := 0; ; attempt++ {
 		infos, err := store.List(ctx, "")
 		if err == nil || ctx.Err() != nil {
@@ -586,7 +599,7 @@ func storeListWithRetry(ctx context.Context, store cloud.ObjectStore, p Params) 
 		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
 			return nil, err
 		}
-		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
+		if simclock.SleepCtx(ctx, clk, retryJitter(delay, "LIST", attempt, clk.Now())) != nil {
 			return nil, err
 		}
 		if delay < maxRetryDelay {
@@ -599,6 +612,7 @@ func storeListWithRetry(ctx context.Context, store cloud.ObjectStore, p Params) 
 // immediately.
 func storeGetWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, name string) ([]byte, error) {
 	delay := retryStartDelay(p)
+	clk := p.clock()
 	for attempt := 0; ; attempt++ {
 		data, err := store.Get(ctx, name)
 		if err == nil || errors.Is(err, cloud.ErrNotFound) || ctx.Err() != nil {
@@ -607,7 +621,7 @@ func storeGetWithRetry(ctx context.Context, store cloud.ObjectStore, p Params, n
 		if p.UploadRetries > 0 && attempt+1 >= p.UploadRetries {
 			return nil, err
 		}
-		if simclock.SleepCtx(ctx, p.clock(), delay) != nil {
+		if simclock.SleepCtx(ctx, clk, retryJitter(delay, name, attempt, clk.Now())) != nil {
 			return nil, err
 		}
 		if delay < maxRetryDelay {
@@ -797,6 +811,16 @@ func (g *Ginja) Stats() Stats {
 	s.RPO = g.RPO()
 	s.SafetyLimit = g.params.Safety
 	s.SafetyTimeout = g.params.SafetyTimeout
+	s.EffectiveBatch = g.params.Batch
+	s.EffectiveBatchTimeout = g.params.BatchTimeout
+	if g.pipe != nil {
+		if t := g.pipe.tuner; t != nil {
+			k := t.snapshot()
+			s.EffectiveBatch = k.batch
+			s.EffectiveBatchTimeout = k.timeout
+			s.FittedPutLatency = k.putLatency
+		}
+	}
 	s.LastRecovery = g.lastRecovery.Load()
 	if err := g.Err(); err != nil {
 		s.LastError = err.Error()

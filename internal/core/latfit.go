@@ -1,0 +1,66 @@
+package core
+
+// latFit is a streaming least-squares fit of cloud PUT latency against
+// sealed object size: latency ≈ base + perByte·size. The cloud's latency
+// curve has exactly this shape (a fixed per-request round trip plus a
+// bandwidth term, see cloudsim.Profile), so two coefficients capture it.
+//
+// Every accumulated sum decays by a constant factor per sample, giving an
+// exponentially-weighted window of roughly 1/(1−decay) observations: when
+// the provider's RTT shifts (route change, regional failover), the fit
+// tracks the new regime after a few dozen PUTs instead of averaging the
+// old world in forever. The fit is plain float state — the owning tuner
+// serializes access.
+type latFit struct {
+	decay float64 // per-sample weight applied to history (0 < decay < 1)
+
+	n   float64 // decayed sample count
+	sx  float64 // Σ size
+	sy  float64 // Σ latency
+	sxx float64 // Σ size²
+	sxy float64 // Σ size·latency
+}
+
+// latFitMinSamples is the decayed mass required before fit reports ok:
+// below it a single outlier would steer the solver.
+const latFitMinSamples = 4.0
+
+func newLatFit(decay float64) latFit { return latFit{decay: decay} }
+
+// add records one (sealed size in bytes, latency in seconds) observation.
+func (f *latFit) add(size, latency float64) {
+	d := f.decay
+	f.n = f.n*d + 1
+	f.sx = f.sx*d + size
+	f.sy = f.sy*d + latency
+	f.sxx = f.sxx*d + size*size
+	f.sxy = f.sxy*d + size*latency
+}
+
+// fit solves the decayed normal equations for (base, perByte). Both
+// coefficients are clamped non-negative: a transient negative slope (all
+// samples near one size, noise dominating) would otherwise tell the
+// solver that bigger uploads are free. When the observed sizes are too
+// close together to resolve a slope, the fit degrades to a pure
+// fixed-latency model (perByte = 0, base = mean latency) — exactly the
+// information the samples carry.
+func (f *latFit) fit() (base, perByte float64, ok bool) {
+	if f.n < latFitMinSamples {
+		return 0, 0, false
+	}
+	det := f.n*f.sxx - f.sx*f.sx
+	if det > f.n*f.sxx*1e-9 && det > 0 {
+		perByte = (f.n*f.sxy - f.sx*f.sy) / det
+		base = (f.sy - perByte*f.sx) / f.n
+	}
+	if perByte < 0 {
+		perByte = 0
+	}
+	if perByte == 0 || base < 0 {
+		base = f.sy / f.n
+		if base < 0 {
+			base = 0
+		}
+	}
+	return base, perByte, true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/ginja-dr/ginja/internal/obs"
 )
@@ -54,7 +55,37 @@ const (
 	// bucket, and the applied-WAL-timestamp watermark it has reached.
 	metricFollowerLag       = "ginja_follower_lag_seconds"
 	metricFollowerAppliedTs = "ginja_follower_applied_ts"
+
+	// Adaptive-batching telemetry: the effective knobs the commit path is
+	// running, the controller's fitted PUT latency-vs-size curve, and the
+	// size-bucketed PUT latency histogram that exposes the raw curve the
+	// fit is drawn from.
+	metricEffectiveBatch        = "ginja_effective_batch"
+	metricEffectiveBatchTimeout = "ginja_effective_batch_timeout_seconds"
+	metricFitBase               = "ginja_put_latency_fit_base_seconds"
+	metricFitPerByte            = "ginja_put_latency_fit_per_byte_seconds"
+	metricWALPutSeconds         = "ginja_wal_put_seconds"
 )
+
+// walPutSizeClasses label the size-bucketed WAL PUT latency histogram:
+// each sealed object's PUT duration is observed under its size class, so
+// /metrics exposes latency-vs-size — the same curve the adaptive
+// controller fits online.
+var walPutSizeClasses = [4]string{"lt16k", "lt256k", "lt4m", "ge4m"}
+
+// walPutSizeClass maps a sealed object size to its class index.
+func walPutSizeClass(sealedBytes int) int {
+	switch {
+	case sealedBytes < 16<<10:
+		return 0
+	case sealedBytes < 256<<10:
+		return 1
+	case sealedBytes < 4<<20:
+		return 2
+	default:
+		return 3
+	}
+}
 
 // inflight tracks the cloud requests currently in flight on one
 // (op, path) pair, exported as a gauge sampled at scrape time. A nil
@@ -110,6 +141,13 @@ type pipelineMetrics struct {
 	putsPerBatch    *obs.Histogram // WAL objects (PUTs) minted per batch
 
 	lossWindow *obs.Histogram // realized data-loss window per released update
+
+	putBySize [len(walPutSizeClasses)]*obs.Histogram // PUT latency by sealed-size class
+}
+
+// observeWALPut records one WAL PUT duration under its sealed-size class.
+func (m *pipelineMetrics) observeWALPut(sealedBytes int, d time.Duration) {
+	m.putBySize[walPutSizeClass(sealedBytes)].ObserveDuration(d)
 }
 
 // countBuckets returns power-of-two boundaries suited to small counts
@@ -131,7 +169,14 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 			"Commit-pipeline per-stage latency in seconds (submit → aggregate → seal → upload → ack).",
 			obs.Labels{"stage": name}, nil)
 	}
+	var putBySize [len(walPutSizeClasses)]*obs.Histogram
+	for i, cls := range walPutSizeClasses {
+		putBySize[i] = reg.Histogram(metricWALPutSeconds,
+			"WAL object PUT duration in seconds by sealed-size class — the latency-vs-size curve the adaptive controller fits.",
+			obs.Labels{"size": cls}, nil)
+	}
 	return &pipelineMetrics{
+		putBySize: putBySize,
 		updates:        reg.Counter(metricUpdates, "Intercepted WAL updates (database commits).", nil),
 		batches:        reg.Counter(metricBatches, "Cloud synchronizations performed (paper Table 3 batches).", nil),
 		walObjects:     reg.Counter(metricWALObjects, "WAL objects uploaded (paper Table 3 #PUTs, commit path).", nil),

@@ -276,10 +276,17 @@ func TestPipelineRetryDelayFloorVirtualClock(t *testing.T) {
 	if got := pipe.stats.retries.Load(); got != 3 {
 		t.Fatalf("retries = %d, want 3", got)
 	}
-	// Three failures back off 1+2+4 ms of virtual time before the fourth
-	// attempt succeeds; zero elapsed virtual time would mean the old spin.
-	if elapsed := clk.Since(start); elapsed < 7*time.Millisecond {
-		t.Fatalf("virtual backoff time = %v, want ≥ 7ms (1+2+4 floored)", elapsed)
+	// Three failures back off nominally 1+2+4 ms of virtual time before
+	// the fourth attempt succeeds. With retryJitter scaling each sleep
+	// into [0.5, 1.0)× (and the floor re-applied) the minimum is
+	// 1+1+2 = 4 ms and the maximum stays under 7 ms; zero elapsed virtual
+	// time would mean the old spin.
+	elapsed := clk.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("virtual backoff time = %v, want ≥ 4ms (jittered 1+2+4 floored)", elapsed)
+	}
+	if elapsed >= 7*time.Millisecond {
+		t.Fatalf("virtual backoff time = %v, want < 7ms (jitter must shrink, never stretch)", elapsed)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"github.com/ginja-dr/ginja/internal/cloud"
 	"github.com/ginja-dr/ginja/internal/obs"
 	"github.com/ginja-dr/ginja/internal/simclock"
 )
@@ -93,6 +94,28 @@ type Params struct {
 	// the bucket this often and applies whatever new objects completed.
 	// 0 means DefaultFollowInterval. Only used by NewFollower.
 	FollowInterval time.Duration
+	// AdaptiveBatching replaces the static Batch/BatchTimeout knobs with
+	// an online controller that fits the observed PUT latency-vs-size
+	// curve and continuously re-solves for the (B, TB) minimizing
+	// expected commit latency under CostCeilingPerDay. Batch then serves
+	// as the initial value and BatchTimeout as the worst-case timeout cap;
+	// Safety/SafetyTimeout semantics are unchanged and the effective batch
+	// never exceeds Safety.
+	AdaptiveBatching bool
+	// CostCeilingPerDay is the adaptive controller's spend budget in
+	// dollars per day, evaluated with the costmodel package against the
+	// measured update rate and Prices. 0 means DefaultCostCeilingPerDay
+	// (the paper's $1/month). Only used with AdaptiveBatching.
+	CostCeilingPerDay float64
+	// Prices is the cloud price sheet the controller budgets against.
+	// The zero value means cloud.AmazonS3May2017().
+	Prices cloud.PriceSheet
+	// DisablePipelining makes the uploader seal and PUT each WAL object
+	// in one sequential stage (the pre-pipelining behaviour) instead of
+	// overlapping encode+seal of batch N+1 with the in-flight PUT of
+	// batch N. Exists only for the ablation benchmarks quantifying what
+	// the overlap buys; never enable it in production.
+	DisablePipelining bool
 	// DisableAggregation turns off the coalescing of page rewrites before
 	// upload (one object per intercepted write). Exists only for the
 	// ablation benchmarks quantifying how much aggregation saves; never
@@ -178,6 +201,12 @@ func (p Params) Validate() (Params, error) {
 	if p.FollowInterval == 0 {
 		p.FollowInterval = DefaultFollowInterval
 	}
+	if p.CostCeilingPerDay == 0 {
+		p.CostCeilingPerDay = DefaultCostCeilingPerDay
+	}
+	if p.Prices == (cloud.PriceSheet{}) {
+		p.Prices = cloud.AmazonS3May2017()
+	}
 	if p.Batch < 1 {
 		return p, fmt.Errorf("core: Batch must be ≥ 1, got %d", p.Batch)
 	}
@@ -210,6 +239,9 @@ func (p Params) Validate() (Params, error) {
 	}
 	if p.FollowInterval < 0 {
 		return p, fmt.Errorf("core: FollowInterval must be ≥ 0 (0 = default), got %v", p.FollowInterval)
+	}
+	if p.CostCeilingPerDay < 0 {
+		return p, fmt.Errorf("core: CostCeilingPerDay must be ≥ 0 (0 = default), got %v", p.CostCeilingPerDay)
 	}
 	return p, nil
 }

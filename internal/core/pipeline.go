@@ -33,6 +33,23 @@ type walUpload struct {
 // nothing in steady state.
 var walWritesPool = sync.Pool{New: func() any { return new([]FileWrite) }}
 
+// sealedUpload is one encoded+sealed WAL object crossing from the seal
+// stage to the PUT stage of the pipelined uploader. The sealed buffer is
+// freshly produced by Seal (never pooled, never aliased by the encode
+// scratch), so handing it between goroutines is safe; by the time it is
+// minted the leased write list is already back in walWritesPool.
+type sealedUpload struct {
+	ts      int64
+	batch   int64
+	file    string
+	off     int64
+	name    string
+	sealed  []byte
+	rawLen  int
+	nWrites int
+	t0      time.Time // seal-stage start; zero when nothing is timing
+}
+
 // batchRec tracks one Aggregator batch so the Unlocker can release its
 // updates from the CommitQueue once all its objects are durable, and so
 // the batch's trace span can be closed with end-to-end timings.
@@ -68,8 +85,15 @@ type pipeline struct {
 	params Params
 
 	uploadCh chan walUpload
+	// sealedCh feeds sealed objects from the seal stage to the PUT stage;
+	// nil when DisablePipelining collapses both into one sequential loop.
+	sealedCh chan sealedUpload
 	ackCh    chan int64
 	batchCh  chan batchRec
+
+	// tuner is the adaptive (B, TB) controller; nil unless
+	// Params.AdaptiveBatching.
+	tuner *tuner
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -123,6 +147,12 @@ func newPipeline(view *CloudView, store cloud.ObjectStore, seal *sealer.Sealer, 
 		p.spans = params.Metrics.Spans()
 		p.q.lossHist = p.metrics.lossWindow
 	}
+	if !params.DisablePipelining {
+		p.sealedCh = make(chan sealedUpload, params.Uploaders)
+	}
+	if params.AdaptiveBatching {
+		p.tuner = newTuner(p.q, params, p.stats.updates.Load)
+	}
 	return p
 }
 
@@ -161,23 +191,96 @@ func (p *pipeline) start(initialFrontier int64) {
 		reg.Gauge(metricSafetyTimeout,
 			"Configured Safety timeout TS in seconds: maximum age of a pending update before commits block.",
 			nil).Set(p.params.SafetyTimeout.Seconds())
+		// The effective knobs: what the commit path is actually running —
+		// the controller's live choice under AdaptiveBatching, the
+		// configured statics otherwise — plus the fitted latency curve so
+		// a dashboard can see what the controller sees.
+		reg.GaugeFunc(metricEffectiveBatch,
+			"Effective Batch size B the Aggregator is cutting (adaptive controller's choice, or the configured Batch).",
+			nil, func() float64 {
+				if t := p.tuner; t != nil {
+					return float64(t.snapshot().batch)
+				}
+				return float64(p.params.Batch)
+			})
+		reg.GaugeFunc(metricEffectiveBatchTimeout,
+			"Effective Batch timeout TB in seconds (adaptive controller's choice, or the configured BatchTimeout).",
+			nil, func() float64 {
+				if t := p.tuner; t != nil {
+					return t.snapshot().timeout.Seconds()
+				}
+				return p.params.BatchTimeout.Seconds()
+			})
+		reg.GaugeFunc(metricFitBase,
+			"Fixed-latency intercept of the controller's fitted PUT latency-vs-size curve, in seconds (0 until fitted).",
+			nil, func() float64 {
+				if t := p.tuner; t != nil {
+					return t.snapshot().fitBase
+				}
+				return 0
+			})
+		reg.GaugeFunc(metricFitPerByte,
+			"Per-byte slope of the controller's fitted PUT latency-vs-size curve, in seconds per sealed byte (0 until fitted).",
+			nil, func() float64 {
+				if t := p.tuner; t != nil {
+					return t.snapshot().fitPerByte
+				}
+				return 0
+			})
 	}
-	var uploaderWG sync.WaitGroup
-	for i := 0; i < p.params.Uploaders; i++ {
-		uploaderWG.Add(1)
+	if p.params.DisablePipelining {
+		var uploaderWG sync.WaitGroup
+		for i := 0; i < p.params.Uploaders; i++ {
+			uploaderWG.Add(1)
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				defer uploaderWG.Done()
+				p.uploader()
+			}()
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			defer uploaderWG.Done()
-			p.uploader()
+			uploaderWG.Wait()
+			close(p.ackCh)
+		}()
+	} else {
+		// Two-stage uploader: seal workers encode+seal batch N+1 while the
+		// PUT workers hold batch N's upload in flight. Acks still flow
+		// through the same ackRing/unlocker, so release order (and the
+		// Safety bound) is exactly as in the sequential path.
+		var sealWG, putWG sync.WaitGroup
+		for i := 0; i < p.params.Uploaders; i++ {
+			sealWG.Add(1)
+			putWG.Add(1)
+			p.wg.Add(2)
+			go func() {
+				defer p.wg.Done()
+				defer sealWG.Done()
+				p.sealStage()
+			}()
+			go func() {
+				defer p.wg.Done()
+				defer putWG.Done()
+				p.putStage()
+			}()
+		}
+		p.wg.Add(2)
+		go func() {
+			defer p.wg.Done()
+			sealWG.Wait()
+			close(p.sealedCh)
+		}()
+		go func() {
+			defer p.wg.Done()
+			putWG.Wait()
+			close(p.ackCh)
 		}()
 	}
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		uploaderWG.Wait()
-		close(p.ackCh)
-	}()
+	if p.tuner != nil {
+		p.tuner.start()
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -394,76 +497,147 @@ func (p *pipeline) aggregator() {
 	}
 }
 
-// uploader is one Uploader thread: seal and PUT WAL objects, retrying with
-// exponential backoff, then acknowledge the timestamp. Each uploader keeps
-// a private encode buffer: at high update rates the per-object
+// sealOne encodes and seals one WAL object. Each worker passes its
+// private encode buffer through enc: at high update rates the per-object
 // encode+seal would otherwise be allocation-bound (Seal never retains its
 // input, so reuse across iterations is safe). The leased write list goes
-// back to walWritesPool as soon as the body is encoded.
+// back to walWritesPool as soon as the body is encoded — before any PUT
+// starts — and the sealed buffer Seal returns is fresh, so the result can
+// safely outlive this call in another goroutine.
+func (p *pipeline) sealOne(u walUpload, enc *[]byte) (sealedUpload, bool) {
+	m := p.metrics
+	var t0 time.Time
+	if m != nil || p.trace {
+		t0 = p.clk.Now()
+	}
+	ws := *u.writes
+	first := ws[0]
+	nWrites := len(ws)
+	*enc = EncodeWritesInto((*enc)[:0], ws)
+	*u.writes = ws[:0]
+	walWritesPool.Put(u.writes)
+	sealed, err := p.seal.Seal(*enc)
+	if err != nil {
+		p.fail(fmt.Errorf("core: seal WAL object ts=%d: %w", u.ts, err))
+		return sealedUpload{}, false
+	}
+	if m != nil {
+		m.seal.ObserveDuration(p.clk.Since(t0))
+	}
+	return sealedUpload{
+		ts:      u.ts,
+		batch:   u.batch,
+		file:    first.Path,
+		off:     first.Offset,
+		name:    WALObjectName(u.ts, first.Path, first.Offset),
+		sealed:  sealed,
+		rawLen:  len(*enc),
+		nWrites: nWrites,
+		t0:      t0,
+	}, true
+}
+
+// putSealed uploads one sealed object, records telemetry, feeds the
+// adaptive controller's latency fit and acknowledges the timestamp.
+// Returns false when the pipeline is shutting down or has failed.
+func (p *pipeline) putSealed(su sealedUpload) bool {
+	m := p.metrics
+	var upStart time.Time
+	if m != nil || p.trace || p.tuner != nil {
+		upStart = p.clk.Now()
+	}
+	p.putInflight.enter()
+	err := p.putWithRetry(su.name, su.sealed)
+	p.putInflight.exit()
+	if err != nil {
+		p.fail(fmt.Errorf("core: upload %s: %w", su.name, err))
+		return false
+	}
+	var putDur time.Duration
+	if !upStart.IsZero() {
+		putDur = p.clk.Since(upStart)
+	}
+	if t := p.tuner; t != nil {
+		t.observePut(len(su.sealed), putDur)
+	}
+	p.view.AddWAL(WALObjectInfo{
+		Ts: su.ts, Filename: su.file, Offset: su.off, Size: int64(len(su.sealed)),
+	})
+	p.stats.walObjects.Add(1)
+	p.stats.walBytes.Add(int64(len(su.sealed)))
+	p.stats.rawBytes.Add(int64(su.rawLen))
+	if m != nil {
+		m.upload.ObserveDuration(putDur)
+		m.observeWALPut(len(su.sealed), putDur)
+		m.walObjects.Inc()
+		m.walBytes.Add(float64(len(su.sealed)))
+		m.rawBytes.Add(float64(su.rawLen))
+		m.objectBytes.Observe(float64(len(su.sealed)))
+	}
+	if p.spans != nil {
+		// Seal + PUT (retries included) of one WAL object; ID is the
+		// object timestamp, Extra the sealed bytes shipped. Under the
+		// pipelined uploader the span covers the wait in sealedCh too —
+		// time the object genuinely spent between intercept and durability.
+		p.spans.Record(obs.Span{
+			Name: "wal_put", ID: su.ts, Extra: int64(len(su.sealed)),
+			Start: su.t0, Duration: p.clk.Since(su.t0),
+		})
+	}
+	if p.trace {
+		p.params.logger().Debug("wal object uploaded",
+			"batch", su.batch, "ts", su.ts, "writes", su.nWrites, "bytes", len(su.sealed),
+			"upload_ms", putDur.Milliseconds())
+	}
+	select {
+	case p.ackCh <- su.ts:
+	case <-p.ctx.Done():
+		return false
+	}
+	return true
+}
+
+// uploader is one sequential Uploader thread (the DisablePipelining
+// ablation): seal and PUT each WAL object back to back.
 func (p *pipeline) uploader() {
 	var enc []byte
 	for u := range p.uploadCh {
-		m := p.metrics
-		var t0 time.Time
-		if m != nil || p.trace {
-			t0 = p.clk.Now()
-		}
-		ws := *u.writes
-		first := ws[0]
-		nWrites := len(ws)
-		enc = EncodeWritesInto(enc[:0], ws)
-		*u.writes = ws[:0]
-		walWritesPool.Put(u.writes)
-		payload := enc
-		sealed, err := p.seal.Seal(payload)
-		if err != nil {
-			p.fail(fmt.Errorf("core: seal WAL object ts=%d: %w", u.ts, err))
+		su, ok := p.sealOne(u, &enc)
+		if !ok {
 			return
 		}
-		var upStart time.Time
-		if m != nil || p.trace {
-			upStart = p.clk.Now()
-			if m != nil {
-				m.seal.ObserveDuration(upStart.Sub(t0))
-			}
-		}
-		name := WALObjectName(u.ts, first.Path, first.Offset)
-		p.putInflight.enter()
-		err = p.putWithRetry(name, sealed)
-		p.putInflight.exit()
-		if err != nil {
-			p.fail(fmt.Errorf("core: upload %s: %w", name, err))
+		if !p.putSealed(su) {
 			return
 		}
-		p.view.AddWAL(WALObjectInfo{
-			Ts: u.ts, Filename: first.Path, Offset: first.Offset, Size: int64(len(sealed)),
-		})
-		p.stats.walObjects.Add(1)
-		p.stats.walBytes.Add(int64(len(sealed)))
-		p.stats.rawBytes.Add(int64(len(payload)))
-		if m != nil {
-			m.upload.ObserveDuration(p.clk.Since(upStart))
-			m.walObjects.Inc()
-			m.walBytes.Add(float64(len(sealed)))
-			m.rawBytes.Add(float64(len(payload)))
-			m.objectBytes.Observe(float64(len(sealed)))
-		}
-		if p.spans != nil {
-			// Seal + PUT (retries included) of one WAL object; ID is the
-			// object timestamp, Extra the sealed bytes shipped.
-			p.spans.Record(obs.Span{
-				Name: "wal_put", ID: u.ts, Extra: int64(len(sealed)),
-				Start: t0, Duration: p.clk.Since(t0),
-			})
-		}
-		if p.trace {
-			p.params.logger().Debug("wal object uploaded",
-				"batch", u.batch, "ts", u.ts, "writes", nWrites, "bytes", len(sealed),
-				"upload_ms", p.clk.Since(upStart).Milliseconds())
+	}
+}
+
+// sealStage is the first half of the pipelined uploader: it seals the
+// next object while the PUT stage holds the previous one in flight, so
+// encode+seal CPU time hides under cloud RTT.
+func (p *pipeline) sealStage() {
+	var enc []byte
+	for u := range p.uploadCh {
+		su, ok := p.sealOne(u, &enc)
+		if !ok {
+			return
 		}
 		select {
-		case p.ackCh <- u.ts:
+		case p.sealedCh <- su:
 		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// putStage is the second half of the pipelined uploader. A sealed object
+// that never reaches the ack (crash, outage-failure) is simply absent
+// from the cloud: the unlocker's consecutive-frontier rule already
+// refuses to release anything at or beyond the gap, so a
+// sealed-but-unPUT object can never be acknowledged to the DBMS.
+func (p *pipeline) putStage() {
+	for su := range p.sealedCh {
+		if !p.putSealed(su) {
 			return
 		}
 	}
@@ -474,7 +648,9 @@ func (p *pipeline) uploader() {
 // lose, the backup. The delay is floored at minRetryDelay: a zero
 // RetryBaseDelay (a caller bypassing Validate's defaults) would otherwise
 // stay zero through every doubling and turn the retry loop into a hot
-// spin against a down provider.
+// spin against a down provider. Each sleep is jittered (retryJitter) so
+// the many objects an outage strands don't hammer the recovering store in
+// lockstep waves.
 func (p *pipeline) putWithRetry(name string, data []byte) error {
 	delay := p.params.RetryBaseDelay
 	if delay < minRetryDelay {
@@ -495,7 +671,7 @@ func (p *pipeline) putWithRetry(name string, data []byte) error {
 		if m := p.metrics; m != nil {
 			m.retries.Inc()
 		}
-		if simclock.SleepCtx(p.ctx, p.clk, delay) != nil {
+		if simclock.SleepCtx(p.ctx, p.clk, retryJitter(delay, name, attempt, p.clk.Now())) != nil {
 			return err
 		}
 		if delay < maxRetryDelay {
@@ -629,6 +805,9 @@ func (p *pipeline) fail(err error) {
 	// A failed uploader means the Safety contract can no longer be
 	// honoured: shut the pipeline down so blocked commits surface the
 	// error instead of hanging forever.
+	if p.tuner != nil {
+		p.tuner.close()
+	}
 	p.q.close()
 	p.cancel()
 }
@@ -646,6 +825,9 @@ func (p *pipeline) lastErr() error {
 func (p *pipeline) drainAndStop(timeout time.Duration) error {
 	if p.lastErr() == nil {
 		p.q.drain(timeout)
+	}
+	if p.tuner != nil {
+		p.tuner.close()
 	}
 	p.q.close()
 	p.cancel()

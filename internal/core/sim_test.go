@@ -170,10 +170,10 @@ func TestSimDrainTimesOutVirtually(t *testing.T) {
 }
 
 // TestSimPipelineFatalAfterRetryBudget: with UploadRetries=3 and a
-// 10-second retry backoff, the pipeline must walk the full 10s+10s+fail
-// schedule — 20 virtual seconds — and then go fatal: Stats carry the
-// error and further submits are refused. Under the simulation clock the
-// whole walk takes microseconds.
+// 10-second retry backoff, the pipeline must walk the full
+// 10s+10s+fail schedule (jitter may halve each sleep) and then go
+// fatal: Stats carry the error and further submits are refused. Under
+// the simulation clock the whole walk takes microseconds.
 func TestSimPipelineFatalAfterRetryBudget(t *testing.T) {
 	clk := simclock.NewSim()
 	stopPump := clk.Pump()
@@ -197,8 +197,10 @@ func TestSimPipelineFatalAfterRetryBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitUntil(t, func() bool { return pipe.lastErr() != nil })
-	if elapsed := clk.Since(start); elapsed < 20*time.Second {
-		t.Fatalf("fatal after %v of virtual time, want ≥ 20s (two 10s backoffs)", elapsed)
+	// Two 10-second backoffs, each jitter-scaled into [0.5, 1.0)×: at
+	// least 10 virtual seconds, under 20.
+	if elapsed := clk.Since(start); elapsed < 10*time.Second {
+		t.Fatalf("fatal after %v of virtual time, want ≥ 10s (two jittered 10s backoffs)", elapsed)
 	}
 	if _, err := pipe.submit("pg_xlog/0001", 8192, []byte("y")); err == nil {
 		t.Fatal("submit after fatal pipeline error returned nil")

@@ -23,3 +23,34 @@ func (p Params) clock() simclock.Clock {
 	}
 	return simclock.Real()
 }
+
+// retryJitter scales a backoff delay by a factor in [0.5, 1.0) derived by
+// hashing the object name, the attempt number and the current clock
+// reading. Many objects stranded by one outage therefore spread their
+// retries out instead of thundering at the recovering store in lockstep
+// waves — while staying fully deterministic under a simulation clock,
+// whose readings are seed-reproducible (math/rand would be a second,
+// unseeded source of nondeterminism here). The minRetryDelay floor is
+// re-applied after scaling so the no-busy-spin guarantee survives.
+func retryJitter(d time.Duration, name string, attempt int, now time.Time) time.Duration {
+	// FNV-1a over the name, then a splitmix64-style finalizer mixing in
+	// the attempt and the clock.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt+1) * 0x9E3779B97F4A7C15
+	h ^= uint64(now.UnixNano()) * 0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	f := 0.5 + float64(h>>11)/(1<<53)*0.5
+	j := time.Duration(float64(d) * f)
+	if j < minRetryDelay {
+		return minRetryDelay
+	}
+	return j
+}

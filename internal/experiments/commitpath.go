@@ -37,6 +37,14 @@ type CommitpathOptions struct {
 	Batch int
 	// PayloadBytes sizes each commit's WAL write.
 	PayloadBytes int
+	// AdaptiveCommits sizes the paced adaptive-vs-fixed regime sweep.
+	// The default is divisible by every fixed baseline B so those runs
+	// end on whole batches.
+	AdaptiveCommits int
+	// ThroughputCommits sizes the unpaced adaptive-vs-default gate.
+	ThroughputCommits int
+	// PipelineCommits sizes the real-clock pipelined-uploader ablation.
+	PipelineCommits int
 }
 
 func (o CommitpathOptions) withDefaults() CommitpathOptions {
@@ -48,6 +56,15 @@ func (o CommitpathOptions) withDefaults() CommitpathOptions {
 	}
 	if o.PayloadBytes == 0 {
 		o.PayloadBytes = 256
+	}
+	if o.AdaptiveCommits == 0 {
+		o.AdaptiveCommits = 1664 // 13 batches of 128, 52 of 32, 208 of 8
+	}
+	if o.ThroughputCommits == 0 {
+		o.ThroughputCommits = 16384
+	}
+	if o.PipelineCommits == 0 {
+		o.PipelineCommits = 768
 	}
 	return o
 }
@@ -92,6 +109,13 @@ type CommitpathResult struct {
 	// batch scratch, pooled object write lists), measured with the
 	// runtime's allocation counters against an in-memory store.
 	AllocsPerCommit float64 `json:"allocs_per_commit"`
+	// AdaptiveRegimes is the paced adaptive-vs-fixed sweep across WAN
+	// round-trip and price-ceiling regimes.
+	AdaptiveRegimes []AdaptiveRegime `json:"adaptive_regimes"`
+	// AdaptiveThroughput is the unpaced controller-vs-default gate.
+	AdaptiveThroughput ThroughputGate `json:"adaptive_throughput"`
+	// Pipelined is the two-stage-uploader ablation on the real clock.
+	Pipelined PipelinedAblation `json:"pipelined_ablation"`
 }
 
 // measureCommitpath drives Commits small scattered writes through the
@@ -263,6 +287,15 @@ func RunCommitpath(opts CommitpathOptions) (*CommitpathResult, error) {
 	res.AllocsPerCommit, err = commitAllocProfile(opts)
 	if err != nil {
 		return nil, err
+	}
+	if res.AdaptiveRegimes, err = runAdaptiveRegimes(opts.AdaptiveCommits); err != nil {
+		return nil, fmt.Errorf("adaptive regimes: %w", err)
+	}
+	if res.AdaptiveThroughput, err = runThroughputGate(opts.ThroughputCommits); err != nil {
+		return nil, fmt.Errorf("adaptive throughput gate: %w", err)
+	}
+	if res.Pipelined, err = runPipelinedAblation(opts.PipelineCommits); err != nil {
+		return nil, fmt.Errorf("pipelined ablation: %w", err)
 	}
 	return res, nil
 }

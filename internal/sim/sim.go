@@ -62,6 +62,12 @@ type Config struct {
 	// comparison in the experiments depends on recovery work scaling with
 	// database size while promote scales with lag.
 	FillerRows int
+	// Adaptive runs the primary with the AdaptiveBatching controller: the
+	// effective (B, TB) move during the workload (shrinking TB on think
+	// lulls, re-solving as PUT latency samples arrive), so faults land
+	// while knobs are mid-flight — the schedule's outages and the crash
+	// must still yield a consistent prefix.
+	Adaptive bool
 }
 
 // Result summarises one simulation run.
@@ -226,6 +232,15 @@ func Run(cfg Config) (*Result, error) {
 	params.MaxObjectSize = int64(1024 * (2 + prng.Intn(7))) // 2–8 KiB: dumps split into parts
 	params.CheckpointUploaders = 1 + prng.Intn(5)
 	params.RecoveryFetchers = 1 + prng.Intn(5)
+	if cfg.Adaptive {
+		// Gated behind the flag (and drawing from a third stream) so that
+		// non-adaptive seeds keep their exact workloads. The tight/loose
+		// ceiling split makes some seeds clamp B to Safety and others run
+		// the cost-bound solver, so faults land on both regimes.
+		arng := rand.New(rand.NewSource(sched.Seed ^ 0xada97e))
+		params.AdaptiveBatching = true
+		params.CostCeilingPerDay = []float64{0.25, 1.0, 4.0}[arng.Intn(3)]
+	}
 	res.Batch, res.Safety = params.Batch, params.Safety
 	res.BatchTimeout, res.SafetyTimeout = params.BatchTimeout, params.SafetyTimeout
 	res.UploadRetries = params.UploadRetries

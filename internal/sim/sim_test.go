@@ -366,3 +366,53 @@ func TestRunFillerScalesColdNotWarm(t *testing.T) {
 			warm.RTO, cold.RTO, 600)
 	}
 }
+
+// TestRunAdaptiveOutageDuringShrunkTB: with the adaptive controller on,
+// the workload's think pauses make the tuner shrink the effective batch
+// timeout, so sealed-ahead batches are in flight when the outage opens —
+// and the outage outlives the crash, so those batches die mid-PUT with
+// the knobs mid-flight. The consistent-prefix invariant (checked inside
+// Run) must hold exactly as with fixed knobs.
+func TestRunAdaptiveOutageDuringShrunkTB(t *testing.T) {
+	sched := &Schedule{
+		Seed:           11,
+		Steps:          50,
+		CrashAfterStep: 25,
+		Events: []Event{
+			{At: 100 * time.Millisecond, Kind: OutageStart},
+			{At: 25 * time.Second, Kind: OutageEnd},
+		},
+	}
+	res, err := Run(Config{Seed: 11, Schedule: sched, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive outage run: commits=%d cut=%d flushed=%d blocked=%v retries=%d",
+		res.Commits, res.Cut, res.FlushedUpTo, res.BlockedTime, res.Retries)
+}
+
+// TestRunAdaptiveSeeds: the full seeded fault matrix (generated outage
+// and flaky windows, random crash points) with moving knobs. Every seed
+// must keep the consistent prefix and honour the flushed floor — the
+// controller may retune B and TB but never weakens durability.
+func TestRunAdaptiveSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597, 2584, 4181, 6765, 10946}
+	if testing.Short() {
+		seeds = seeds[:5]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Adaptive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cut < res.FlushedUpTo {
+				t.Fatalf("cut %d < flushed %d", res.Cut, res.FlushedUpTo)
+			}
+			t.Logf("adaptive seed=%d: batch=%d safety=%d commits=%d cut=%d flushed=%d retries=%d",
+				seed, res.Batch, res.Safety, res.Commits, res.Cut, res.FlushedUpTo, res.Retries)
+		})
+	}
+}
