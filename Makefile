@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 COVER_FLOOR_CORE ?= 85
 COVER_FLOOR_OBS  ?= 85
 
-.PHONY: build test vet race verify cover-check fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-recovery bench-recovery-smoke
+.PHONY: build test vet race verify cover-check fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-delta bench-delta-smoke bench-recovery bench-recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,21 @@ bench-data:
 	$(GO) run ./cmd/ginja-benchjson -out BENCH_datapath.json
 
 bench-data-smoke:
+	$(GO) run ./cmd/ginja-benchjson -smoke
+
+# bench-delta regenerates the delta_checkpoint section of
+# BENCH_datapath.json: the same deterministic 1 %-dirty workload run with
+# incremental delta checkpoints and with classic full re-dumps.
+# ginja-benchjson exits non-zero if a delta crossing ships (or reads
+# under the stop-writes gate) more than 15 % of a full re-dump, if
+# recovering through a maximum-length chain costs more than 2x a fresh
+# base, if either recovery is not byte-identical to the primary, or if
+# the streaming memory bound changed. The smoke variant runs inside
+# bench-data-smoke and is therefore part of `make verify`.
+bench-delta:
+	$(GO) run ./cmd/ginja-benchjson -out BENCH_datapath.json
+
+bench-delta-smoke:
 	$(GO) run ./cmd/ginja-benchjson -smoke
 
 # bench-commit measures the commit path before/after WAL batch packing —

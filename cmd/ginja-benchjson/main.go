@@ -84,6 +84,24 @@ func run(args []string) error {
 				"streaming data path regressed: within_bound=%v (peak=%d bound=%d) parts=%d legacy_recovery_ok=%v queue_bytes_after=%d",
 				s.WithinBound, s.PeakStreamBytes, s.BoundBytes, s.DumpParts, s.LegacyRecoveryOK, s.QueueBytesAfter)
 		}
+		d := r.DeltaCheckpoint
+		fmt.Printf("delta ckpt:  %d B delta vs %d B full re-dump (%.1f%%, %d/%d rows dirty); gate %d B vs %d B (%.1f%%)\n",
+			d.DeltaBytes, d.FullRedumpBytes, 100*d.BytesRatio, d.DirtyRows, d.Rows,
+			d.GateBytesDelta, d.GateBytesFull, 100*d.GateRatio)
+		fmt.Printf("             chain(%d) recovery %.1f ms vs base-only %.1f ms (%.2fx); saved %d B; identical=%v\n",
+			d.ChainLen, d.ChainRecoveryMs, d.BaseRecoveryMs, d.RecoveryRatio, d.CheckpointBytesSaved, d.RecoveredIdentical)
+		// The delta checkpoints' contract: a 1 %-dirty crossing ships and
+		// gates a small fraction of a full re-dump, recovering through a
+		// maximum-length chain stays within 2x of a fresh base, the two
+		// formats materialize byte-identical machines, and the streaming
+		// memory bound is unchanged.
+		if d.BytesRatio > 0.15 || d.GateRatio > 0.15 || d.ChainLen < 1 ||
+			d.RecoveryRatio > 2 || !d.RecoveredIdentical || !d.WithinBound {
+			return fmt.Errorf(
+				"delta checkpoints regressed: bytes_ratio=%.3f gate_ratio=%.3f (want <= 0.15) chain_len=%d recovery_ratio=%.2f (want <= 2) identical=%v within_bound=%v (peak=%d bound=%d)",
+				d.BytesRatio, d.GateRatio, d.ChainLen, d.RecoveryRatio,
+				d.RecoveredIdentical, d.WithinBound, d.PeakStreamBytes, d.BoundBytes)
+		}
 		res = r
 	case "recovery":
 		defaultOut = "BENCH_recovery.json"
@@ -139,9 +157,9 @@ func run(args []string) error {
 		opts := experiments.CommitpathOptions{}
 		if *smoke {
 			opts.Commits = 150
-			opts.AdaptiveCommits = 896 // 7 batches of 128, 28 of 32, 112 of 8
+			opts.AdaptiveCommits = 896    // 7 batches of 128, 28 of 32, 112 of 8
 			opts.ThroughputCommits = 8192 // shorter runs don't outlive controller convergence
-			opts.PipelineCommits = 512 // fewer batches would be startup-dominated
+			opts.PipelineCommits = 512    // fewer batches would be startup-dominated
 		}
 		var r *experiments.CommitpathResult
 		if r, err = experiments.RunCommitpath(opts); err != nil {

@@ -62,6 +62,9 @@ type options struct {
 	promote     bool
 	adaptive    bool
 	costCeiling float64
+	deltas      bool
+	deltaChain  int
+	deltaRatio  float64
 
 	// registry is non-nil when -metrics-addr is set; store() and params()
 	// route telemetry through it.
@@ -109,6 +112,12 @@ func run(args []string) error {
 		"retune B and the batch timeout online from measured PUT latency and commit rate (-batch becomes the initial value, -safety the hard cap)")
 	fs.Float64Var(&o.costCeiling, "cost-ceiling", 0,
 		"adaptive only: $/day the retuned knobs may spend on WAL PUTs at S3 prices (0 = the one-dollar-per-month default)")
+	fs.BoolVar(&o.deltas, "deltas", false,
+		"serve dump-threshold crossings with incremental delta checkpoints (dirty pages only) instead of full re-dumps")
+	fs.IntVar(&o.deltaChain, "max-delta-chain", 0,
+		"deltas only: fold the chain into a fresh full dump after this many deltas (0 = default)")
+	fs.Float64Var(&o.deltaRatio, "delta-compact-ratio", 0,
+		"deltas only: fold early once the chain's summed payload exceeds this fraction of the database (0 = default)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -180,6 +189,13 @@ func (o options) params() core.Params {
 	}
 	p.AdaptiveBatching = o.adaptive
 	p.CostCeilingPerDay = o.costCeiling
+	p.DeltaCheckpoints = o.deltas
+	if o.deltaChain > 0 {
+		p.MaxDeltaChain = o.deltaChain
+	}
+	if o.deltaRatio > 0 {
+		p.DeltaCompactRatio = o.deltaRatio
+	}
 	return p
 }
 
@@ -558,6 +574,7 @@ subcommands:
 common flags: -data DIR -cloud DIR|URL -engine postgresql|mysql
               -batch B -safety S -compress -encrypt -password PW
               -adaptive -cost-ceiling $/DAY   retune B/TB online under a spend ceiling
+              -deltas -max-delta-chain N -delta-compact-ratio F   incremental delta checkpoints
               -retain 24h -retain-objects N   point-in-time retention window
               -metrics-addr :9090   serve /metrics /healthz /statusz /tracez`)
 }

@@ -93,6 +93,15 @@ var ErrNoDump = core.ErrNoDump
 // the paper's one-dollar-per-month budget expressed per day.
 const DefaultCostCeilingPerDay = core.DefaultCostCeilingPerDay
 
+// DefaultMaxDeltaChain and DefaultDeltaCompactRatio bound the delta
+// chain when Params.DeltaCheckpoints is on and the knobs are zero: the
+// chain folds into a fresh full dump past this many deltas, or once its
+// summed payload exceeds this fraction of the database.
+const (
+	DefaultMaxDeltaChain     = core.DefaultMaxDeltaChain
+	DefaultDeltaCompactRatio = core.DefaultDeltaCompactRatio
+)
+
 // Version is the release version reported by the ginja_build_info metric.
 const Version = core.Version
 

@@ -16,30 +16,60 @@ import (
 	"github.com/ginja-dr/ginja/internal/vfs"
 )
 
-// dbObject is one finished checkpoint (or dump) awaiting upload. A
-// checkpoint carries its collected writes in memory; a dump carries a
-// part plan whose lazy entries the uploader streams from the local files
-// (gated: database writes are frozen until the plan's reads complete).
+// dbObject is one finished checkpoint, delta or dump awaiting upload. A
+// checkpoint carries its collected writes in memory; dumps and deltas
+// carry a part plan whose lazy entries the uploader streams from the
+// local files (gated: database writes to the planned files are frozen
+// until the plan's reads complete).
 type dbObject struct {
 	ts     int64
 	gen    int
 	typ    DBObjectType
 	writes []FileWrite
 	plan   [][]planEntry
+	// baseTs/baseGen link a Delta object to its chain predecessor.
+	baseTs  int64
+	baseGen int
 	// bufBytes is the in-memory payload this object pins until its upload
 	// finishes (the checkpoint-queue memory-pressure gauge).
 	bufBytes int64
-	gated    bool
+	// savedBytes is what shipping a delta saved over the full re-dump it
+	// replaced (local DB size minus delta payload), counted into
+	// Stats.CheckpointBytesSaved once the delta is durable.
+	savedBytes int64
+	hold       *gateHold
+}
+
+// gateHold is one dump/delta upload's claim on the dump gate: writes to
+// the covered paths block until the plan's local reads complete. A nil
+// paths set covers every path (conservative hold).
+type gateHold struct {
+	paths map[string]struct{}
+}
+
+func (h *gateHold) covers(path string) bool {
+	if h.paths == nil {
+		return true
+	}
+	_, ok := h.paths[path]
+	return ok
 }
 
 // checkpointStats are the checkpoint-path counters.
 type checkpointStats struct {
 	checkpoints atomic.Int64
 	dumps       atomic.Int64
+	deltas      atomic.Int64
 	dbObjects   atomic.Int64 // uploaded parts
 	dbBytes     atomic.Int64 // sealed bytes
 	walDeleted  atomic.Int64
 	dbDeleted   atomic.Int64
+	// bytesSaved is the cumulative payload a delta shipped instead of the
+	// full re-dump the 150 % rule would otherwise have triggered.
+	bytesSaved atomic.Int64
+	// gateBlockedNanos is the cumulative time DBMS writes spent blocked on
+	// the dump gate (only writes actually covered by a hold count).
+	gateBlockedNanos atomic.Int64
 }
 
 // checkpointer implements Algorithm 3: collect the writes of a local
@@ -80,15 +110,34 @@ type checkpointer struct {
 	// upload (Stats.CheckpointBytesBuffered / ginja_checkpoint_queue_bytes).
 	bufBytes atomic.Int64
 
-	// The dump gate: while held (gateN > 0), data-class database writes
-	// block in Ginja.OnBeforeWrite — a streaming dump is reading the
-	// planned file ranges, and the files must not move under it (§5.3:
-	// Ginja stops local DB writes during dump creation). Acquired on the
-	// DBMS thread when a dump is planned, released by the uploader as soon
-	// as the plan's local reads complete (the PUTs may still be running).
-	gateMu sync.Mutex
-	gateN  int
-	gateCh chan struct{}
+	// The dump gate: while a hold is active, database writes to the files
+	// that hold's plan reads lazily block in Ginja.OnBeforeWrite — a
+	// streaming dump or delta is reading the planned ranges, and those
+	// files must not move under it (§5.3: Ginja stops local DB writes
+	// during dump creation). Each hold carries the path set its plan
+	// covers, so writes to files outside any active plan sail through.
+	// Acquired on the DBMS thread when the plan is cut, released by the
+	// uploader as soon as the plan's local reads complete (the PUTs may
+	// still be running).
+	gateMu    sync.Mutex
+	gateHolds map[*gateHold]struct{}
+	gateCh    chan struct{}
+
+	// dirty tracks the byte ranges dirtied per file since the last chain
+	// element (dump or delta); nil unless Params.DeltaCheckpoints.
+	dirty *dirtyMap
+
+	// The delta chain this process is extending: tip identity, length and
+	// summed payload since the base dump. chainValid means the tip was
+	// planned by THIS process while the dirty map was live — a rebooted
+	// process starts invalid (its dirty map missed whatever the previous
+	// incarnation wrote) and re-validates with its first full dump.
+	chainMu     sync.Mutex
+	chainValid  bool
+	chainTipTs  int64
+	chainTipGen int
+	chainLen    int
+	chainBytes  int64
 
 	stats       checkpointStats
 	metrics     *checkpointMetrics
@@ -146,10 +195,14 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 		genAlloc:    make(map[int64]int),
 		walRetired:  make(map[int64]retiredObject),
 		dbRetired:   make(map[dbKey]retiredObject),
+		gateHolds:   make(map[*gateHold]struct{}),
 		queue:       make(chan dbObject, 4),
 		ctx:         ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
+	}
+	if params.DeltaCheckpoints {
+		c.dirty = newDirtyMap()
 	}
 	c.uploader = newPartUploader(localFS, seal, params, tracker, c.putWithRetry)
 	c.uploader.putInflight = c.putInflight
@@ -160,40 +213,66 @@ func newCheckpointer(localFS vfs.FS, proc dbevent.Processor, view *CloudView,
 	return c
 }
 
-// acquireGate freezes data-class database writes (one hold per streaming
-// dump; holds nest if a second dump is planned before the first one's
-// reads finish).
-func (c *checkpointer) acquireGate() {
+// acquireGate freezes database writes to the given path set (nil freezes
+// everything) and returns the hold; holds nest if a second plan is cut
+// before the first one's reads finish.
+func (c *checkpointer) acquireGate(paths map[string]struct{}) *gateHold {
+	h := &gateHold{paths: paths}
 	c.gateMu.Lock()
-	c.gateN++
+	c.gateHolds[h] = struct{}{}
 	if c.gateCh == nil {
 		c.gateCh = make(chan struct{})
 	}
 	c.gateMu.Unlock()
+	return h
 }
 
-// releaseGate drops one hold; the last release reopens the gate.
-func (c *checkpointer) releaseGate() {
+// releaseGate drops one hold; every release wakes the blocked writers so
+// they can re-evaluate which holds still cover them.
+func (c *checkpointer) releaseGate(h *gateHold) {
 	c.gateMu.Lock()
-	c.gateN--
-	if c.gateN == 0 && c.gateCh != nil {
+	delete(c.gateHolds, h)
+	if c.gateCh != nil {
 		close(c.gateCh)
 		c.gateCh = nil
 	}
 	c.gateMu.Unlock()
 }
 
-// waitGate blocks the calling (DBMS) thread while the gate is held. A
+// waitGate blocks the calling (DBMS) thread while any active hold covers
+// path, and records the blocked time when it actually blocked. A
 // cancelled checkpointer (shutdown or fatal replication error) never
 // blocks writers: the database keeps running locally even when
 // replication is gone.
-func (c *checkpointer) waitGate() {
+func (c *checkpointer) waitGate(path string) {
+	var blockedFrom time.Time
 	for {
 		c.gateMu.Lock()
+		covered := false
+		for h := range c.gateHolds {
+			if h.covers(path) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			c.gateMu.Unlock()
+			if !blockedFrom.IsZero() {
+				d := c.clk.Since(blockedFrom)
+				c.stats.gateBlockedNanos.Add(int64(d))
+				if c.metrics != nil {
+					c.metrics.gateBlocked.ObserveDuration(d)
+				}
+			}
+			return
+		}
+		if c.gateCh == nil {
+			c.gateCh = make(chan struct{})
+		}
 		ch := c.gateCh
 		c.gateMu.Unlock()
-		if ch == nil {
-			return
+		if blockedFrom.IsZero() {
+			blockedFrom = c.clk.Now()
 		}
 		select {
 		case <-ch:
@@ -211,6 +290,11 @@ func (c *checkpointer) start() {
 		reg.GaugeFunc(metricCkptQueueBytes,
 			"In-memory payload bytes collected or queued on the checkpoint path (memory pressure while blocked on uploads).",
 			nil, func() float64 { return float64(c.bufBytes.Load()) })
+		if c.params.DeltaCheckpoints {
+			reg.GaugeFunc(metricDeltaChainLen,
+				"Length of the current delta chain (deltas since the last full base dump).",
+				nil, func() float64 { return float64(c.deltaChainLen()) })
+		}
 	}
 	go func() {
 		defer close(c.done)
@@ -304,6 +388,16 @@ func (c *checkpointer) appendWriteLocked(ev dbevent.Event) {
 	copy(data, ev.Data)
 	c.writes = append(c.writes, FileWrite{Path: ev.Path, Offset: ev.Offset, Data: data})
 	c.bufBytes.Add(int64(len(data)))
+	// Every collected write also dirties its page range: the dirty map is
+	// fed here — off the commit hot path — so the next delta covers every
+	// byte the superseded checkpoints carried.
+	c.dirty.markWrite(ev.Path, ev.Offset, int64(len(ev.Data)))
+}
+
+// handleTruncate records a truncate of a replicated file: byte ranges
+// cannot express a shrink, so the next delta recaptures the file whole.
+func (c *checkpointer) handleTruncate(path string) {
+	c.dirty.markWhole(path)
 }
 
 // finalizeLocked closes the collection, decides dump vs incremental
@@ -331,25 +425,24 @@ func (c *checkpointer) finalizeLocked() {
 		return
 	}
 	if float64(c.view.TotalDBSize()+estimateSize(writes)) >= c.params.DumpThreshold*float64(localSize) {
-		// Plan the dump synchronously: no database-file write can race us
-		// here because the DBMS is still inside its checkpoint-end write.
-		// The plan holds only file ranges plus the eagerly-read extras —
-		// the file bytes stream at upload time, under the dump gate (§5.3:
-		// Ginja stops local DB writes during dump creation). The collected
-		// checkpoint writes are dropped: the dump re-reads the data files
-		// they already landed in.
+		// Plan the next chain element synchronously: no database-file write
+		// can race us here because the DBMS is still inside its
+		// checkpoint-end write. The plan holds only file ranges plus the
+		// eagerly-read extras — the file bytes stream at upload time, under
+		// the dump gate (§5.3: Ginja stops local DB writes during dump
+		// creation). The collected checkpoint writes are dropped: the dump
+		// (or delta) re-reads the data ranges they already landed in.
 		buildStart := c.clk.Now()
-		plan, err := planDump(c.localFS, c.proc, partBudget(c.params.MaxObjectSize))
+		chainObj, err := c.planChainElement(c.tsAtBegin, gen, localSize)
 		if err != nil {
 			c.bufBytes.Add(-rawBytes)
-			c.fail(fmt.Errorf("core: planning dump: %w", err))
+			c.fail(fmt.Errorf("core: planning %s: %w", chainObj.typ, err))
 			return
 		}
 		if c.metrics != nil {
 			c.metrics.build.ObserveDuration(c.clk.Since(buildStart))
 		}
-		obj = dbObject{ts: c.tsAtBegin, gen: gen, typ: Dump, plan: plan, bufBytes: planInMemBytes(plan), gated: true}
-		c.acquireGate()
+		obj = chainObj
 	}
 	c.bufBytes.Add(obj.bufBytes - rawBytes)
 	select {
@@ -357,10 +450,96 @@ func (c *checkpointer) finalizeLocked() {
 		c.noteEnqueued()
 	case <-c.ctx.Done():
 		c.bufBytes.Add(-obj.bufBytes)
-		if obj.gated {
-			c.releaseGate()
+		if obj.hold != nil {
+			c.releaseGate(obj.hold)
 		}
 	}
+}
+
+// planChainElement serves one DumpThreshold crossing: a delta when the
+// chain can safely absorb one more element, a full dump otherwise. The
+// fold decision (Algorithm 3 line 9's re-dump, bounded BtrLog-style): a
+// full dump is emitted when there is no live chain this process owns,
+// when the chain would exceed MaxDeltaChain elements, or when its summed
+// payload plus this delta would exceed DeltaCompactRatio of the local
+// database size. Either way the dirty epoch resets — the new element
+// covers everything recorded so far.
+func (c *checkpointer) planChainElement(ts int64, gen int, localSize int64) (dbObject, error) {
+	budget := partBudget(c.params.MaxObjectSize)
+	if c.dirty != nil {
+		c.chainMu.Lock()
+		valid, tipTs, tipGen := c.chainValid, c.chainTipTs, c.chainTipGen
+		chainLen, chainBytes := c.chainLen, c.chainBytes
+		c.chainMu.Unlock()
+		if valid && chainLen+1 <= c.params.MaxDeltaChain {
+			plan, err := planDelta(c.localFS, c.proc, c.dirty.snapshotAndReset(), budget)
+			if err != nil {
+				return dbObject{typ: Delta}, err
+			}
+			deltaBytes := planPayloadBytes(plan)
+			if float64(chainBytes+deltaBytes) <= c.params.DeltaCompactRatio*float64(localSize) {
+				obj := dbObject{ts: ts, gen: gen, typ: Delta, plan: plan,
+					baseTs: tipTs, baseGen: tipGen,
+					bufBytes: planInMemBytes(plan), savedBytes: localSize - deltaBytes}
+				if obj.savedBytes < 0 {
+					obj.savedBytes = 0
+				}
+				obj.hold = c.acquireGate(planLazyPaths(plan))
+				c.chainMu.Lock()
+				c.chainTipTs, c.chainTipGen = ts, gen
+				c.chainLen++
+				c.chainBytes += deltaBytes
+				c.chainMu.Unlock()
+				return obj, nil
+			}
+			// The chain would outgrow the compact ratio: fold. The consumed
+			// dirty epoch is covered by the full dump below.
+		}
+	}
+	plan, err := planDump(c.localFS, c.proc, budget)
+	if err != nil {
+		return dbObject{typ: Dump}, err
+	}
+	if c.dirty != nil {
+		c.dirty.snapshotAndReset()
+	}
+	obj := dbObject{ts: ts, gen: gen, typ: Dump, plan: plan, bufBytes: planInMemBytes(plan)}
+	obj.hold = c.acquireGate(planLazyPaths(plan))
+	c.chainMu.Lock()
+	c.chainValid = c.dirty != nil
+	c.chainTipTs, c.chainTipGen = ts, gen
+	c.chainLen, c.chainBytes = 0, 0
+	c.chainMu.Unlock()
+	return obj, nil
+}
+
+// noteChainBase seeds the delta chain with a base dump uploaded outside
+// the checkpointer's queue (Boot's ts-0 dump). The dirty map is empty at
+// boot and sees every write from then on, so the first threshold
+// crossing may already be served by a delta. A rebooted or recovered
+// process must NOT seed from the cloud view: its dirty map missed
+// whatever the previous incarnation wrote after the last chain element,
+// so its first crossing emits a full dump instead.
+func (c *checkpointer) noteChainBase(ts int64, gen int) {
+	if c.dirty == nil {
+		return
+	}
+	c.chainMu.Lock()
+	c.chainValid = true
+	c.chainTipTs, c.chainTipGen = ts, gen
+	c.chainLen, c.chainBytes = 0, 0
+	c.chainMu.Unlock()
+}
+
+// deltaChainLen reports the current chain length (deltas since the base
+// dump) for Stats and the gauge.
+func (c *checkpointer) deltaChainLen() int {
+	c.chainMu.Lock()
+	defer c.chainMu.Unlock()
+	if !c.chainValid {
+		return 0
+	}
+	return c.chainLen
 }
 
 // localDBSize sums the sizes of all data-class files (the "local DB size"
@@ -400,8 +579,8 @@ func (c *checkpointer) upload(obj dbObject) error {
 	defer c.bufBytes.Add(-obj.bufBytes)
 	var gateOnce sync.Once
 	release := func() {
-		if obj.gated {
-			gateOnce.Do(c.releaseGate)
+		if obj.hold != nil {
+			gateOnce.Do(func() { c.releaseGate(obj.hold) })
 		}
 	}
 	defer release()
@@ -410,7 +589,9 @@ func (c *checkpointer) upload(obj dbObject) error {
 	if parts == nil {
 		parts = planParts(entriesFromWrites(obj.writes), partBudget(c.params.MaxObjectSize))
 	}
-	sizes, err := c.uploader.upload(c.ctx, obj.ts, obj.gen, obj.typ, parts, release)
+	ident := DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ,
+		BaseTs: obj.baseTs, BaseGen: obj.baseGen}
+	sizes, err := c.uploader.upload(c.ctx, ident, parts, release)
 	if err != nil {
 		return err
 	}
@@ -427,7 +608,8 @@ func (c *checkpointer) upload(obj dbObject) error {
 		c.metrics.dbObjects.Add(float64(len(parts)))
 		c.metrics.dbBytes.Add(float64(size))
 	}
-	info := DBObjectInfo{Ts: obj.ts, Gen: obj.gen, Type: obj.typ, Size: size}
+	info := ident
+	info.Size = size
 	if len(parts) > 1 {
 		info.Parts = len(parts)
 		info.PartSizes = sizes
@@ -443,17 +625,28 @@ func (c *checkpointer) upload(obj dbObject) error {
 		delete(c.genAlloc, obj.ts)
 	}
 	c.genMu.Unlock()
-	if obj.typ == Dump {
+	switch obj.typ {
+	case Dump:
 		c.stats.dumps.Add(1)
-	} else {
+	case Delta:
+		c.stats.deltas.Add(1)
+		c.stats.bytesSaved.Add(obj.savedBytes)
+	default:
 		c.stats.checkpoints.Add(1)
 	}
 	if c.metrics != nil {
-		if obj.typ == Dump {
+		switch obj.typ {
+		case Dump:
 			c.metrics.dumps.Inc()
+			c.metrics.baseBytes.Add(float64(size))
 			c.metrics.uploadDump.ObserveDuration(c.clk.Since(uploadStart))
-		} else {
+		case Delta:
+			c.metrics.deltas.Inc()
+			c.metrics.deltaBytes.Add(float64(size))
+			c.metrics.uploadDelta.ObserveDuration(c.clk.Since(uploadStart))
+		default:
 			c.metrics.checkpoints.Inc()
+			c.metrics.ckptBytes.Add(float64(size))
 			c.metrics.uploadCkpt.ObserveDuration(c.clk.Since(uploadStart))
 		}
 	}
@@ -514,6 +707,11 @@ func (c *checkpointer) upload(obj dbObject) error {
 	}
 	if obj.typ == Dump {
 		if err := c.collectOldDBObjects(); err != nil {
+			return err
+		}
+	}
+	if obj.typ == Delta {
+		if err := c.collectSupersededCheckpoints(obj); err != nil {
 			return err
 		}
 	}
@@ -620,6 +818,72 @@ func (c *checkpointer) collectOldDBObjects() error {
 	if err == nil && len(orphans) > 0 {
 		c.params.logger().Info("garbage-collected orphan DB parts",
 			"count", len(orphans))
+	}
+	return err
+}
+
+// collectSupersededCheckpoints deletes (or retires, under a retention
+// window) the incremental Checkpoint objects a freshly durable delta
+// supersedes: every Checkpoint strictly between the delta's base and the
+// delta itself. The delta recaptured every range those checkpoints
+// dirtied (the dirty map is fed from the same collected writes), so they
+// add nothing to recovery once the delta is durable — and removing them
+// is what keeps the chain self-describing for LoadFromList, which never
+// needs intervening checkpoints to materialize a chain.
+func (c *checkpointer) collectSupersededCheckpoints(obj dbObject) error {
+	base := DBObjectInfo{Ts: obj.baseTs, Gen: obj.baseGen}
+	self := DBObjectInfo{Ts: obj.ts, Gen: obj.gen}
+	type dbVictim struct {
+		d         DBObjectInfo
+		remaining atomic.Int64
+	}
+	var (
+		names  []string
+		owners []*dbVictim
+	)
+	for _, d := range c.view.DBObjects() {
+		if d.Type != Checkpoint || !base.Before(d) || !d.Before(self) {
+			continue
+		}
+		if c.params.RetainFor > 0 {
+			now := c.clk.Now()
+			c.retMu.Lock()
+			k := dbKey{ts: d.Ts, gen: d.Gen}
+			if _, ok := c.dbRetired[k]; !ok {
+				c.dbRetired[k] = retiredObject{db: d, at: now}
+			}
+			c.retMu.Unlock()
+			c.view.MarkDBRetired(d.Ts, d.Gen)
+			continue
+		}
+		v := &dbVictim{d: d}
+		pn := d.PartNames()
+		v.remaining.Store(int64(len(pn)))
+		for _, name := range pn {
+			names = append(names, name)
+			owners = append(owners, v)
+		}
+	}
+	err := runLimited(c.ctx, c.params.CheckpointUploaders, len(names), func(ctx context.Context, i int) error {
+		c.delInflight.enter()
+		err := c.deleteObject(ctx, names[i])
+		c.delInflight.exit()
+		if err != nil {
+			return err
+		}
+		v := owners[i]
+		if v.remaining.Add(-1) == 0 {
+			c.view.DeleteDB(v.d.Ts, v.d.Gen)
+			c.stats.dbDeleted.Add(1)
+			if c.metrics != nil {
+				c.metrics.dbDeleted.Inc()
+			}
+		}
+		return nil
+	})
+	if err == nil && len(owners) > 0 {
+		c.params.logger().Debug("garbage-collected superseded checkpoints",
+			"delta_ts", obj.ts, "delta_gen", obj.gen)
 	}
 	return err
 }

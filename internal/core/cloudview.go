@@ -34,6 +34,12 @@ type DBObjectInfo struct {
 	// (len == Parts); nil for unsplit objects and legacy whole-sealed
 	// splits, whose part names carry the total size instead.
 	PartSizes []int64
+	// BaseTs/BaseGen identify the chain predecessor of a Delta object
+	// (meaningful only when Type is Delta). The base is part of the
+	// object's identity: parts naming different bases can never merge into
+	// one record.
+	BaseTs  int64
+	BaseGen int
 }
 
 // PartSealed reports whether this object uses the part-sealed format
@@ -48,10 +54,18 @@ func (d DBObjectInfo) Before(o DBObjectInfo) bool {
 	return d.Gen < o.Gen
 }
 
+// name builds the DBName for one part (or the unsplit whole) of this
+// object, carrying the base linkage when the object is a delta.
+func (d DBObjectInfo) name(size int64, part int, sealed bool, count int) DBName {
+	return DBName{Ts: d.Ts, Gen: d.Gen, Type: d.Type, Size: size,
+		Part: part, Sealed: sealed, Count: count,
+		BaseTs: d.BaseTs, BaseGen: d.BaseGen, HasBase: d.Type == Delta}
+}
+
 // PartNames returns the cloud keys holding this object's payload, in order.
 func (d DBObjectInfo) PartNames() []string {
 	if d.Parts == 0 {
-		return []string{DBObjectName(d.Ts, d.Gen, d.Type, d.Size, -1)}
+		return []string{d.name(d.Size, -1, false, 0).String()}
 	}
 	names := make([]string, d.Parts)
 	if d.PartSealed() {
@@ -60,12 +74,12 @@ func (d DBObjectInfo) PartNames() []string {
 			if i == d.Parts-1 {
 				count = d.Parts
 			}
-			names[i] = DBPartName(d.Ts, d.Gen, d.Type, d.PartSizes[i], i, count)
+			names[i] = d.name(d.PartSizes[i], i, true, count).String()
 		}
 		return names
 	}
 	for i := range names {
-		names[i] = DBObjectName(d.Ts, d.Gen, d.Type, d.Size, i)
+		names[i] = d.name(d.Size, i, false, 0).String()
 	}
 	return names
 }
@@ -185,10 +199,12 @@ func (v *CloudView) AddDB(info DBObjectInfo) error {
 	defer v.mu.Unlock()
 	key := dbKey{ts: info.Ts, gen: info.Gen}
 	if existing, ok := v.db[key]; ok {
-		if existing.Size != info.Size || existing.Type != info.Type {
+		if existing.Size != info.Size || existing.Type != info.Type ||
+			existing.BaseTs != info.BaseTs || existing.BaseGen != info.BaseGen {
 			return fmt.Errorf(
-				"core: conflicting DB objects at ts=%d gen=%d: have %s size=%d, got %s size=%d",
-				info.Ts, info.Gen, existing.Type, existing.Size, info.Type, info.Size)
+				"core: conflicting DB objects at ts=%d gen=%d: have %s size=%d base=%d-%d, got %s size=%d base=%d-%d",
+				info.Ts, info.Gen, existing.Type, existing.Size, existing.BaseTs, existing.BaseGen,
+				info.Type, info.Size, info.BaseTs, info.BaseGen)
 		}
 		if info.Parts > existing.Parts {
 			existing.Parts = info.Parts
@@ -334,6 +350,14 @@ func (v *CloudView) DropOrphan(name string) {
 // recovery must not either): their parts are recorded as orphans so that
 // NextDBGen never re-issues their generation and the next dump's garbage
 // collection deletes them from the bucket (checkpointer.collectOldDBObjects).
+//
+// Delta objects face one more gate after part-completeness: the chain
+// rule. A delta enters the view only if its ".b" back-pointers resolve —
+// through complete, strictly older deltas — to a complete dump. A broken
+// chain can only be the residue of garbage collection that ran after a
+// newer fold dump became durable (the delta's uploader deletes nothing
+// until its own object is complete), so orphaning the stranded deltas is
+// always safe: the fold dump already carries their state.
 func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.mu.Lock()
 	v.wal = make(map[int64]WALObjectInfo, len(infos))
@@ -346,9 +370,12 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	v.mu.Unlock()
 
 	type sizedKey struct {
-		ts   int64
-		gen  int
-		size int64
+		ts      int64
+		gen     int
+		size    int64
+		baseTs  int64
+		baseGen int
+		hasBase bool
 	}
 	type dbGroup struct {
 		typ DBObjectType
@@ -372,7 +399,10 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 	}
 	type sealedGroup struct {
 		typ     DBObjectType
-		invalid bool // mixed types or duplicate indices: never complete
+		baseTs  int64
+		baseGen int
+		hasBase bool
+		invalid bool // mixed types/bases or duplicate indices: never complete
 		parts   map[int]sealedPart
 		names   []string // every listed name in the group, for orphaning
 	}
@@ -399,12 +429,14 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 				k := dbKey{ts: n.Ts, gen: n.Gen}
 				g := sealedGroups[k]
 				if g == nil {
-					g = &sealedGroup{typ: n.Type, parts: make(map[int]sealedPart)}
+					g = &sealedGroup{typ: n.Type, baseTs: n.BaseTs, baseGen: n.BaseGen,
+						hasBase: n.HasBase, parts: make(map[int]sealedPart)}
 					sealedGroups[k] = g
 					sealedOrder = append(sealedOrder, k)
 				}
 				g.names = append(g.names, info.Name)
-				if n.Type != g.typ {
+				if n.Type != g.typ || n.HasBase != g.hasBase ||
+					n.BaseTs != g.baseTs || n.BaseGen != g.baseGen {
 					g.invalid = true
 				}
 				if _, dup := g.parts[n.Part]; dup {
@@ -415,7 +447,8 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 				}
 				continue
 			}
-			k := sizedKey{ts: n.Ts, gen: n.Gen, size: n.Size}
+			k := sizedKey{ts: n.Ts, gen: n.Gen, size: n.Size,
+				baseTs: n.BaseTs, baseGen: n.BaseGen, hasBase: n.HasBase}
 			g := groups[k]
 			if g == nil {
 				g = &dbGroup{typ: n.Type, maxPart: -1}
@@ -456,22 +489,32 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 		}
 		v.mu.Unlock()
 	}
+	// Part-complete objects are collected as candidates first: deltas must
+	// additionally pass the chain rule below before entering the view, and
+	// a failing delta's parts must be orphanable as a unit.
+	type candidate struct {
+		info  DBObjectInfo
+		names []string
+	}
+	var cands []candidate
 	for _, k := range order {
 		g := groups[k]
 		// Completeness: an unsplit object is complete when its stored
 		// bytes match its declared size; a split set is complete when its
 		// parts sum to the declared size (parts of one upload are disjoint
 		// chunks of exactly that many bytes, so any missing or truncated
-		// part falls short). Whichever form is complete enters the view;
-		// everything else in the group becomes an orphan.
-		var complete *DBObjectInfo
+		// part falls short). Whichever form is complete becomes a
+		// candidate; everything else in the group becomes an orphan.
+		info := DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size,
+			BaseTs: k.baseTs, BaseGen: k.baseGen}
 		var orphanNames []string
 		switch {
 		case g.unsplitName != "" && g.unsplitBytes == k.size:
-			complete = &DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: 0}
+			cands = append(cands, candidate{info: info, names: []string{g.unsplitName}})
 			orphanNames = g.splitNames
 		case g.maxPart >= 0 && g.splitBytes == k.size:
-			complete = &DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: g.maxPart + 1}
+			info.Parts = g.maxPart + 1
+			cands = append(cands, candidate{info: info, names: g.splitNames})
 			if g.unsplitName != "" {
 				orphanNames = []string{g.unsplitName}
 			}
@@ -479,11 +522,6 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 			orphanNames = g.splitNames
 			if g.unsplitName != "" {
 				orphanNames = append(orphanNames, g.unsplitName)
-			}
-		}
-		if complete != nil {
-			if err := v.AddDB(*complete); err != nil {
-				return err
 			}
 		}
 		recordOrphans(k.ts, k.gen, orphanNames)
@@ -523,10 +561,56 @@ func (v *CloudView) LoadFromList(infos []cloud.ObjectInfo) error {
 			recordOrphans(k.ts, k.gen, g.names)
 			continue
 		}
-		err := v.AddDB(DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ,
-			Size: total, Parts: count, PartSizes: sizes})
-		if err != nil {
-			return err
+		cands = append(cands, candidate{
+			info: DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ,
+				Size: total, Parts: count, PartSizes: sizes,
+				BaseTs: g.baseTs, BaseGen: g.baseGen},
+			names: g.names,
+		})
+	}
+	// The chain rule: a delta is usable only if its back-pointer resolves
+	// to another candidate — a strictly older delta or a dump — and so on
+	// until a dump roots the chain. Stranded deltas (base missing,
+	// incomplete, newer, or of the wrong type) are orphaned whole; the
+	// strictly-older requirement also makes pointer loops impossible.
+	byKey := make(map[dbKey]*candidate, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		k := dbKey{ts: c.info.Ts, gen: c.info.Gen}
+		if byKey[k] == nil {
+			byKey[k] = c
+		}
+	}
+	chainState := make(map[dbKey]int, len(cands)) // 1 rooted, 2 broken
+	var rooted func(c *candidate) bool
+	rooted = func(c *candidate) bool {
+		if c.info.Type != Delta {
+			return true
+		}
+		k := dbKey{ts: c.info.Ts, gen: c.info.Gen}
+		if s := chainState[k]; s != 0 {
+			return s == 1
+		}
+		base := byKey[dbKey{ts: c.info.BaseTs, gen: c.info.BaseGen}]
+		ok := base != nil &&
+			(base.info.Type == Dump || base.info.Type == Delta) &&
+			base.info.Before(c.info) &&
+			rooted(base)
+		if ok {
+			chainState[k] = 1
+		} else {
+			chainState[k] = 2
+		}
+		return ok
+	}
+	for i := range cands {
+		c := &cands[i]
+		if rooted(c) {
+			if err := v.AddDB(c.info); err != nil {
+				return err
+			}
+		} else {
+			recordOrphans(c.info.Ts, c.info.Gen, c.names)
 		}
 	}
 	return nil

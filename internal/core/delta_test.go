@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// deltaParams tunes the checkpointer so a small test workload actually
+// exercises delta chains: per-commit WAL objects (exact recovery points),
+// no compression and a near-1 DumpThreshold so cloud WAL bytes cross the
+// re-dump rule every few commits, and a short MaxDeltaChain so the run
+// also folds chains back into full dumps.
+func deltaParams(deltas bool) Params {
+	p := pitrParams()
+	p.Compress = false
+	p.DumpThreshold = 1.0
+	if deltas {
+		p.DeltaCheckpoints = true
+		p.MaxDeltaChain = 4
+	}
+	return p
+}
+
+// deltaOp is one step of the deterministic workload shared by the paired
+// delta/full runs in the chain-prefix property.
+type deltaOp struct {
+	key, val string
+	del      bool
+	ckpt     bool // checkpoint + settle after this commit
+}
+
+// deltaWorkload derives the op sequence from the seed alone so two
+// instances can execute byte-identical histories: a bulk fill that forms
+// a mostly-clean base, then rounds of small updates (the ~1 % dirty
+// pattern deltas exist for) with periodic checkpoints to surface them.
+func deltaWorkload(seed int64) []deltaOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []deltaOp
+	for i := 0; i < 32; i++ {
+		ops = append(ops, deltaOp{
+			key:  fmt.Sprintf("bulk-%02d", i),
+			val:  fmt.Sprintf("fill-%d-%d", i, rng.Intn(1000)),
+			ckpt: i == 31,
+		})
+	}
+	hot := []string{"hot-a", "hot-b", "hot-c"}
+	steps := 56 + rng.Intn(8)
+	for step := 0; step < steps; step++ {
+		// Alternate a hot key with a random bulk row so each checkpoint
+		// dirties a few distinct pages — enough cloud DB bytes to cross
+		// the re-dump rule repeatedly without rewriting the whole base.
+		key := hot[rng.Intn(len(hot))]
+		if step%2 == 1 {
+			key = fmt.Sprintf("bulk-%02d", rng.Intn(32))
+		}
+		op := deltaOp{key: key, ckpt: step%2 == 1}
+		if rng.Intn(6) == 0 {
+			op.del = true
+		} else {
+			op.val = fmt.Sprintf("s%d-v%d", step, rng.Intn(1000))
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// deltaRunResult is one instance's history: the store its objects live
+// in, plus a recovery point (WAL frontier ts + expected logical state)
+// recorded after every committed op.
+type deltaRunResult struct {
+	store *cloud.MemStore
+	ts    []int64
+	snaps []map[string]string
+}
+
+func runDeltaHistory(t *testing.T, ops []deltaOp, deltas bool) *deltaRunResult {
+	t.Helper()
+	params := deltaParams(deltas)
+	store := cloud.NewMemStore()
+	g, err := New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kv", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := &deltaRunResult{store: store}
+	cur := map[string]string{}
+	for _, op := range ops {
+		if op.del {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Delete("kv", []byte(op.key))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			delete(cur, op.key)
+		} else {
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(op.key), []byte(op.val))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cur[op.key] = op.val
+		}
+		if !g.Flush(5 * time.Second) {
+			t.Fatal("flush")
+		}
+		snap := make(map[string]string, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		res.ts = append(res.ts, g.view.LastWALTs())
+		res.snaps = append(res.snaps, snap)
+		if op.ckpt {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if !g.SyncCheckpoints(5 * time.Second) {
+				t.Fatal("checkpoint settle")
+			}
+		}
+	}
+	if deltas {
+		st := g.Stats()
+		if st.Deltas == 0 {
+			t.Fatalf("workload shipped no delta checkpoints (stats %+v) — property not exercised", st)
+		}
+		if st.Dumps < 2 {
+			t.Fatalf("workload never folded a chain into a fresh base (dumps=%d)", st.Dumps)
+		}
+	}
+	return res
+}
+
+// readTree flattens a recovered FS into path → contents for byte
+// comparison.
+func readTree(t *testing.T, fsys vfs.FS) map[string][]byte {
+	t.Helper()
+	paths, err := vfs.Walk(fsys, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		f, err := fsys.OpenFile(p, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, size)
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		f.Close()
+		tree[p] = buf
+	}
+	return tree
+}
+
+// TestDeltaHotPathAllocs pins the cost delta checkpoints add to the
+// write hot path at zero: the WAL commit path exits OnBeforeWrite at the
+// kind filter, a data write through an open gate is one mutex-guarded
+// map check, and re-dirtying an already-tracked page coalesces into the
+// existing range without allocating.
+func TestDeltaHotPathAllocs(t *testing.T) {
+	g, err := New(vfs.NewMemFS(), cloud.NewMemStore(), dbevent.NewPGProcessor(), deltaParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if n := testing.AllocsPerRun(200, func() {
+		g.OnBeforeWrite("pg_xlog/000000010000000000000001", 0, nil)
+	}); n != 0 {
+		t.Fatalf("WAL OnBeforeWrite allocates %.1f/op with delta checkpoints enabled, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		g.OnBeforeWrite("base/16384/kv", 0, nil)
+	}); n != 0 {
+		t.Fatalf("data OnBeforeWrite through an open gate allocates %.1f/op, want 0", n)
+	}
+	g.ckpt.dirty.markWrite("base/16384/kv", 0, 8192) // first mark inserts the range
+	if n := testing.AllocsPerRun(200, func() {
+		g.ckpt.dirty.markWrite("base/16384/kv", 0, 8192)
+	}); n != 0 {
+		t.Fatalf("re-marking a dirty page allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestDeltaChainPrefixProperty is the incremental-checkpoint correctness
+// property: run the SAME deterministic workload twice — once with delta
+// checkpoints (bases, chained deltas, folds) and once with classic full
+// re-dumps — and require that recovery at EVERY recorded commit
+// timestamp produces byte-identical file trees from both stores, and
+// that the delta-side tree decodes to exactly the expected logical
+// prefix. Any delta that misses a dirty page, any chain resolved in the
+// wrong order, and any fold that drops state diverges the trees.
+func TestDeltaChainPrefixProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := deltaWorkload(seed)
+			withDeltas := runDeltaHistory(t, ops, true)
+			withFull := runDeltaHistory(t, ops, false)
+			if len(withDeltas.ts) != len(withFull.ts) {
+				t.Fatalf("runs diverged: %d vs %d recovery points", len(withDeltas.ts), len(withFull.ts))
+			}
+			params := deltaParams(false)
+			for i := range withDeltas.ts {
+				dtFS, ffFS := vfs.NewMemFS(), vfs.NewMemFS()
+				gd, err := New(vfs.NewMemFS(), withDeltas.store, dbevent.NewPGProcessor(), params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := gd.RecoverAt(context.Background(), dtFS, withDeltas.ts[i]); err != nil {
+					t.Fatalf("delta-store RecoverAt(%d): %v", withDeltas.ts[i], err)
+				}
+				gf, err := New(vfs.NewMemFS(), withFull.store, dbevent.NewPGProcessor(), params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := gf.RecoverAt(context.Background(), ffFS, withFull.ts[i]); err != nil {
+					t.Fatalf("full-store RecoverAt(%d): %v", withFull.ts[i], err)
+				}
+				dt, ff := readTree(t, dtFS), readTree(t, ffFS)
+				if len(dt) != len(ff) {
+					t.Fatalf("point %d: tree size differs: delta %d files, full %d files", i, len(dt), len(ff))
+				}
+				var names []string
+				for p := range ff {
+					names = append(names, p)
+				}
+				sort.Strings(names)
+				for _, p := range names {
+					if !bytes.Equal(dt[p], ff[p]) {
+						t.Fatalf("point %d (ts %d): file %q differs between delta-chain and full-dump recovery (%d vs %d bytes)",
+							i, withDeltas.ts[i], p, len(dt[p]), len(ff[p]))
+					}
+				}
+				// The byte-identical tree must also decode to exactly the
+				// recorded logical prefix.
+				db2, err := minidb.Open(dtFS, pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+				if err != nil {
+					t.Fatalf("point %d: open recovered tree: %v", i, err)
+				}
+				snap := withDeltas.snaps[i]
+				for k, want := range snap {
+					got, gerr := db2.Get("kv", []byte(k))
+					if gerr != nil || string(got) != want {
+						t.Fatalf("point %d key %s: got %q, %v; want %q", i, k, got, gerr, want)
+					}
+				}
+				for _, k := range []string{"hot-a", "hot-b", "hot-c"} {
+					if _, exists := snap[k]; !exists {
+						if got, gerr := db2.Get("kv", []byte(k)); gerr == nil {
+							t.Fatalf("point %d key %s: present as %q; want absent", i, k, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}

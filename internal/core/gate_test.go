@@ -4,13 +4,29 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"github.com/ginja-dr/ginja/internal/simclock"
 )
 
 // gateRig builds the minimal checkpointer the gate primitives need: the
 // gate fields themselves plus the lifecycle context waitGate selects on.
 func gateRig() *checkpointer {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &checkpointer{ctx: ctx, cancel: cancel}
+	return &checkpointer{
+		ctx:       ctx,
+		cancel:    cancel,
+		clk:       simclock.Real(),
+		gateHolds: make(map[*gateHold]struct{}),
+	}
+}
+
+// pathSet builds the lazy-path set a plan would hand to acquireGate.
+func pathSet(paths ...string) map[string]struct{} {
+	s := make(map[string]struct{}, len(paths))
+	for _, p := range paths {
+		s[p] = struct{}{}
+	}
+	return s
 }
 
 // TestDumpGateOpenByDefault: with no streaming dump planned, OnBeforeWrite
@@ -20,7 +36,7 @@ func TestDumpGateOpenByDefault(t *testing.T) {
 	defer c.cancel()
 	done := make(chan struct{})
 	go func() {
-		c.waitGate()
+		c.waitGate("base/table")
 		close(done)
 	}()
 	select {
@@ -31,16 +47,17 @@ func TestDumpGateOpenByDefault(t *testing.T) {
 }
 
 // TestDumpGateBlocksWritersUntilReadsDone: while a dump plan's local reads
-// are in flight the writer must block, and the uploader's release must let
-// it through.
+// are in flight a writer to a planned file must block, and the uploader's
+// release must let it through. A nil path set is the conservative
+// freeze-everything hold.
 func TestDumpGateBlocksWritersUntilReadsDone(t *testing.T) {
 	c := gateRig()
 	defer c.cancel()
-	c.acquireGate()
+	h := c.acquireGate(nil)
 
 	passed := make(chan struct{})
 	go func() {
-		c.waitGate() // the DBMS thread, about to overwrite a data page
+		c.waitGate("base/table") // the DBMS thread, about to overwrite a data page
 		close(passed)
 	}()
 	select {
@@ -49,7 +66,7 @@ func TestDumpGateBlocksWritersUntilReadsDone(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 
-	c.releaseGate()
+	c.releaseGate(h)
 	select {
 	case <-passed:
 	case <-time.After(2 * time.Second):
@@ -57,28 +74,68 @@ func TestDumpGateBlocksWritersUntilReadsDone(t *testing.T) {
 	}
 }
 
+// TestDumpGatePathPrecision: a hold covering only its plan's lazily-read
+// files must not block writes to other files — and must block writes to
+// covered ones until released.
+func TestDumpGatePathPrecision(t *testing.T) {
+	c := gateRig()
+	defer c.cancel()
+	h := c.acquireGate(pathSet("base/hot"))
+
+	// A write to a file outside the plan sails through immediately.
+	free := make(chan struct{})
+	go func() {
+		c.waitGate("base/cold")
+		close(free)
+	}()
+	select {
+	case <-free:
+	case <-time.After(2 * time.Second):
+		t.Fatal("write to an unplanned file blocked on the dump gate")
+	}
+
+	// A write to the planned file blocks until release.
+	covered := make(chan struct{})
+	go func() {
+		c.waitGate("base/hot")
+		close(covered)
+	}()
+	select {
+	case <-covered:
+		t.Fatal("write to a planned file passed a held gate")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	c.releaseGate(h)
+	select {
+	case <-covered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer still blocked after release")
+	}
+}
+
 // TestDumpGateNestedHolds: a second dump planned before the first one's
-// reads finish stacks a second hold; only the last release reopens the
-// gate.
+// reads finish stacks a second hold; a writer covered by both passes only
+// after the last covering hold is released.
 func TestDumpGateNestedHolds(t *testing.T) {
 	c := gateRig()
 	defer c.cancel()
-	c.acquireGate()
-	c.acquireGate()
-	c.releaseGate()
+	h1 := c.acquireGate(pathSet("base/table"))
+	h2 := c.acquireGate(nil)
+	c.releaseGate(h1)
 
 	passed := make(chan struct{})
 	go func() {
-		c.waitGate()
+		c.waitGate("base/table")
 		close(passed)
 	}()
 	select {
 	case <-passed:
-		t.Fatal("gate opened with one hold still outstanding")
+		t.Fatal("gate opened with one covering hold still outstanding")
 	case <-time.After(50 * time.Millisecond):
 	}
 
-	c.releaseGate()
+	c.releaseGate(h2)
 	select {
 	case <-passed:
 	case <-time.After(2 * time.Second):
@@ -92,11 +149,11 @@ func TestDumpGateNestedHolds(t *testing.T) {
 // locally when replication is gone.
 func TestDumpGateShutdownNeverStrandsWriters(t *testing.T) {
 	c := gateRig()
-	c.acquireGate() // never released: the uploader died with the gate held
+	c.acquireGate(nil) // never released: the uploader died with the gate held
 
 	passed := make(chan struct{})
 	go func() {
-		c.waitGate()
+		c.waitGate("base/table")
 		close(passed)
 	}()
 	select {

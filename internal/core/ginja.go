@@ -19,11 +19,13 @@ import (
 
 // Version names this middleware build; it surfaces in the
 // ginja_build_info metric and /statusz. ObjectFormatVersion is the cloud
-// object-format generation the build writes (2 = independently part-sealed
-// DB objects; 1, still readable, sealed a DB object as one envelope).
+// object-format generation the build writes (3 = delta DB objects with
+// `.b<ts>-<gen>` base linkage; 2, still readable, independently
+// part-sealed DB objects; 1, still readable, sealed a DB object as one
+// envelope).
 const (
-	Version             = "0.6.0"
-	ObjectFormatVersion = 2
+	Version             = "0.7.0"
+	ObjectFormatVersion = 3
 )
 
 // ErrNoDump is returned by Recover when the cloud holds no dump to
@@ -56,9 +58,23 @@ type Stats struct {
 	// SplitWALWrites counts writes larger than MaxObjectSize that had to
 	// be split across objects.
 	SplitWALWrites int64
-	// Checkpoints / Dumps are uploaded DB objects by type.
+	// Checkpoints / Dumps / Deltas are uploaded DB objects by type.
 	Checkpoints int64
 	Dumps       int64
+	Deltas      int64
+	// DeltaChainLen is the length of the current delta chain (deltas since
+	// the last full base dump; 0 when the next threshold crossing will
+	// emit a full dump).
+	DeltaChainLen int
+	// CheckpointBytesSaved is the cumulative payload NOT uploaded because
+	// a delta shipped instead of the full re-dump the 150 % rule would
+	// otherwise have triggered (local DB size at plan time minus delta
+	// payload, summed over durable deltas).
+	CheckpointBytesSaved int64
+	// DumpGateBlockedTime is the cumulative time DBMS writes spent blocked
+	// on the stop-writes dump gate (only writes to files an active dump or
+	// delta plan was reading count).
+	DumpGateBlockedTime time.Duration
 	// DBObjectsUploaded / DBBytesUploaded cover the checkpoint path.
 	DBObjectsUploaded int64
 	DBBytesUploaded   int64
@@ -232,7 +248,7 @@ func (g *Ginja) Boot(ctx context.Context) error {
 		return fmt.Errorf("core: boot dump: %w", err)
 	}
 	up := newPartUploader(g.localFS, g.seal, g.params, g.tracker, g.putWithRetry)
-	sizes, err := up.upload(ctx, 0, 0, Dump, plan, nil)
+	sizes, err := up.upload(ctx, DBObjectInfo{Ts: 0, Gen: 0, Type: Dump}, plan, nil)
 	if err != nil {
 		return fmt.Errorf("core: boot dump: %w", err)
 	}
@@ -251,6 +267,10 @@ func (g *Ginja) Boot(ctx context.Context) error {
 	g.params.logger().Info("ginja boot complete",
 		"wal_objects", len(g.view.WALObjects()), "dump_bytes", size, "dump_parts", len(plan))
 	g.start()
+	// The boot dump can seed the delta chain: the DBMS has not run yet, so
+	// the fresh dirty map has missed nothing. (Reboot/Recover must not seed
+	// — their newest dump predates this process's dirty tracking.)
+	g.ckpt.noteChainBase(0, 0)
 	return nil
 }
 
@@ -396,16 +416,52 @@ func (g *Ginja) restoreTo(ctx context.Context, target vfs.FS, upTo int64, bd *Re
 
 	// 1. The dump (Algorithm 1 lines 27-29).
 	items := []restoreItem{{label: fmt.Sprintf("DB ts=%d", dump.Ts), names: dump.PartNames(), partSealed: dump.PartSealed()}}
-	// 2. Incremental checkpoints after it, in (Ts, Gen) order (lines
-	// 30-36). When restoring to a point in time (upTo >= 0), only
-	// checkpoints covering WAL up to the target participate; later ones
-	// belong to the future being excluded.
+	// 2. The delta chain rooted at the selected dump, and incremental
+	// checkpoints after the dump, all in (Ts, Gen) order (lines 30-36).
+	// Chain membership follows the `.b` back-pointers forward from the
+	// dump; a delta rooted elsewhere (an older base the view still lists)
+	// is not part of this restore. Applying a still-retained checkpoint
+	// before the delta that superseded it is harmless — the delta
+	// recaptures every range those checkpoints dirtied — and order by
+	// (Ts, Gen) guarantees the delta lands after. When restoring to a
+	// point in time (upTo >= 0), only objects covering WAL up to the
+	// target participate; a chain prefix is itself a consistent cut.
+	objs := g.view.DBObjects() // (Ts, Gen) ascending
+	inChain := map[dbKey]bool{{ts: dump.Ts, gen: dump.Gen}: true}
+	tip := dump
+	for {
+		found := false
+		for _, d := range objs {
+			if d.Type != Delta || d.BaseTs != tip.Ts || d.BaseGen != tip.Gen || !tip.Before(d) {
+				continue
+			}
+			if upTo >= 0 && d.Ts > upTo {
+				continue
+			}
+			inChain[dbKey{ts: d.Ts, gen: d.Gen}] = true
+			tip = d
+			found = true
+			break // ascending scan: first successor is the canonical one
+		}
+		if !found {
+			break
+		}
+	}
 	maxCkptTs := dump.Ts
-	for _, d := range g.view.DBObjects() {
-		if d.Type != Checkpoint || !dump.Before(d) {
+	for _, d := range objs {
+		if !dump.Before(d) {
 			continue
 		}
 		if upTo >= 0 && d.Ts > upTo {
+			continue
+		}
+		switch d.Type {
+		case Checkpoint:
+		case Delta:
+			if !inChain[dbKey{ts: d.Ts, gen: d.Gen}] {
+				continue
+			}
+		default:
 			continue
 		}
 		items = append(items, restoreItem{label: fmt.Sprintf("DB ts=%d", d.Ts), names: d.PartNames(), partSealed: d.PartSealed()})
@@ -687,9 +743,11 @@ func (g *Ginja) SyncCheckpoints(timeout time.Duration) bool {
 }
 
 // OnBeforeWrite implements vfs.Observer: data-class writes block here
-// while a streaming dump's local reads are in flight (§5.3: Ginja stops
-// local DB writes during dump creation). The hook fires before the write
-// lands, so no page can change under the dump's planned file ranges.
+// while a streaming dump's or delta's local reads are in flight (§5.3:
+// Ginja stops local DB writes during dump creation) — but only writes to
+// files the active plans actually read lazily; everything else sails
+// through. The hook fires before the write lands, so no page can change
+// under a plan's file ranges.
 func (g *Ginja) OnBeforeWrite(path string, off int64, data []byte) {
 	if !g.started || g.closed || g.ckpt == nil {
 		return
@@ -697,7 +755,7 @@ func (g *Ginja) OnBeforeWrite(path string, off int64, data []byte) {
 	if g.proc.FileKind(path) != dbevent.KindData {
 		return
 	}
-	g.ckpt.waitGate()
+	g.ckpt.waitGate(path)
 }
 
 // OnWrite implements vfs.Observer: classify the write and route it to the
@@ -722,8 +780,19 @@ func (g *Ginja) OnWrite(path string, off int64, data []byte) {
 // on writes).
 func (g *Ginja) OnSync(string) {}
 
-// OnTruncate implements vfs.Observer.
-func (g *Ginja) OnTruncate(string, int64) {}
+// OnTruncate implements vfs.Observer: a truncated data file can no longer
+// be described by dirty ranges, so the next delta must recapture it whole
+// (applyWrites replays whole-file entries with a truncating WriteFile, so
+// the shrink replicates correctly).
+func (g *Ginja) OnTruncate(path string, size int64) {
+	if !g.started || g.closed || g.ckpt == nil {
+		return
+	}
+	if g.proc.FileKind(path) != dbevent.KindData {
+		return
+	}
+	g.ckpt.handleTruncate(path)
+}
 
 // OnRemove implements vfs.Observer.
 func (g *Ginja) OnRemove(string) {}
@@ -799,6 +868,10 @@ func (g *Ginja) Stats() Stats {
 	if g.ckpt != nil {
 		s.Checkpoints = g.ckpt.stats.checkpoints.Load()
 		s.Dumps = g.ckpt.stats.dumps.Load()
+		s.Deltas = g.ckpt.stats.deltas.Load()
+		s.DeltaChainLen = g.ckpt.deltaChainLen()
+		s.CheckpointBytesSaved = g.ckpt.stats.bytesSaved.Load()
+		s.DumpGateBlockedTime = time.Duration(g.ckpt.stats.gateBlockedNanos.Load())
 		s.DBObjectsUploaded = g.ckpt.stats.dbObjects.Load()
 		s.DBBytesUploaded = g.ckpt.stats.dbBytes.Load()
 		s.WALObjectsDeleted = g.ckpt.stats.walDeleted.Load()

@@ -16,8 +16,10 @@ import (
 // (legacy groups complete when their listed bytes sum to the declared
 // size; part-sealed groups when exactly one commit marker is present,
 // indices are contiguous and every part's listed bytes match its
-// declared sealed size) — FuzzListDiff pins the two implementations to
-// each other.
+// declared sealed size; delta objects additionally wait until their
+// chain predecessor has been emitted, so the follower always applies a
+// base before the deltas stacked on it) — FuzzListDiff pins the two
+// implementations to each other.
 //
 // The tracker is tolerant of read-after-write list lag: an object seen
 // once is never un-seen when a later listing omits it (eventual-
@@ -35,12 +37,24 @@ type listTracker struct {
 
 	legacy map[trackerSizedKey]*trackerLegacyGroup
 	sealed map[dbKey]*trackerSealedGroup
+
+	// pending holds complete Delta objects whose chain predecessor has not
+	// been emitted yet, keyed by the base they wait for: a delta is only
+	// useful on top of its base, so the follower must never see it first.
+	// When the base completes, every waiter cascades (a waiter may itself
+	// be some later delta's base). A delta whose base never appears —
+	// the primary folded the chain and GC'd it — waits forever, which is
+	// correct: the fold dump carries that state instead.
+	pending map[dbKey][]DBObjectInfo
 }
 
 type trackerSizedKey struct {
-	ts   int64
-	gen  int
-	size int64
+	ts      int64
+	gen     int
+	size    int64
+	baseTs  int64
+	baseGen int
+	hasBase bool
 }
 
 type trackerLegacyGroup struct {
@@ -53,6 +67,9 @@ type trackerLegacyGroup struct {
 
 type trackerSealedGroup struct {
 	typ     DBObjectType
+	baseTs  int64
+	baseGen int
+	hasBase bool
 	invalid bool
 	parts   map[int]trackerSealedPart
 }
@@ -69,6 +86,7 @@ func newListTracker() *listTracker {
 		emitted: make(map[dbKey]DBObjectInfo),
 		legacy:  make(map[trackerSizedKey]*trackerLegacyGroup),
 		sealed:  make(map[dbKey]*trackerSealedGroup),
+		pending: make(map[dbKey][]DBObjectInfo),
 	}
 }
 
@@ -80,18 +98,44 @@ func newListTracker() *listTracker {
 // (ts, gen) slot with a different identity is genuine corruption and is
 // reported too.
 func (t *listTracker) observe(infos []cloud.ObjectInfo) (wal []WALObjectInfo, db []DBObjectInfo, err error) {
-	emit := func(info DBObjectInfo) error {
+	var emit func(info DBObjectInfo) error
+	emit = func(info DBObjectInfo) error {
 		k := dbKey{ts: info.Ts, gen: info.Gen}
 		if prev, ok := t.emitted[k]; ok {
-			if prev.Size != info.Size || prev.Type != info.Type {
+			if prev.Size != info.Size || prev.Type != info.Type ||
+				prev.BaseTs != info.BaseTs || prev.BaseGen != info.BaseGen {
 				return fmt.Errorf(
 					"core: conflicting DB objects at ts=%d gen=%d: have %s size=%d, got %s size=%d",
 					info.Ts, info.Gen, prev.Type, prev.Size, info.Type, info.Size)
 			}
 			return nil
 		}
+		if info.Type == Delta {
+			bk := dbKey{ts: info.BaseTs, gen: info.BaseGen}
+			base, ok := t.emitted[bk]
+			if !ok {
+				t.pending[bk] = append(t.pending[bk], info)
+				return nil
+			}
+			// A delta whose emitted base is not a chain element strictly
+			// older than it is broken linkage, never valid later: drop it,
+			// exactly as LoadFromList orphans it.
+			if (base.Type != Dump && base.Type != Delta) || !base.Before(info) {
+				return nil
+			}
+		}
 		t.emitted[k] = info
 		db = append(db, info)
+		// Cascade: deltas waiting on this object can go out now (a waiter
+		// may itself be a later delta's base, hence the recursion).
+		if waiters, ok := t.pending[k]; ok {
+			delete(t.pending, k)
+			for _, w := range waiters {
+				if err := emit(w); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 	touchedLegacy := make(map[trackerSizedKey]struct{})
@@ -117,10 +161,13 @@ func (t *listTracker) observe(infos []cloud.ObjectInfo) (wal []WALObjectInfo, db
 				k := dbKey{ts: n.Ts, gen: n.Gen}
 				g := t.sealed[k]
 				if g == nil {
-					g = &trackerSealedGroup{typ: n.Type, parts: make(map[int]trackerSealedPart)}
+					g = &trackerSealedGroup{typ: n.Type,
+						baseTs: n.BaseTs, baseGen: n.BaseGen, hasBase: n.HasBase,
+						parts: make(map[int]trackerSealedPart)}
 					t.sealed[k] = g
 				}
-				if n.Type != g.typ {
+				if n.Type != g.typ || n.HasBase != g.hasBase ||
+					n.BaseTs != g.baseTs || n.BaseGen != g.baseGen {
 					g.invalid = true
 				}
 				if _, dup := g.parts[n.Part]; dup {
@@ -131,7 +178,8 @@ func (t *listTracker) observe(infos []cloud.ObjectInfo) (wal []WALObjectInfo, db
 				touchedSealed[k] = struct{}{}
 				continue
 			}
-			k := trackerSizedKey{ts: n.Ts, gen: n.Gen, size: n.Size}
+			k := trackerSizedKey{ts: n.Ts, gen: n.Gen, size: n.Size,
+				baseTs: n.BaseTs, baseGen: n.BaseGen, hasBase: n.HasBase}
 			g := t.legacy[k]
 			if g == nil {
 				g = &trackerLegacyGroup{typ: n.Type, maxPart: -1}
@@ -177,9 +225,11 @@ func (t *listTracker) observe(infos []cloud.ObjectInfo) (wal []WALObjectInfo, db
 func (g *trackerLegacyGroup) complete(k trackerSizedKey) (DBObjectInfo, bool) {
 	switch {
 	case g.haveUnsplit && g.unsplitBytes == k.size:
-		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size}, true
+		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size,
+			BaseTs: k.baseTs, BaseGen: k.baseGen}, true
 	case g.maxPart >= 0 && g.splitBytes == k.size:
-		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: g.maxPart + 1}, true
+		return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: k.size, Parts: g.maxPart + 1,
+			BaseTs: k.baseTs, BaseGen: k.baseGen}, true
 	}
 	return DBObjectInfo{}, false
 }
@@ -211,5 +261,6 @@ func (g *trackerSealedGroup) complete(k dbKey) (DBObjectInfo, bool) {
 		sizes[i] = p.declared
 		total += p.declared
 	}
-	return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: total, Parts: count, PartSizes: sizes}, true
+	return DBObjectInfo{Ts: k.ts, Gen: k.gen, Type: g.typ, Size: total, Parts: count, PartSizes: sizes,
+		BaseTs: g.baseTs, BaseGen: g.baseGen}, true
 }

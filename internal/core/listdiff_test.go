@@ -88,6 +88,19 @@ func FuzzListDiff(f *testing.F) {
 	f.Add("1 junk")
 	f.Add("9 DB/5_dump_9\n==\n9 DB/5_dump_9.g0\n==\n7 DB/5_checkpoint_7.g1")
 	f.Add("4 DB/1_dump_4.s0.n1\n==\n4 DB/1_dump_9.s0.n1")
+	// Delta chains: base then delta, delta arriving before its base
+	// (must wait and cascade), a two-deep chain delivered tip-first, a
+	// truncated chain whose base never lists (waits forever), a delta
+	// pointing at a checkpoint-typed base (orphaned), and a delta whose
+	// base is not strictly older (broken linkage).
+	f.Add("6 DB/1_dump_6\n==\n2 DB/3_delta_2.b1-0")
+	f.Add("2 DB/3_delta_2.b1-0\n==\n6 DB/1_dump_6")
+	f.Add("1 DB/5_delta_1.b3-0\n2 DB/3_delta_2.b1-0\n==\n6 DB/1_dump_6")
+	f.Add("2 DB/9_delta_2.b7-0\n==\n3 WAL/8_seg_0")
+	f.Add("4 DB/2_checkpoint_4.g1\n==\n2 DB/5_delta_2.b2-1")
+	f.Add("6 DB/4_dump_6\n==\n2 DB/4_delta_2.b4-0")
+	f.Add("1 DB/6_delta_1.b1-0.s0.n2\n1 DB/6_delta_1.b1-0.s1\n==\n6 DB/1_dump_6")
+	f.Add("6 DB/1_dump_6\n2 DB/3_delta_2.b1-0\n1 DB/4_delta_1.b3-0")
 	f.Fuzz(func(t *testing.T, script string) {
 		tr := newListTracker()
 		var cumulative []cloud.ObjectInfo

@@ -180,8 +180,18 @@ func TestReplicatedListMergesAfterOutage(t *testing.T) {
 		t.Fatal(err)
 	}
 	stale.EndOutage()
-	if h := repl.Healthy(); h[0] || !h[1] || !h[2] {
-		t.Fatalf("health after outage = %v, want [false true true]", h)
+	// Put returns on quorum; the failed replica's goroutine marks it
+	// unhealthy in the background, so poll rather than assert instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := repl.Healthy()
+		if !h[0] && h[1] && h[2] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health after outage = %v, want [false true true]", h)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	infos, err := repl.List(ctx, "")
 	if err != nil {

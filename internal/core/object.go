@@ -23,6 +23,12 @@ const (
 	Dump DBObjectType = "dump"
 	// Checkpoint is an incremental set of database-file writes.
 	Checkpoint DBObjectType = "checkpoint"
+	// Delta is a sparse copy of only the byte ranges dirtied since the
+	// chain predecessor named by its ".b<ts>-<gen>" suffix. A delta
+	// supersedes every checkpoint between that predecessor and itself: the
+	// chain (dump base + ordered deltas) alone materializes the database
+	// state at the delta's timestamp.
+	Delta DBObjectType = "delta"
 )
 
 // Object name prefixes in the cloud.
@@ -79,6 +85,11 @@ func ParseWALObjectName(name string) (ts int64, filename string, offset int64, e
 //
 // An unsplit object (Part < 0) is byte-identical in both formats, so
 // single-part streamed uploads keep emitting the legacy name.
+//
+// Delta objects additionally carry a ".b<baseTs>-<baseGen>" suffix naming
+// the chain predecessor (a dump or an earlier delta). HasBase is set if
+// and only if Type is Delta — a delta without linkage, or linkage on any
+// other type, is malformed.
 type DBName struct {
 	Ts   int64
 	Gen  int
@@ -92,11 +103,19 @@ type DBName struct {
 	// Count is the total number of parts, > 0 only on the final sealed
 	// part (".n<count>", count ≥ 2).
 	Count int
+	// BaseTs/BaseGen name the chain predecessor of a Delta object;
+	// meaningful only when HasBase is set.
+	BaseTs  int64
+	BaseGen int
+	HasBase bool
 }
 
 // String formats the cloud object key for this name.
 func (n DBName) String() string {
 	base := fmt.Sprintf("%s%d_%s_%d", dbPrefix, n.Ts, n.Type, n.Size)
+	if n.HasBase {
+		base = fmt.Sprintf("%s.b%d-%d", base, n.BaseTs, n.BaseGen)
+	}
 	if n.Gen > 0 {
 		base = fmt.Sprintf("%s.g%d", base, n.Gen)
 	}
@@ -132,8 +151,9 @@ func DBPartName(ts int64, gen int, typ DBObjectType, size int64, part, count int
 
 // ParseDBObjectName inverts DBName.String. Only values the emitters can
 // produce count as suffixes (legacy part ≥ 0, sealed part ≥ 0, count ≥ 2,
-// gen > 0); anything else — ".p-2", ".g0", ".n1" — is not a suffix and
-// must fail the field parse below rather than silently round-trip wrong.
+// gen > 0, base ts ≥ 0 and base gen ≥ 0); anything else — ".p-2", ".g0",
+// ".n1", ".b3" — is not a suffix and must fail the field parse below
+// rather than silently round-trip wrong.
 func ParseDBObjectName(name string) (DBName, error) {
 	n := DBName{Part: -1}
 	rest, ok := strings.CutPrefix(name, dbPrefix)
@@ -171,6 +191,16 @@ func ParseDBObjectName(name string) (DBName, error) {
 			rest = rest[:i]
 		}
 	}
+	if i := strings.LastIndex(rest, ".b"); i >= 0 {
+		if tsStr, genStr, ok := strings.Cut(rest[i+2:], "-"); ok {
+			bts, terr := strconv.ParseInt(tsStr, 10, 64)
+			bg, gerr := strconv.Atoi(genStr)
+			if terr == nil && gerr == nil && bts >= 0 && bg >= 0 {
+				n.BaseTs, n.BaseGen, n.HasBase = bts, bg, true
+				rest = rest[:i]
+			}
+		}
+	}
 	// The count marker is only valid as ".s<part>.n<count>" with the final
 	// part index; any other combination is not a name we emit.
 	if n.Count > 0 && (!n.Sealed || n.Part != n.Count-1) {
@@ -186,8 +216,14 @@ func ParseDBObjectName(name string) (DBName, error) {
 	}
 	n.Ts = ts
 	n.Type = DBObjectType(fields[1])
-	if n.Type != Dump && n.Type != Checkpoint {
+	if n.Type != Dump && n.Type != Checkpoint && n.Type != Delta {
 		return DBName{Part: -1}, fmt.Errorf("core: DB object name %q: unknown type %q", name, n.Type)
+	}
+	// Base linkage is what makes a delta a delta: a delta without it could
+	// not be chained, and linkage on a dump/checkpoint is not a name we
+	// emit.
+	if (n.Type == Delta) != n.HasBase {
+		return DBName{Part: -1}, fmt.Errorf("core: malformed DB object name %q", name)
 	}
 	n.Size, err = strconv.ParseInt(fields[2], 10, 64)
 	if err != nil {

@@ -397,13 +397,28 @@ func FuzzParseDBObjectName(f *testing.F) {
 	f.Add("DB/5_dump_123.s0.n3")
 	f.Add("DB/5_dump_123.n2")
 	f.Add("DB/5_dump_123.s1.n1")
+	// Delta names: the .b<ts>-<gen> base pointer sits between size and .g.
+	f.Add("DB/9_delta_123.b5-0")
+	f.Add("DB/9_delta_123.b5-2.g1")
+	f.Add("DB/9_delta_123.b5-0.g1.s0.n2")
+	f.Add("DB/9_delta_123.b5-0.s1.n2")
+	f.Add("DB/9_delta_123.b0-0.p1")
+	f.Add("DB/9_delta_123")         // delta without a base: malformed
+	f.Add("DB/9_dump_123.b5-0")     // base on a non-delta: malformed
+	f.Add("DB/9_delta_123.b-1-0")   // negative base ts: malformed
+	f.Add("DB/9_delta_123.b5--1")   // negative base gen: malformed
+	f.Add("DB/9_delta_123.b5")      // base without gen: malformed
+	f.Add("DB/9_delta_123.g1.b5-0") // suffixes out of order: malformed
 	f.Fuzz(func(t *testing.T, name string) {
 		n, err := ParseDBObjectName(name)
 		if err != nil {
 			return
 		}
 		if n.Gen < 0 || n.Part < -1 || (n.Sealed && n.Part < 0) ||
-			n.Count < 0 || (n.Count > 0 && (n.Count < 2 || !n.Sealed || n.Part != n.Count-1)) {
+			n.Count < 0 || (n.Count > 0 && (n.Count < 2 || !n.Sealed || n.Part != n.Count-1)) ||
+			n.HasBase != (n.Type == Delta) ||
+			(n.HasBase && (n.BaseTs < 0 || n.BaseGen < 0)) ||
+			(!n.HasBase && (n.BaseTs != 0 || n.BaseGen != 0)) {
 			t.Fatalf("parse %q produced unencodable fields %+v", name, n)
 		}
 		re := n.String()

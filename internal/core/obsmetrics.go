@@ -41,6 +41,14 @@ const (
 	metricDBPartPut     = "ginja_db_part_put_seconds"
 	metricRecoveryFetch = "ginja_recovery_fetch_seconds"
 
+	// Delta-checkpoint telemetry: durable checkpoint bytes broken down by
+	// object kind (base dumps vs. deltas vs. incremental checkpoints), the
+	// live delta-chain length, and the time DBMS writes actually spent
+	// blocked on the (now path-precise) dump gate.
+	metricCkptBytes     = "ginja_checkpoint_bytes_total"
+	metricDeltaChainLen = "ginja_delta_chain_length"
+	metricGateBlocked   = "ginja_dump_gate_blocked_seconds"
+
 	// Durability telemetry: the live RPO watermark (age of the oldest
 	// update not yet acked by the cloud), the realized data-loss window of
 	// each released update, the configured Safety bounds beside them, and
@@ -176,7 +184,7 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 			obs.Labels{"size": cls}, nil)
 	}
 	return &pipelineMetrics{
-		putBySize: putBySize,
+		putBySize:      putBySize,
 		updates:        reg.Counter(metricUpdates, "Intercepted WAL updates (database commits).", nil),
 		batches:        reg.Counter(metricBatches, "Cloud synchronizations performed (paper Table 3 batches).", nil),
 		walObjects:     reg.Counter(metricWALObjects, "WAL objects uploaded (paper Table 3 #PUTs, commit path).", nil),
@@ -210,16 +218,25 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 type checkpointMetrics struct {
 	checkpoints *obs.Counter
 	dumps       *obs.Counter
+	deltas      *obs.Counter
 	dbObjects   *obs.Counter
 	dbBytes     *obs.Counter
 	walDeleted  *obs.Counter
 	dbDeleted   *obs.Counter
 
-	build      *obs.Histogram // dump plan construction duration
-	uploadCkpt *obs.Histogram
-	uploadDump *obs.Histogram
-	partPut    *obs.Histogram // per-part DB PUT, retries included
-	sealPart   *obs.Histogram // per-part seal stage (streamed data path)
+	// Durable checkpoint-path bytes by object kind: base full dumps,
+	// delta chain elements, incremental checkpoints.
+	baseBytes  *obs.Counter
+	deltaBytes *obs.Counter
+	ckptBytes  *obs.Counter
+
+	build       *obs.Histogram // dump plan construction duration
+	uploadCkpt  *obs.Histogram
+	uploadDump  *obs.Histogram
+	uploadDelta *obs.Histogram
+	partPut     *obs.Histogram // per-part DB PUT, retries included
+	sealPart    *obs.Histogram // per-part seal stage (streamed data path)
+	gateBlocked *obs.Histogram // per-write dump-gate blocked duration
 }
 
 func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
@@ -229,19 +246,27 @@ func newCheckpointMetrics(reg *obs.Registry) *checkpointMetrics {
 	return &checkpointMetrics{
 		checkpoints: reg.Counter(metricCheckpoints, "DB objects uploaded by type.", obs.Labels{"type": "checkpoint"}),
 		dumps:       reg.Counter(metricCheckpoints, "DB objects uploaded by type.", obs.Labels{"type": "dump"}),
+		deltas:      reg.Counter(metricCheckpoints, "DB objects uploaded by type.", obs.Labels{"type": "delta"}),
 		dbObjects:   reg.Counter(metricDBObjects, "DB object parts uploaded (checkpoint path PUTs).", nil),
 		dbBytes:     reg.Counter(metricDBBytes, "Sealed DB bytes uploaded.", nil),
 		walDeleted:  reg.Counter(metricGCDeleted, "Objects removed by garbage collection.", obs.Labels{"kind": "wal"}),
 		dbDeleted:   reg.Counter(metricGCDeleted, "Objects removed by garbage collection.", obs.Labels{"kind": "db"}),
+		baseBytes:   reg.Counter(metricCkptBytes, "Durable checkpoint-path bytes by object kind.", obs.Labels{"kind": "base"}),
+		deltaBytes:  reg.Counter(metricCkptBytes, "Durable checkpoint-path bytes by object kind.", obs.Labels{"kind": "delta"}),
+		ckptBytes:   reg.Counter(metricCkptBytes, "Durable checkpoint-path bytes by object kind.", obs.Labels{"kind": "checkpoint"}),
 		build: reg.Histogram(metricCkptBuild,
 			"Full-dump construction duration in seconds.", nil, nil),
 		uploadCkpt: reg.Histogram(metricCkptUpload,
 			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "checkpoint"}, nil),
 		uploadDump: reg.Histogram(metricCkptUpload,
 			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "dump"}, nil),
+		uploadDelta: reg.Histogram(metricCkptUpload,
+			"DB object seal+upload duration in seconds by type.", obs.Labels{"type": "delta"}, nil),
 		partPut: reg.Histogram(metricDBPartPut,
 			"Per-part DB object PUT duration in seconds, retries included.", nil, nil),
 		sealPart: reg.Histogram(metricDBSeal,
 			"Per-part compress+seal duration on the streamed DB data path in seconds.", nil, nil),
+		gateBlocked: reg.Histogram(metricGateBlocked,
+			"Duration DBMS writes spent blocked on the stop-writes dump gate, per blocked write.", nil, nil),
 	}
 }

@@ -26,6 +26,12 @@ const (
 	DefaultRetryBaseDelay = 50 * time.Millisecond
 	DefaultFollowInterval = 1 * time.Second
 	DefaultRetainObjects  = 4096
+	// Delta-checkpoint bounds (BtrLog-style): the chain is folded into a
+	// fresh full dump when it grows past DefaultMaxDeltaChain elements or
+	// its summed payload exceeds DefaultDeltaCompactRatio of the local
+	// database size — keeping recovery work bounded.
+	DefaultMaxDeltaChain     = 64
+	DefaultDeltaCompactRatio = 0.5
 )
 
 // Params is Ginja's user-facing configuration (§5.1): the Batch (B, TB)
@@ -62,6 +68,25 @@ type Params struct {
 	// DumpThreshold triggers a new dump when the cloud DB objects exceed
 	// this multiple of the local database size (1.5 in the paper).
 	DumpThreshold float64
+	// DeltaCheckpoints replaces most DumpThreshold-triggered full re-dumps
+	// with delta objects: sparse copies of only the byte ranges dirtied
+	// since the last chain element, tracked page-granular by the vfs
+	// observer. Checkpoint bytes — and the stop-writes dump window — then
+	// scale with write volume instead of database size. Recovery resolves
+	// the chain (base dump + ordered deltas) back to the materialized
+	// state; a background fold turns the chain into a fresh full dump when
+	// it outgrows MaxDeltaChain or DeltaCompactRatio.
+	DeltaCheckpoints bool
+	// MaxDeltaChain bounds the number of delta objects hanging off one
+	// base dump before the next DumpThreshold crossing is served by a full
+	// fold dump instead (BtrLog-style bounded recovery work). 0 means
+	// DefaultMaxDeltaChain. Only used with DeltaCheckpoints.
+	MaxDeltaChain int
+	// DeltaCompactRatio folds the chain early: when the chain's summed
+	// payload plus the next delta would exceed this fraction of the local
+	// database size, the next chain element is a full dump. 0 means
+	// DefaultDeltaCompactRatio. Only used with DeltaCheckpoints.
+	DeltaCompactRatio float64
 	// UploadRetries bounds per-object retry attempts before Ginja
 	// declares the backup broken (0 = retry forever).
 	UploadRetries int
@@ -192,6 +217,12 @@ func (p Params) Validate() (Params, error) {
 	if p.DumpThreshold == 0 {
 		p.DumpThreshold = d.DumpThreshold
 	}
+	if p.MaxDeltaChain == 0 {
+		p.MaxDeltaChain = DefaultMaxDeltaChain
+	}
+	if p.DeltaCompactRatio == 0 {
+		p.DeltaCompactRatio = DefaultDeltaCompactRatio
+	}
 	if p.RetryBaseDelay == 0 {
 		p.RetryBaseDelay = d.RetryBaseDelay
 	}
@@ -224,6 +255,12 @@ func (p Params) Validate() (Params, error) {
 	}
 	if p.DumpThreshold < 1 {
 		return p, fmt.Errorf("core: DumpThreshold must be ≥ 1, got %v", p.DumpThreshold)
+	}
+	if p.MaxDeltaChain < 1 {
+		return p, fmt.Errorf("core: MaxDeltaChain must be ≥ 1 (0 = default), got %d", p.MaxDeltaChain)
+	}
+	if p.DeltaCompactRatio < 0 {
+		return p, fmt.Errorf("core: DeltaCompactRatio must be > 0 (0 = default), got %v", p.DeltaCompactRatio)
 	}
 	if p.Encrypt && p.Password == "" {
 		return p, errors.New("core: Encrypt requires Password")

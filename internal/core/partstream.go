@@ -134,32 +134,14 @@ func entriesFromWrites(writes []FileWrite) []planEntry {
 	return entries
 }
 
-// planDump plans a full dump (Algorithm 3 line 10) without reading the
-// data files: every data-class file becomes a lazy whole-file entry whose
-// bytes the uploader reads chunk by chunk. Only the processor's extra
-// regions (e.g. the InnoDB log header) are read eagerly — they live in
-// WAL-class files that keep moving while the dump streams, so their bytes
-// must be captured now, while the DBMS is paused inside its
-// checkpoint-end write. A missing extras file just means no WAL was
-// written yet; every other error is a real read failure that would
-// silently truncate the dump.
-func planDump(fsys vfs.FS, proc dbevent.Processor, budget int64) ([][]planEntry, error) {
-	files, err := vfs.Walk(fsys, "")
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(files)
+// extrasEntries reads the processor's extra regions (e.g. the InnoDB log
+// header) eagerly — they live in WAL-class files that keep moving while
+// the object streams, so their bytes must be captured now, while the DBMS
+// is paused inside its checkpoint-end write. A missing extras file just
+// means no WAL was written yet; every other error is a real read failure
+// that would silently truncate the object.
+func extrasEntries(fsys vfs.FS, proc dbevent.Processor) ([]planEntry, error) {
 	var entries []planEntry
-	for _, p := range files {
-		if proc.FileKind(p) != dbevent.KindData {
-			continue
-		}
-		fi, err := fsys.Stat(p)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, planEntry{path: p, length: fi.Size(), whole: true})
-	}
 	for _, region := range proc.DumpExtras() {
 		f, err := fsys.OpenFile(region.Path, os.O_RDONLY, 0)
 		if err != nil {
@@ -178,7 +160,113 @@ func planDump(fsys vfs.FS, proc dbevent.Processor, budget int64) ([][]planEntry,
 			entries = append(entries, planEntry{path: region.Path, offset: region.Offset, length: int64(n), data: buf[:n]})
 		}
 	}
-	return planParts(entries, budget), nil
+	return entries, nil
+}
+
+// planDump plans a full dump (Algorithm 3 line 10) without reading the
+// data files: every data-class file becomes a lazy whole-file entry whose
+// bytes the uploader reads chunk by chunk. Only the extras regions are
+// read eagerly (see extrasEntries).
+func planDump(fsys vfs.FS, proc dbevent.Processor, budget int64) ([][]planEntry, error) {
+	files, err := vfs.Walk(fsys, "")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var entries []planEntry
+	for _, p := range files {
+		if proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		fi, err := fsys.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, planEntry{path: p, length: fi.Size(), whole: true})
+	}
+	extras, err := extrasEntries(fsys, proc)
+	if err != nil {
+		return nil, err
+	}
+	return planParts(append(entries, extras...), budget), nil
+}
+
+// planDelta plans a delta object from the dirty map accumulated since the
+// last chain element: lazy entries covering only the dirtied page ranges
+// of each file (clamped to the file's current size — a range past EOF was
+// superseded by a truncate, which forces a whole-file entry anyway), plus
+// the eager extras regions every chain element recaptures. Like planDump
+// it runs at the consistent cut point, inside the DBMS's checkpoint-end
+// write, and reads no data-file bytes itself.
+func planDelta(fsys vfs.FS, proc dbevent.Processor, dirty map[string]*dirtyFile, budget int64) ([][]planEntry, error) {
+	paths := make([]string, 0, len(dirty))
+	for p := range dirty {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var entries []planEntry
+	for _, p := range paths {
+		fi, err := fsys.Stat(p)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// The file vanished after being dirtied; checkpoints do not
+				// replicate deletions either, so the delta simply has nothing
+				// to ship for it.
+				continue
+			}
+			return nil, err
+		}
+		size := fi.Size()
+		df := dirty[p]
+		if df.Whole {
+			entries = append(entries, planEntry{path: p, length: size, whole: true})
+			continue
+		}
+		for _, r := range df.Ranges {
+			off, end := r.Off, r.End
+			if end > size {
+				end = size
+			}
+			if off >= end {
+				continue
+			}
+			entries = append(entries, planEntry{path: p, offset: off, length: end - off})
+		}
+	}
+	extras, err := extrasEntries(fsys, proc)
+	if err != nil {
+		return nil, err
+	}
+	return planParts(append(entries, extras...), budget), nil
+}
+
+// planPayloadBytes is the total payload a plan will ship (lazy ranges
+// included) — the quantity the fold decision weighs against the local
+// database size.
+func planPayloadBytes(parts [][]planEntry) int64 {
+	var n int64
+	for _, part := range parts {
+		for _, e := range part {
+			n += e.length
+		}
+	}
+	return n
+}
+
+// planLazyPaths is the set of files a plan reads at upload time — the
+// files the dump gate must freeze until the plan's reads complete. Eager
+// entries (extras, collected writes) carry their bytes already and need
+// no freezing.
+func planLazyPaths(parts [][]planEntry) map[string]struct{} {
+	paths := make(map[string]struct{})
+	for _, part := range parts {
+		for _, e := range part {
+			if e.data == nil {
+				paths[e.path] = struct{}{}
+			}
+		}
+	}
+	return paths
 }
 
 // planInMemBytes is the payload held in memory by a plan (the lazy
@@ -331,14 +419,17 @@ func (u *partUploader) release(bp *[]byte) {
 }
 
 // upload streams every planned part and returns the sealed size of each,
-// in part order. readsDone (optional) fires once, as soon as the last
-// part's local reads completed — the signal that the database files are
-// no longer needed and frozen writers may resume; on failure the caller's
-// own release path must cover it. A single-part object is uploaded under
-// the legacy unsplit name (the formats are byte-identical there), so
-// small checkpoints stay readable by legacy readers.
-func (u *partUploader) upload(ctx context.Context, ts int64, gen int, typ DBObjectType,
+// in part order. ident carries the object's identity — (Ts, Gen, Type)
+// plus the base linkage when the object is a delta — from which every
+// part name is built. readsDone (optional) fires once, as soon as the
+// last part's local reads completed — the signal that the database files
+// are no longer needed and frozen writers may resume; on failure the
+// caller's own release path must cover it. A single-part object is
+// uploaded under the legacy unsplit name (the formats are byte-identical
+// there), so small checkpoints stay readable by legacy readers.
+func (u *partUploader) upload(ctx context.Context, ident DBObjectInfo,
 	parts [][]planEntry, readsDone func()) ([]int64, error) {
+	ts, gen := ident.Ts, ident.Gen
 	sizes := make([]int64, len(parts))
 	var readsLeft atomic.Int64
 	readsLeft.Store(int64(len(parts)))
@@ -374,13 +465,13 @@ func (u *partUploader) upload(ctx context.Context, ts int64, gen int, typ DBObje
 		sizes[i] = int64(len(sealed))
 		var name string
 		if len(parts) == 1 {
-			name = DBObjectName(ts, gen, typ, int64(len(sealed)), -1)
+			name = ident.name(int64(len(sealed)), -1, false, 0).String()
 		} else {
 			count := 0
 			if i == len(parts)-1 {
 				count = len(parts)
 			}
-			name = DBPartName(ts, gen, typ, int64(len(sealed)), i, count)
+			name = ident.name(int64(len(sealed)), i, true, count).String()
 		}
 		putStart := u.clk.Now()
 		u.putInflight.enter()

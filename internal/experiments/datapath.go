@@ -114,6 +114,9 @@ type DatapathResult struct {
 	// Streaming covers the part-sealed streamed data path (taken from the
 	// parallel run).
 	Streaming StreamingResult `json:"streaming"`
+	// DeltaCheckpoint compares incremental delta checkpoints against full
+	// re-dumps on a 1 %-dirty workload (see deltabench.go).
+	DeltaCheckpoint *DeltaBenchResult `json:"delta_checkpoint"`
 }
 
 // datapathProfile is the WAN model used for the measurement: the sim
@@ -410,6 +413,21 @@ func RunDatapath(opts DatapathOptions) (*DatapathResult, error) {
 	res.Streaming.LegacyRecoveryOK, err = legacyRecoveryCheck(opts.MaxObjectSize)
 	if err != nil {
 		return nil, fmt.Errorf("legacy-format check: %w", err)
+	}
+	// The delta-checkpoint comparison scales off the same knobs: a larger
+	// database than the dump measurement (deltas only matter when the
+	// base dwarfs the dirty set) at the same part size and parallelism.
+	dopts := DeltaBenchOptions{
+		Rows:          4 * opts.Rows,
+		MaxObjectSize: opts.MaxObjectSize,
+		Parallel:      opts.Parallel,
+	}
+	if opts.Rows < 100 { // smoke scenario: fewer crossings, shorter chain
+		dopts.Rounds = 3
+	}
+	res.DeltaCheckpoint, err = RunDeltaBench(dopts)
+	if err != nil {
+		return nil, fmt.Errorf("delta-checkpoint bench: %w", err)
 	}
 	return res, nil
 }

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/cloud/cloudsim"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/simclock"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// This file measures what incremental delta checkpoints buy on the
+// workload they exist for — a large database where each DumpThreshold
+// crossing finds only a small clustered fraction of pages dirty. The
+// same deterministic workload runs twice, once with DeltaCheckpoints
+// and once with classic full re-dumps, so every number is a direct
+// apples-to-apples comparison on the virtual clock: checkpoint bytes
+// shipped per crossing, bytes read under the stop-writes dump gate,
+// and disaster recovery through a maximum-length chain versus a single
+// fresh base.
+
+// DeltaBenchOptions configures the delta-vs-full measurement.
+type DeltaBenchOptions struct {
+	// Rows and ValueBytes size the database. DirtyRows rows (clustered,
+	// key-adjacent — the hot-page pattern) are rewritten per round.
+	Rows       int
+	ValueBytes int
+	DirtyRows  int
+	// Rounds is how many dirty→checkpoint→crossing cycles run after the
+	// base dump; the delta run's MaxDeltaChain is set to Rounds so the
+	// final recovery walks a maximum-length chain.
+	Rounds int
+	// MaxObjectSize splits the base dump into parts; Parallel is the
+	// uploader/fetcher parallelism (as in DatapathOptions).
+	MaxObjectSize int64
+	Parallel      int
+}
+
+func (o DeltaBenchOptions) withDefaults() DeltaBenchOptions {
+	if o.Rows == 0 {
+		o.Rows = 880
+	}
+	if o.ValueBytes == 0 {
+		o.ValueBytes = 512
+	}
+	if o.DirtyRows == 0 {
+		o.DirtyRows = o.Rows / 100 // the titular 1 %-dirty workload
+		if o.DirtyRows < 2 {
+			o.DirtyRows = 2
+		}
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 6
+	}
+	if o.MaxObjectSize == 0 {
+		o.MaxObjectSize = 16 << 10
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 5
+	}
+	return o
+}
+
+// DeltaBenchResult is the delta_checkpoint section of
+// BENCH_datapath.json.
+type DeltaBenchResult struct {
+	Rows      int `json:"rows"`
+	DirtyRows int `json:"dirty_rows"`
+	// LocalDBBytes is the database size at checkpoint time — what a full
+	// re-dump must read under the gate and ship.
+	LocalDBBytes int64 `json:"local_db_bytes"`
+	// FullRedumpBytes / DeltaBytes are the sealed bytes one DumpThreshold
+	// crossing uploaded in each mode (first dirty round; compression off
+	// so they track payload). BytesRatio = delta/full, the headline
+	// saving; the ≤ 0.15 gate lives in ginja-benchjson.
+	FullRedumpBytes    int64   `json:"full_redump_bytes"`
+	DeltaBytes         int64   `json:"delta_bytes"`
+	BytesRatio         float64 `json:"bytes_ratio"`
+	FullRedumpUploadMs float64 `json:"full_redump_upload_ms"`
+	DeltaUploadMs      float64 `json:"delta_upload_ms"`
+	// GateBytesFull / GateBytesDelta are the raw bytes the dump plan
+	// reads while the stop-writes gate covers its files — the quantity
+	// the gate window is proportional to (local reads are memory-speed
+	// on the sim FS, so the window is reported in bytes, not virtual ms).
+	GateBytesFull  int64   `json:"gate_bytes_full"`
+	GateBytesDelta int64   `json:"gate_bytes_delta"`
+	GateRatio      float64 `json:"gate_ratio"`
+	// ChainLen is the delta-chain length the final recovery resolved
+	// (== Rounds == MaxDeltaChain). ChainRecoveryMs restores base +
+	// chain + WAL tail; BaseRecoveryMs restores the full-run store whose
+	// newest object is a single fresh dump. RecoveryRatio = chain/base;
+	// the ≤ 2 gate lives in ginja-benchjson.
+	ChainLen        int     `json:"chain_len"`
+	ChainRecoveryMs float64 `json:"chain_recovery_ms"`
+	BaseRecoveryMs  float64 `json:"base_recovery_ms"`
+	RecoveryRatio   float64 `json:"recovery_ratio"`
+	// RecoveredIdentical: both disaster recoveries materialized their
+	// primary's final data files byte-for-byte — for the chain run, base
+	// + every delta + the WAL tail resolved to exactly the primary's
+	// pages. (Cross-format byte-identity on a deterministic workload is
+	// pinned separately by TestDeltaChainPrefixProperty in internal/core.)
+	RecoveredIdentical bool `json:"recovered_identical"`
+	// CheckpointBytesSaved is the run's cumulative Stats counter: bytes a
+	// full re-dump would have shipped minus what the deltas shipped.
+	CheckpointBytesSaved int64 `json:"checkpoint_bytes_saved"`
+	// Streaming peak of the delta run against the same bound the classic
+	// data path honours (2 × uploaders × MaxObjectSize): deltas must not
+	// change the O(uploaders × part) memory guarantee.
+	PeakStreamBytes int64 `json:"peak_stream_bytes"`
+	BoundBytes      int64 `json:"bound_bytes"`
+	WithinBound     bool  `json:"within_bound"`
+}
+
+// deltaBenchRun is one scenario's outcome.
+type deltaBenchRun struct {
+	store           *cloud.MemStore
+	firstBytes      int64 // sealed DB bytes uploaded by the first dirty round
+	firstMs         float64
+	gateBytes       int64 // raw bytes read under the gate in that round
+	localDBBytes    int64
+	chainLen        int
+	bytesSaved      int64
+	peakStream      int64
+	recoveryMs      float64
+	recoveredOK     bool // recovery materialized the primary's data files byte-for-byte
+	recoveryObjects int
+}
+
+// measureDeltaScenario runs boot → bulk fill → base dump → Rounds ×
+// (dirty 1 % → checkpoint → crossing) → disaster recovery, with or
+// without delta checkpoints, entirely in virtual time.
+func measureDeltaScenario(opts DeltaBenchOptions, deltas bool) (*deltaBenchRun, error) {
+	out := &deltaBenchRun{}
+	clk := simclock.NewSim()
+	stopPump := clk.Pump()
+	defer stopPump()
+
+	mem := cloud.NewMemStore()
+	out.store = mem
+	store := cloudsim.New(mem, cloudsim.Options{
+		Profile: datapathProfile(),
+		Clock:   clk,
+		Seed:    1,
+	})
+
+	params := core.DefaultParams()
+	params.Clock = clk
+	params.Batch = 4
+	params.Safety = 4096
+	params.BatchTimeout = 50 * time.Millisecond
+	params.SafetyTimeout = 2 * time.Minute
+	params.RetryBaseDelay = 20 * time.Millisecond
+	params.DumpThreshold = 1.0 // every checkpoint settle crosses the rule
+	params.MaxObjectSize = opts.MaxObjectSize
+	params.CheckpointUploaders = opts.Parallel
+	params.RecoveryFetchers = opts.Parallel
+	params.Compress = false // sealed sizes track payload byte-for-byte
+	if deltas {
+		params.DeltaCheckpoints = true
+		params.MaxDeltaChain = opts.Rounds // the final chain is maximum-length
+	}
+
+	ctx := context.Background()
+	localFS := vfs.NewMemFS()
+	g, err := core.New(localFS, store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Boot(ctx); err != nil {
+		return nil, fmt.Errorf("boot: %w", err)
+	}
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(512, 8192, 1024), minidb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable("kv", 4); err != nil {
+		return nil, err
+	}
+	value := bytes.Repeat([]byte("v"), opts.ValueBytes)
+	for i := 0; i < opts.Rows; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		if err := db.Update(func(tx *minidb.Txn) error {
+			return tx.Put("kv", []byte(key), value)
+		}); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	if !g.Flush(5 * time.Minute) {
+		return nil, fmt.Errorf("bulk flush did not drain")
+	}
+
+	// Settle one checkpoint to establish the base: the crossing finds the
+	// whole database dirty, so both modes serve it with a full dump (the
+	// delta run's compaction bound folds an all-dirty "delta" away).
+	waitCounter := func(read func(core.Stats) int64) error {
+		before := read(g.Stats())
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		for tries := 0; read(g.Stats()) == before; tries++ {
+			if err := g.Err(); err != nil {
+				return fmt.Errorf("replication failed: %w", err)
+			}
+			if tries > 100000 {
+				return fmt.Errorf("checkpoint crossing never completed")
+			}
+			clk.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitCounter(func(s core.Stats) int64 { return s.Dumps }); err != nil {
+		return nil, fmt.Errorf("base dump: %w", err)
+	}
+
+	// Size the settled database: the bytes a full re-dump reads under the
+	// stop-writes gate and ships per crossing.
+	proc := dbevent.NewPGProcessor()
+	files, err := vfs.Walk(localFS, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range files {
+		if proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		fi, err := localFS.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		out.localDBBytes += fi.Size()
+	}
+
+	// The dirty rounds: rewrite a clustered 1 % of the rows, checkpoint,
+	// and let the crossing ship a delta (or a full re-dump). Round 1 is
+	// the measured crossing.
+	counter := func(s core.Stats) int64 { return s.Dumps }
+	if deltas {
+		counter = func(s core.Stats) int64 { return s.Deltas }
+	}
+	for round := 1; round <= opts.Rounds; round++ {
+		for i := 0; i < opts.DirtyRows; i++ {
+			key := fmt.Sprintf("key-%06d", i)
+			val := []byte(fmt.Sprintf("round-%d-%s", round, value))
+			if err := db.Update(func(tx *minidb.Txn) error {
+				return tx.Put("kv", []byte(key), val)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if !g.Flush(5 * time.Minute) {
+			return nil, fmt.Errorf("round %d flush did not drain", round)
+		}
+		statsBefore := g.Stats()
+		t0 := clk.Now()
+		if err := waitCounter(counter); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		if round == 1 {
+			statsAfter := g.Stats()
+			out.firstBytes = statsAfter.DBBytesUploaded - statsBefore.DBBytesUploaded
+			out.firstMs = float64(clk.Since(t0)) / float64(time.Millisecond)
+			if deltas {
+				// The delta's raw planned payload is what its gate covered:
+				// localSize minus what skipping the clean pages saved.
+				out.gateBytes = out.localDBBytes - (statsAfter.CheckpointBytesSaved - statsBefore.CheckpointBytesSaved)
+			} else {
+				out.gateBytes = out.localDBBytes
+			}
+		}
+	}
+	if err := g.Close(); err != nil { // drains uploads + GC deterministically
+		return nil, fmt.Errorf("close: %w", err)
+	}
+	final := g.Stats()
+	out.chainLen = final.DeltaChainLen
+	out.bytesSaved = final.CheckpointBytesSaved
+	out.peakStream = final.PeakStreamBytes
+
+	// Disaster recovery on a fresh machine: the delta store resolves base
+	// + maximum-length chain, the full store a single fresh dump.
+	g2, err := core.New(vfs.NewMemFS(), store, dbevent.NewPGProcessor(), params)
+	if err != nil {
+		return nil, err
+	}
+	target := vfs.NewMemFS()
+	t1 := clk.Now()
+	if err := g2.RecoverAt(ctx, target, -1); err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	out.recoveryMs = float64(clk.Since(t1)) / float64(time.Millisecond)
+	// Recovery's correctness contract: the rebuilt machine's data files
+	// are byte-identical to the primary's. For the delta run this is the
+	// whole point — base + every chained delta + the WAL tail must
+	// materialize exactly the pages the primary holds.
+	out.recoveredOK = true
+	finalFiles, err := vfs.Walk(localFS, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range finalFiles {
+		if proc.FileKind(p) != dbevent.KindData {
+			continue
+		}
+		want, err := vfs.ReadFile(localFS, p)
+		if err != nil {
+			return nil, err
+		}
+		got, err := vfs.ReadFile(target, p)
+		if err != nil || !bytes.Equal(got, want) {
+			out.recoveredOK = false
+		}
+	}
+	return out, nil
+}
+
+// RunDeltaBench runs the paired delta/full scenarios and folds them into
+// the comparison the gates check.
+func RunDeltaBench(opts DeltaBenchOptions) (*DeltaBenchResult, error) {
+	opts = opts.withDefaults()
+	dr, err := measureDeltaScenario(opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("delta run: %w", err)
+	}
+	fr, err := measureDeltaScenario(opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("full-dump run: %w", err)
+	}
+	res := &DeltaBenchResult{
+		Rows:                 opts.Rows,
+		DirtyRows:            opts.DirtyRows,
+		LocalDBBytes:         dr.localDBBytes,
+		FullRedumpBytes:      fr.firstBytes,
+		DeltaBytes:           dr.firstBytes,
+		FullRedumpUploadMs:   fr.firstMs,
+		DeltaUploadMs:        dr.firstMs,
+		GateBytesFull:        fr.gateBytes,
+		GateBytesDelta:       dr.gateBytes,
+		ChainLen:             dr.chainLen,
+		ChainRecoveryMs:      dr.recoveryMs,
+		BaseRecoveryMs:       fr.recoveryMs,
+		CheckpointBytesSaved: dr.bytesSaved,
+		PeakStreamBytes:      dr.peakStream,
+		BoundBytes:           2 * int64(opts.Parallel) * opts.MaxObjectSize,
+	}
+	if res.FullRedumpBytes > 0 {
+		res.BytesRatio = float64(res.DeltaBytes) / float64(res.FullRedumpBytes)
+	}
+	if res.GateBytesFull > 0 {
+		res.GateRatio = float64(res.GateBytesDelta) / float64(res.GateBytesFull)
+	}
+	if res.BaseRecoveryMs > 0 {
+		res.RecoveryRatio = res.ChainRecoveryMs / res.BaseRecoveryMs
+	}
+	res.WithinBound = res.PeakStreamBytes > 0 && res.PeakStreamBytes <= res.BoundBytes
+	res.RecoveredIdentical = dr.recoveredOK && fr.recoveredOK
+	return res, nil
+}

@@ -68,6 +68,12 @@ type Config struct {
 	// while knobs are mid-flight — the schedule's outages and the crash
 	// must still yield a consistent prefix.
 	Adaptive bool
+	// Deltas runs the primary with delta checkpoints on a seed-drawn small
+	// MaxDeltaChain (so chains fold into fresh bases during the run): the
+	// 150 % rule ships sparse chain elements instead of full re-dumps, and
+	// the crash/recovery invariants must hold across chains, folds, and
+	// crashes that land mid-delta upload.
+	Deltas bool
 }
 
 // Result summarises one simulation run.
@@ -98,6 +104,10 @@ type Result struct {
 	// objects uploaded and how many carried a packed multi-write body.
 	WALObjects       int64
 	PackedWALObjects int64
+	// Deltas / Dumps are the chain elements the crashed primary shipped
+	// durably (the delta drills assert the chain path actually ran).
+	Deltas int64
+	Dumps  int64
 	// OrphanParts is how many stranded DB parts the recovery instance's
 	// cloud listing pruned and recorded (leftovers of an upload the crash
 	// cut off mid part-stream).
@@ -241,6 +251,18 @@ func Run(cfg Config) (*Result, error) {
 		params.AdaptiveBatching = true
 		params.CostCeilingPerDay = []float64{0.25, 1.0, 4.0}[arng.Intn(3)]
 	}
+	if cfg.Deltas {
+		// Gated and on a fourth stream for the same reason as Adaptive: seeds
+		// that don't opt in keep their exact workloads. Compression is off and
+		// the threshold sits just above 1 so cloud bytes track raw bytes and
+		// most checkpoints cross it — short runs then actually build chains,
+		// which the small MaxDeltaChain folds mid-run.
+		drng := rand.New(rand.NewSource(sched.Seed ^ 0xde17a5))
+		params.DeltaCheckpoints = true
+		params.MaxDeltaChain = 2 + drng.Intn(5) // 2–6: chains fold mid-run
+		params.Compress = false
+		params.DumpThreshold = 1.05 + drng.Float64()*0.3
+	}
 	res.Batch, res.Safety = params.Batch, params.Safety
 	res.BatchTimeout, res.SafetyTimeout = params.BatchTimeout, params.SafetyTimeout
 	res.UploadRetries = params.UploadRetries
@@ -360,7 +382,10 @@ func Run(cfg Config) (*Result, error) {
 		case r < 94: // flush: everything so far becomes guaranteed-durable
 			if g.Flush(2 * time.Minute) {
 				covered := true
-				for tries := 0; g.Stats().Checkpoints+g.Stats().Dumps < ckpts; tries++ {
+				for tries := 0; func() int64 {
+					s := g.Stats()
+					return s.Checkpoints + s.Dumps + s.Deltas
+				}() < ckpts; tries++ {
 					if g.Err() != nil || tries > 5000 {
 						covered = false
 						break
@@ -416,6 +441,8 @@ func Run(cfg Config) (*Result, error) {
 	res.PipelineErr = stats.LastError
 	res.WALObjects = stats.WALObjectsUploaded
 	res.PackedWALObjects = stats.PackedWALObjects
+	res.Deltas = stats.Deltas
+	res.Dumps = stats.Dumps
 	_ = g.Close()
 
 	// The replacement site sees a healthy provider (the schedule's faults

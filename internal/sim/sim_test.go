@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -415,4 +416,112 @@ func TestRunAdaptiveSeeds(t *testing.T) {
 				seed, res.Batch, res.Safety, res.Commits, res.Cut, res.FlushedUpTo, res.Retries)
 		})
 	}
+}
+
+// TestRunDeltaSeeds: the seeded fault matrix with delta checkpoints on —
+// the 150 % rule ships sparse chain elements, chains fold at the
+// seed-drawn MaxDeltaChain, and GC retires superseded checkpoints as
+// deltas land. Every seed must keep the consistent prefix and the
+// flushed floor, and across the matrix at least one seed must actually
+// ship a delta (otherwise the drill degraded into plain full re-dumps).
+func TestRunDeltaSeeds(t *testing.T) {
+	seeds := []int64{1, 3, 7, 13, 23, 42, 77, 131, 211, 377}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	var deltas atomic.Int64
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			// A longer run than the generated schedules, with filler bulk:
+			// chains need checkpoints to build on and a mostly-clean database
+			// for deltas to stay under the compact ratio. The crash lands with
+			// a live chain; recovery resolves it.
+			sched := &Schedule{Seed: seed, Steps: 120, CrashAfterStep: 100}
+			res, err := Run(Config{Seed: seed, Schedule: sched, Deltas: true, FillerRows: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cut < res.FlushedUpTo {
+				t.Fatalf("cut %d < flushed %d", res.Cut, res.FlushedUpTo)
+			}
+			deltas.Add(res.Deltas)
+			t.Logf("delta seed=%d: deltas=%d ckpts=%d commits=%d cut=%d flushed=%d",
+				seed, res.Deltas, res.Checkpoints, res.Commits, res.Cut, res.FlushedUpTo)
+		})
+	}
+	t.Cleanup(func() {
+		if deltas.Load() == 0 {
+			t.Error("no seed shipped a delta; the drill no longer exercises chains")
+		}
+	})
+}
+
+// TestRunCrashMidDeltaUpload: the primary dies with a delta (or the fold
+// dump replacing a maxed-out chain) mid part-stream — the final
+// checkpoint is issued and the machine killed one cloud round-trip in.
+// The replacement's listing must treat the truncated chain element like
+// any incomplete group (prune it, record orphans) and recover a
+// consistent prefix that honours the flushed floor.
+func TestRunCrashMidDeltaUpload(t *testing.T) {
+	seeds := []int64{7, 19, 31, 53, 77, 113, 151, 211}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	totalOrphans := 0
+	var totalDeltas int64
+	for _, seed := range seeds {
+		sched := &Schedule{Seed: seed, Steps: 120, CrashAfterStep: 120}
+		res, err := Run(Config{Seed: seed, Schedule: sched, Deltas: true, FillerRows: 200, CrashDuringCheckpoint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalOrphans += res.OrphanParts
+		totalDeltas += res.Deltas
+		t.Logf("seed=%d: deltas=%d orphanParts=%d commits=%d cut=%d flushed=%d",
+			seed, res.Deltas, res.OrphanParts, res.Commits, res.Cut, res.FlushedUpTo)
+	}
+	if totalOrphans == 0 {
+		t.Fatal("no seed stranded orphan parts; the crash no longer lands mid-stream")
+	}
+	if totalDeltas == 0 {
+		t.Fatal("no seed shipped a delta before the crash; the drill no longer exercises chains")
+	}
+}
+
+// TestRunFollowerTailsCompactingChain: a warm standby tails a bucket
+// whose primary ships delta chains that fold and garbage-collect under
+// the follower's feet (superseded checkpoints retired as deltas land,
+// chains replaced by fresh bases at MaxDeltaChain). Promote must still
+// produce the consistent prefix — the tracker's base-before-delta
+// ordering and the follower's GC-race tolerance carry the weight.
+func TestRunFollowerTailsCompactingChain(t *testing.T) {
+	seeds := []int64{7, 23, 42, 77, 131, 211}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	var deltas atomic.Int64
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sched := &Schedule{Seed: seed, Steps: 120, CrashAfterStep: 100}
+			res, err := Run(Config{Seed: seed, Schedule: sched, Deltas: true, FillerRows: 200, Follower: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Promoted {
+				t.Fatal("delta follower drill did not promote")
+			}
+			deltas.Add(res.Deltas)
+			t.Logf("seed=%d: deltas=%d lag=%v commits=%d cut=%d flushed=%d",
+				seed, res.Deltas, res.FollowerLag, res.Commits, res.Cut, res.FlushedUpTo)
+		})
+	}
+	t.Cleanup(func() {
+		if deltas.Load() == 0 {
+			t.Error("no seed shipped a delta; the follower drill no longer sees chains")
+		}
+	})
 }
