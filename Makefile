@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 COVER_FLOOR_CORE ?= 85
 COVER_FLOOR_OBS  ?= 85
 
-.PHONY: build test vet race verify cover-check fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-delta bench-delta-smoke bench-recovery bench-recovery-smoke
+.PHONY: build test vet race verify cover-check fuzz-smoke bench bench-json bench-json-smoke bench-commit bench-commit-smoke bench-data bench-data-smoke bench-delta bench-delta-smoke bench-recovery bench-recovery-smoke bench-fleet bench-fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,7 @@ cover-check:
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a change lands.
-verify: build vet test race cover-check fuzz-smoke bench-data-smoke bench-commit-smoke bench-recovery-smoke
+verify: build vet test race cover-check fuzz-smoke bench-data-smoke bench-commit-smoke bench-recovery-smoke bench-fleet-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -115,3 +115,18 @@ bench-recovery:
 
 bench-recovery-smoke:
 	$(GO) run ./cmd/ginja-benchjson -path recovery -smoke
+
+# bench-fleet measures fleet mode — many tenant databases multiplexed in
+# one process over shared upload/fetch pools and one bucket — swept over
+# 1/10/100/1000 tenants: per-tenant goroutine and heap footprint, the
+# hot tenant's commit p50/p99 while an antagonist tenant dumps, and the
+# fleet-wide Safety-deadline-miss count, into BENCH_fleet.json.
+# ginja-benchjson exits non-zero if any sweep point records a Safety
+# deadline miss, if commit p50 at 100 tenants exceeds 1.5x solo, or if
+# the per-tenant footprint grows more than 10% from 10 to 1000 tenants.
+# The smoke variant sweeps 1/10/100 and is part of `make verify`.
+bench-fleet:
+	$(GO) run ./cmd/ginja-benchjson -path fleet -out BENCH_fleet.json
+
+bench-fleet-smoke:
+	$(GO) run ./cmd/ginja-benchjson -path fleet -smoke

@@ -10,10 +10,13 @@
 //     (crash mid-batch, outage then crash, crash during dump) replayed
 //     across seeds; data-loss-window and recovery-time percentiles plus
 //     the per-phase RTO budget → BENCH_recovery.json
+//   - -path fleet: fleet mode — per-tenant goroutine/heap footprint and
+//     hot-tenant commit quantiles under a dumping antagonist, swept over
+//     1/10/100/1000 tenants in one process → BENCH_fleet.json
 //
 // Usage:
 //
-//	ginja-benchjson [-path datapath|commit|recovery] [-out FILE] [-parallel 5] [-smoke]
+//	ginja-benchjson [-path datapath|commit|recovery|fleet] [-out FILE] [-parallel 5] [-smoke]
 //
 // All latencies are virtual time on the simulated clock, so the numbers
 // are exact and machine-independent; only the allocation profiles run on
@@ -40,7 +43,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ginja-benchjson", flag.ContinueOnError)
-	path := fs.String("path", "datapath", "which path to benchmark: datapath, commit or recovery")
+	path := fs.String("path", "datapath", "which path to benchmark: datapath, commit, recovery or fleet")
 	out := fs.String("out", "", "output file (default BENCH_<path>.json)")
 	parallel := fs.Int("parallel", 5, "datapath only: parallelism of the parallel run (serial run is always 1)")
 	smoke := fs.Bool("smoke", false, "small scenario, print to stdout, write no file")
@@ -218,8 +221,49 @@ func run(args []string) error {
 			return fmt.Errorf("pipelined uploader regressed: %.2fx speedup over serial (want >= 1.15x)", pl.Speedup)
 		}
 		res = r
+	case "fleet":
+		defaultOut = "BENCH_fleet.json"
+		opts := experiments.FleetBenchOptions{}
+		if *smoke {
+			opts.Sizes = []int{1, 10, 100}
+			opts.Commits = 12
+		}
+		var r *experiments.FleetBenchResult
+		if r, err = experiments.RunFleetBench(opts); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			fmt.Printf("fleet %5d tenants: %.2f goroutines, %6.1f KiB heap per tenant; commit p50/p99 %6.1f/%6.1f ms; %d safety misses\n",
+				row.Tenants, row.GoroutinesPerTenant, row.HeapBytesPerTenant/1024,
+				row.CommitP50Ms, row.CommitP99Ms, row.SafetyDeadlineMisses)
+			// The fairness contract: with a dumping antagonist saturating
+			// the bulk path at every sweep point, no tenant's Safety-class
+			// PUT ever out-waits its TS window in the shared queue.
+			if row.SafetyDeadlineMisses != 0 {
+				return fmt.Errorf("fleet bench regressed: %d safety deadline misses at %d tenants (want 0)",
+					row.SafetyDeadlineMisses, row.Tenants)
+			}
+			if row.GoroutinesPerTenant <= 0 || row.GoroutinesPerTenant > 12 {
+				return fmt.Errorf("fleet bench regressed: %.2f goroutines per tenant at %d tenants (want (0, 12])",
+					row.GoroutinesPerTenant, row.Tenants)
+			}
+		}
+		fmt.Printf("fleet gates: p50 ratio at 100 tenants %.2fx of solo; per-tenant growth 10->1000: goroutines %+.1f%%, heap %+.1f%%\n",
+			r.P50RatioAt100, 100*r.GoroutineGrowth10To1000, 100*r.HeapGrowth10To1000)
+		// Contention gate: a shared fleet must not tax the hot tenant's
+		// commit latency beyond 1.5x of running alone.
+		if r.P50RatioAt100 > 1.5 {
+			return fmt.Errorf("fleet bench regressed: commit p50 at 100 tenants is %.2fx solo (want <= 1.5x)", r.P50RatioAt100)
+		}
+		// Flat-overhead gate (full sweep only — the smoke sweep has no
+		// 1000-tenant row and reports zero growth).
+		if r.GoroutineGrowth10To1000 > 0.10 || r.HeapGrowth10To1000 > 0.10 {
+			return fmt.Errorf("fleet bench regressed: per-tenant overhead grew 10->1000 tenants: goroutines %+.1f%% heap %+.1f%% (want <= +10%%)",
+				100*r.GoroutineGrowth10To1000, 100*r.HeapGrowth10To1000)
+		}
+		res = r
 	default:
-		return fmt.Errorf("unknown -path %q (want datapath, commit or recovery)", *path)
+		return fmt.Errorf("unknown -path %q (want datapath, commit, recovery or fleet)", *path)
 	}
 
 	data, err := json.MarshalIndent(res, "", "  ")

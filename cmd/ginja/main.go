@@ -65,6 +65,7 @@ type options struct {
 	deltas      bool
 	deltaChain  int
 	deltaRatio  float64
+	prefix      string
 
 	// registry is non-nil when -metrics-addr is set; store() and params()
 	// route telemetry through it.
@@ -118,11 +119,14 @@ func run(args []string) error {
 		"deltas only: fold the chain into a fresh full dump after this many deltas (0 = default)")
 	fs.Float64Var(&o.deltaRatio, "delta-compact-ratio", 0,
 		"deltas only: fold early once the chain's summed payload exceeds this fraction of the database (0 = default)")
+	fs.StringVar(&o.prefix, "prefix", "",
+		"root every cloud object under this key prefix so many databases share one bucket (e.g. tenants/db7)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 	if o.metricsAddr != "" {
 		o.registry = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(o.registry)
 	}
 
 	ctx := context.Background()
@@ -196,6 +200,7 @@ func (o options) params() core.Params {
 	if o.deltaRatio > 0 {
 		p.DeltaCompactRatio = o.deltaRatio
 	}
+	p.Prefix = o.prefix
 	return p
 }
 
@@ -275,8 +280,10 @@ func cmdRun(ctx context.Context, o options) error {
 		return err
 	}
 	defer stopMetrics()
-	// Boot if the cloud is empty, otherwise reboot.
-	infos, err := store.List(ctx, "")
+	// Boot if the cloud is empty, otherwise reboot. With -prefix set only
+	// this database's subtree counts — another tenant's objects in a
+	// shared bucket must not turn a first boot into a reboot.
+	infos, err := cloud.NewPrefixStore(store, o.prefix).List(ctx, "")
 	if err != nil {
 		return err
 	}
@@ -405,7 +412,9 @@ func cmdStatus(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	metered := cloud.NewMeteredStore(store, cloud.AmazonS3May2017())
+	// With -prefix set, report on that tenant's subtree only, with the
+	// prefix stripped so the WAL/DB classification below still applies.
+	metered := cloud.NewMeteredStore(cloud.NewPrefixStore(store, o.prefix), cloud.AmazonS3May2017())
 	infos, err := metered.List(ctx, "")
 	if err != nil {
 		return err
@@ -451,7 +460,9 @@ func cmdPITR(ctx context.Context, o options, args []string) error {
 	}
 	switch args[0] {
 	case "list":
-		infos, err := store.List(ctx, "")
+		// g's store was prefixed inside core.New; this direct listing
+		// must strip the same prefix for LoadFromList to parse names.
+		infos, err := cloud.NewPrefixStore(store, o.prefix).List(ctx, "")
 		if err != nil {
 			return err
 		}

@@ -272,6 +272,52 @@ type (
 // handoff.
 var NewFollower = core.NewFollower
 
+// Fleet mode. One process protects many tenant databases over shared
+// resources: one bucket (per-tenant key prefixes), one bounded upload
+// pool and one bounded fetch pool with a fairness scheduler (WAL PUTs
+// are deadline-scheduled and never starved by bulk dump traffic; bulk
+// traffic is per-tenant capped and aged so checkpoints always make
+// progress), and one tick wheel multiplexing every tenant's timers.
+// Admit adds a tenant (returning a fully wired *Ginja), Evict removes
+// one; the marginal cost of an idle tenant is a few goroutines and a
+// few tens of kilobytes (see `make bench-fleet`).
+type (
+	// Fleet multiplexes many Ginja instances over shared pools.
+	Fleet = core.Fleet
+	// FleetParams configures the shared store, pool sizes, fairness
+	// knobs, metrics registry and clock.
+	FleetParams = core.FleetParams
+	// FleetStats snapshots fleet-wide scheduler and tenant state.
+	FleetStats = core.FleetStats
+)
+
+// NewFleet creates an empty fleet over a shared ObjectStore.
+var NewFleet = core.NewFleet
+
+// ValidatePrefix reports whether a Params.Prefix (or tenant id) is
+// well-formed: non-empty path segments of [A-Za-z0-9._-], no leading
+// or trailing "/", no "." or ".." segments.
+var ValidatePrefix = core.ValidatePrefix
+
+// Fleet defaults, used when the corresponding FleetParams field is zero.
+const (
+	// DefaultFleetUploadSlots bounds concurrent PUT/DELETE ops fleet-wide.
+	DefaultFleetUploadSlots = core.DefaultFleetUploadSlots
+	// DefaultFleetFetchSlots bounds concurrent GET/LIST ops fleet-wide.
+	DefaultFleetFetchSlots = core.DefaultFleetFetchSlots
+	// DefaultFleetTenantCap bounds one tenant's in-flight bulk ops.
+	DefaultFleetTenantCap = core.DefaultFleetTenantCap
+	// DefaultFleetBulkAgingAfter is how long a queued bulk op waits
+	// before it may take priority over fresher Safety traffic.
+	DefaultFleetBulkAgingAfter = core.DefaultFleetBulkAgingAfter
+)
+
+// NewPrefixStore namespaces a store under a key prefix: every object
+// the returned store reads or writes lives under prefix+"/". Ginja
+// applies Params.Prefix internally; use this to inspect one tenant's
+// slice of a shared bucket from the outside.
+var NewPrefixStore = cloud.NewPrefixStore
+
 // File system interposition.
 type (
 	// FS is the file-system surface database engines run on.

@@ -1,0 +1,80 @@
+package cloud
+
+import (
+	"context"
+	"strings"
+)
+
+// PrefixStore exposes the subtree of an ObjectStore under a fixed key
+// prefix as a complete store of its own: every name is transparently
+// prefixed on the way in and stripped on the way out. It is how fleet
+// tenants share one bucket — each tenant's Ginja runs against a
+// PrefixStore and never sees (or can touch) another tenant's objects,
+// because every operation it can express stays inside its prefix.
+//
+// List ignores objects outside the prefix entirely, so a tenant's LIST
+// diffing, CloudView reconstruction and garbage collection operate on a
+// namespace that looks exactly like a private bucket. The prefix itself
+// is validated by core.Params (no "..", no leading "/", restricted
+// alphabet), which — together with the fleet's no-nesting admission rule
+// — makes aliasing another tenant's objects inexpressible.
+type PrefixStore struct {
+	inner ObjectStore
+	// prefix always ends in "/" so concatenation can never splice two
+	// tenants' names together ("a"+"b/x" vs "ab"+"/x").
+	prefix string
+}
+
+var _ ObjectStore = (*PrefixStore)(nil)
+
+// NewPrefixStore returns a view of inner rooted at prefix. A trailing
+// "/" is appended if missing; an empty prefix returns inner unchanged.
+func NewPrefixStore(inner ObjectStore, prefix string) ObjectStore {
+	if prefix == "" {
+		return inner
+	}
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &PrefixStore{inner: inner, prefix: prefix}
+}
+
+// Prefix returns the normalized ("/"-terminated) key prefix.
+func (p *PrefixStore) Prefix() string { return p.prefix }
+
+// Put implements ObjectStore.
+func (p *PrefixStore) Put(ctx context.Context, name string, data []byte) error {
+	return p.inner.Put(ctx, p.prefix+name, data)
+}
+
+// Get implements ObjectStore.
+func (p *PrefixStore) Get(ctx context.Context, name string) ([]byte, error) {
+	return p.inner.Get(ctx, p.prefix+name)
+}
+
+// List implements ObjectStore: it lists inner under prefix+listPrefix and
+// returns the names with the store prefix stripped, so callers see the
+// same namespace they wrote.
+func (p *PrefixStore) List(ctx context.Context, listPrefix string) ([]ObjectInfo, error) {
+	infos, err := p.inner.List(ctx, p.prefix+listPrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectInfo, 0, len(infos))
+	for _, info := range infos {
+		name, ok := strings.CutPrefix(info.Name, p.prefix)
+		if !ok {
+			// Defensive: an inner List that returns names outside the
+			// requested prefix is broken; hiding the object is safer than
+			// leaking a foreign (other-tenant) name into LIST diffing.
+			continue
+		}
+		out = append(out, ObjectInfo{Name: name, Size: info.Size})
+	}
+	return out, nil
+}
+
+// Delete implements ObjectStore.
+func (p *PrefixStore) Delete(ctx context.Context, name string) error {
+	return p.inner.Delete(ctx, p.prefix+name)
+}

@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestPrefixStoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	a := NewPrefixStore(inner, "tenants/a") // no trailing slash: normalized
+	b := NewPrefixStore(inner, "tenants/b/")
+
+	if err := a.Put(ctx, "WAL/1_seg_0", []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, "WAL/1_seg_0", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each view reads back its own object despite the identical logical name.
+	got, err := a.Get(ctx, "WAL/1_seg_0")
+	if err != nil || string(got) != "aaa" {
+		t.Fatalf("a.Get = %q, %v", got, err)
+	}
+	got, err = b.Get(ctx, "WAL/1_seg_0")
+	if err != nil || string(got) != "bbbb" {
+		t.Fatalf("b.Get = %q, %v", got, err)
+	}
+
+	// The underlying bucket holds both, fully prefixed.
+	all, err := inner.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Name != "tenants/a/WAL/1_seg_0" || all[1].Name != "tenants/b/WAL/1_seg_0" {
+		t.Fatalf("inner listing = %+v", all)
+	}
+
+	// Each view lists only its own subtree, with stripped names and
+	// correct sizes.
+	infos, err := a.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "WAL/1_seg_0" || infos[0].Size != 3 {
+		t.Fatalf("a listing = %+v", infos)
+	}
+	infos, err = a.List(ctx, "WAL/")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("a WAL/ listing = %+v, %v", infos, err)
+	}
+	infos, err = a.List(ctx, "DB/")
+	if err != nil || len(infos) != 0 {
+		t.Fatalf("a DB/ listing = %+v, %v", infos, err)
+	}
+
+	// Delete through one view cannot touch the other tenant's object.
+	if err := a.Delete(ctx, "WAL/1_seg_0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete(ctx, "WAL/1_seg_0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second delete = %v, want ErrNotFound", err)
+	}
+	if _, err := b.Get(ctx, "WAL/1_seg_0"); err != nil {
+		t.Fatalf("b's object gone after a's delete: %v", err)
+	}
+}
+
+func TestPrefixStoreEmptyPrefixIsIdentity(t *testing.T) {
+	inner := NewMemStore()
+	if got := NewPrefixStore(inner, ""); got != ObjectStore(inner) {
+		t.Fatalf("empty prefix should return the inner store unchanged, got %T", got)
+	}
+}
+
+func TestPrefixStoreSiblingPrefixesDisjoint(t *testing.T) {
+	// "tenants/a" must not observe "tenants/ab": the normalized trailing
+	// slash keeps sibling prefixes that share a byte prefix disjoint.
+	ctx := context.Background()
+	inner := NewMemStore()
+	a := NewPrefixStore(inner, "tenants/a")
+	ab := NewPrefixStore(inner, "tenants/ab")
+	if err := ab.Put(ctx, "WAL/1_seg_0", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := a.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("tenants/a sees tenants/ab's objects: %+v", infos)
+	}
+	if _, err := a.Get(ctx, "WAL/1_seg_0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-prefix Get = %v, want ErrNotFound", err)
+	}
+}

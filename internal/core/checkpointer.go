@@ -164,7 +164,17 @@ type checkpointer struct {
 	walRetired map[int64]retiredObject
 	dbRetired  map[dbKey]retiredObject
 	trimMu     sync.Mutex
-	trimDone   chan struct{}
+
+	// Trimmer tick state: the periodic retention trim is driven by a
+	// clock AfterFunc (one entry on the shared tick wheel in fleet mode,
+	// a runtime timer otherwise) instead of a dedicated sleeper goroutine,
+	// so N instances cost N heap entries, not N goroutines. The timer
+	// callback only spawns the transient trim goroutine — cloud I/O never
+	// runs on the timer goroutine itself.
+	trimTickMu  sync.Mutex
+	trimTimer   simclock.Timer
+	trimStopped bool
+	trimWG      sync.WaitGroup
 
 	errMu sync.Mutex
 	err   error
@@ -308,27 +318,61 @@ func (c *checkpointer) start() {
 	if c.params.RetainFor > 0 {
 		// Background trimmer: enforce the retention window even when no
 		// dump happens to run GC — a quiet database must still converge to
-		// its bounded chain.
+		// its bounded chain. Driven by AfterFunc ticks rather than a
+		// dedicated sleeper goroutine (see the trimTick fields).
 		interval := c.params.RetainFor / 4
 		if interval <= 0 {
 			interval = time.Second
 		}
-		c.trimDone = make(chan struct{})
-		go func() {
-			defer close(c.trimDone)
-			for simclock.SleepCtx(c.ctx, c.clk, interval) == nil {
-				if err := c.trimRetention(); err != nil {
-					// stop() cancelling the context mid-trim is a clean
-					// shutdown, not a checkpointer failure (mirrors the
-					// follower's loop).
-					if c.ctx.Err() == nil {
-						c.fail(err)
-					}
-					return
-				}
-			}
-		}()
+		c.armTrimTick(interval)
 	}
+}
+
+// armTrimTick schedules the next retention trim, unless the trimmer has
+// been stopped. The AfterFunc callback must stay brief (it may run on a
+// shared tick wheel), so the trim itself — cloud deletes with retries —
+// runs on a transient goroutine tracked by trimWG.
+func (c *checkpointer) armTrimTick(interval time.Duration) {
+	c.trimTickMu.Lock()
+	defer c.trimTickMu.Unlock()
+	if c.trimStopped || c.ctx.Err() != nil {
+		return
+	}
+	c.trimTimer = c.clk.AfterFunc(interval, func() {
+		c.trimTickMu.Lock()
+		if c.trimStopped || c.ctx.Err() != nil {
+			c.trimTickMu.Unlock()
+			return
+		}
+		c.trimWG.Add(1)
+		c.trimTickMu.Unlock()
+		go func() {
+			defer c.trimWG.Done()
+			if err := c.trimRetention(); err != nil {
+				// stop() cancelling the context mid-trim is a clean
+				// shutdown, not a checkpointer failure (mirrors the
+				// follower's loop).
+				if c.ctx.Err() == nil {
+					c.fail(err)
+				}
+				return
+			}
+			c.armTrimTick(interval)
+		}()
+	})
+}
+
+// stopTrimTick halts the trim cycle: no further ticks are armed, the
+// pending timer is cancelled, and any in-flight trim is waited out (its
+// context is already cancelled by stop, so it returns promptly).
+func (c *checkpointer) stopTrimTick() {
+	c.trimTickMu.Lock()
+	c.trimStopped = true
+	if c.trimTimer != nil {
+		c.trimTimer.Stop()
+	}
+	c.trimTickMu.Unlock()
+	c.trimWG.Wait()
 }
 
 // stop flushes the queue (bounded by timeout) and terminates the
@@ -345,9 +389,7 @@ func (c *checkpointer) stop(timeout time.Duration) error {
 	}
 	c.cancel()
 	<-c.done
-	if c.trimDone != nil {
-		<-c.trimDone
-	}
+	c.stopTrimTick()
 	return c.lastErr()
 }
 

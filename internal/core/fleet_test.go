@@ -1,0 +1,268 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/core"
+	"github.com/ginja-dr/ginja/internal/dbevent"
+	"github.com/ginja-dr/ginja/internal/minidb"
+	"github.com/ginja-dr/ginja/internal/minidb/pgengine"
+	"github.com/ginja-dr/ginja/internal/vfs"
+)
+
+// fleetTenant bundles one admitted tenant database.
+type fleetTenant struct {
+	id string
+	g  *core.Ginja
+	db *minidb.DB
+}
+
+// admitTenant admits id into f, boots it and opens a database on it.
+func admitTenant(t *testing.T, f *core.Fleet, id string) *fleetTenant {
+	t.Helper()
+	g, err := f.Admit(id, vfs.NewMemFS(), dbevent.NewPGProcessor(), fastParams())
+	if err != nil {
+		t.Fatalf("Admit(%s): %v", id, err)
+	}
+	if err := g.Boot(context.Background()); err != nil {
+		t.Fatalf("Boot(%s): %v", id, err)
+	}
+	db, err := minidb.Open(g.FS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", id, err)
+	}
+	return &fleetTenant{id: id, g: g, db: db}
+}
+
+func (ft *fleetTenant) put(t *testing.T, key, value string) {
+	t.Helper()
+	if err := ft.db.Update(func(tx *minidb.Txn) error {
+		return tx.Put("kv", []byte(key), []byte(value))
+	}); err != nil {
+		t.Fatalf("put(%s): %v", ft.id, err)
+	}
+}
+
+// TestFleetTwoTenantsShareBucketIsolated is the shared-bucket isolation
+// property: two tenants write through one bucket; every object lands
+// under its owner's prefix, each tenant's recovery sees only its own
+// data, and evicting (or GC'ing) tenant A never deletes B's objects.
+func TestFleetTwoTenantsShareBucketIsolated(t *testing.T) {
+	shared := cloud.NewMemStore()
+	f, err := core.NewFleet(core.FleetParams{Store: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	a := admitTenant(t, f, "alpha")
+	b := admitTenant(t, f, "beta")
+	for i := 0; i < 30; i++ {
+		a.put(t, "ka", strings.Repeat("A", 64))
+		b.put(t, "kb", strings.Repeat("B", 64))
+	}
+	if !a.g.Flush(10*time.Second) || !b.g.Flush(10*time.Second) {
+		t.Fatal("flush timed out")
+	}
+
+	// Every object in the shared bucket belongs to exactly one tenant
+	// prefix.
+	objs, err := shared.List(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("no objects in shared bucket")
+	}
+	var nA, nB int
+	for _, o := range objs {
+		switch {
+		case strings.HasPrefix(o.Name, "tenants/alpha/"):
+			nA++
+		case strings.HasPrefix(o.Name, "tenants/beta/"):
+			nB++
+		default:
+			t.Fatalf("object %q outside any tenant prefix", o.Name)
+		}
+	}
+	if nA == 0 || nB == 0 {
+		t.Fatalf("expected objects for both tenants, got alpha=%d beta=%d", nA, nB)
+	}
+
+	// Evict alpha: beta keeps running and alpha's cloud objects remain
+	// for a later recovery.
+	if err := f.Evict("alpha"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	b.put(t, "kb2", "still-alive")
+	if !b.g.Flush(10 * time.Second) {
+		t.Fatal("beta flush after eviction timed out")
+	}
+	objs, err = shared.List(context.Background(), "tenants/alpha/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("alpha's objects vanished on eviction")
+	}
+
+	// Recover alpha from the shared bucket into a fresh process-local
+	// FS: it must see its own writes and must never have observed
+	// beta's objects (core.New would fail on unrecognised names if the
+	// prefix isolation leaked).
+	g2, err := f.Admit("alpha", vfs.NewMemFS(), dbevent.NewPGProcessor(), fastParams())
+	if err != nil {
+		t.Fatalf("re-Admit: %v", err)
+	}
+	if err := g2.Recover(context.Background()); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	db2, err := minidb.Open(g2.FS(), pgengine.NewWithSizes(1024, 16*1024, 1024), minidb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Get("kv", []byte("ka"))
+	if err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+	if string(got) != strings.Repeat("A", 64) {
+		t.Fatalf("recovered value = %q, want 64×A", got)
+	}
+	if _, err := db2.Get("kv", []byte("kb")); err == nil {
+		t.Fatal("alpha's recovery observed beta's key")
+	}
+}
+
+func TestFleetAdmitRejectsOverlappingPrefixes(t *testing.T) {
+	f, err := core.NewFleet(core.FleetParams{Store: cloud.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.Admit("a", vfs.NewMemFS(), dbevent.NewPGProcessor(), fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []core.Params{}
+	nested := fastParams()
+	nested.Prefix = "tenants/a/sub" // inside a's subtree
+	cases = append(cases, nested)
+	enclosing := fastParams()
+	enclosing.Prefix = "tenants" // encloses a's subtree
+	cases = append(cases, enclosing)
+	same := fastParams()
+	same.Prefix = "tenants/a"
+	cases = append(cases, same)
+	for _, p := range cases {
+		if _, err := f.Admit("x-"+p.Prefix, vfs.NewMemFS(), dbevent.NewPGProcessor(), p); err == nil {
+			t.Fatalf("Admit with prefix %q should have been rejected", p.Prefix)
+		}
+	}
+	// Disjoint sibling is fine.
+	ok := fastParams()
+	ok.Prefix = "tenants/ab"
+	if _, err := f.Admit("ab", vfs.NewMemFS(), dbevent.NewPGProcessor(), ok); err != nil {
+		t.Fatalf("disjoint sibling prefix rejected: %v", err)
+	}
+	// Duplicate id rejected even with a fresh prefix.
+	dup := fastParams()
+	dup.Prefix = "elsewhere/a"
+	if _, err := f.Admit("a", vfs.NewMemFS(), dbevent.NewPGProcessor(), dup); err == nil {
+		t.Fatal("duplicate tenant id accepted")
+	}
+	// Invalid ids (would make invalid prefixes) rejected.
+	for _, id := range []string{"", "a b", "../x", "a/"} {
+		if _, err := f.Admit(id, vfs.NewMemFS(), dbevent.NewPGProcessor(), fastParams()); err == nil {
+			t.Fatalf("Admit(%q) should have failed", id)
+		}
+	}
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	f, err := core.NewFleet(core.FleetParams{Store: cloud.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := admitTenant(t, f, "a")
+	admitTenant(t, f, "b")
+
+	if got := f.Tenants(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Tenants() = %v", got)
+	}
+	if f.Tenant("a") != a.g {
+		t.Fatal("Tenant(a) returned wrong handle")
+	}
+	if f.Tenant("nope") != nil {
+		t.Fatal("Tenant(nope) should be nil")
+	}
+	st := f.Stats()
+	if st.Tenants != 2 {
+		t.Fatalf("Stats().Tenants = %d, want 2", st.Tenants)
+	}
+	if st.SafetyDeadlineMisses != 0 {
+		t.Fatalf("Stats().SafetyDeadlineMisses = %d, want 0", st.SafetyDeadlineMisses)
+	}
+	if err := f.Evict("zzz"); err == nil {
+		t.Fatal("Evict of unknown tenant should error")
+	}
+	if err := f.Evict("a"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if f.Tenant("a") != nil {
+		t.Fatal("evicted tenant still resolvable")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Closed fleet rejects admissions; double Close is a no-op.
+	if _, err := f.Admit("c", vfs.NewMemFS(), dbevent.NewPGProcessor(), fastParams()); err == nil {
+		t.Fatal("Admit after Close should fail")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestFleetAntagonistCannotStarveSafety drives a dumping antagonist
+// tenant concurrently with a small hot tenant and asserts the hot
+// tenant's commits keep flowing with zero Safety-deadline misses —
+// the scheduler property the fleet bench gates on, in miniature.
+func TestFleetAntagonistCannotStarveSafety(t *testing.T) {
+	f, err := core.NewFleet(core.FleetParams{
+		Store:       cloud.NewMemStore(),
+		UploadSlots: 4,
+		FetchSlots:  4,
+		TenantCap:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	hot := admitTenant(t, f, "hot")
+	anta := admitTenant(t, f, "antagonist")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// A churn of near-page-size writes forces frequent
+		// checkpoint/dump traffic.
+		for i := 0; i < 200; i++ {
+			anta.put(t, "big"+strings.Repeat("0", i%7), strings.Repeat("x", 800))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		hot.put(t, "k", "v")
+	}
+	if !hot.g.Flush(10 * time.Second) {
+		t.Fatal("hot tenant flush timed out under antagonist load")
+	}
+	<-done
+	if n := f.Stats().SafetyDeadlineMisses; n != 0 {
+		t.Fatalf("SafetyDeadlineMisses = %d, want 0", n)
+	}
+}

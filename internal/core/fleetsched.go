@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ginja-dr/ginja/internal/cloud"
+	"github.com/ginja-dr/ginja/internal/obs"
+	"github.com/ginja-dr/ginja/internal/simclock"
+)
+
+// opClass classifies a cloud operation for the fleet's shared-pool
+// scheduler. The class decides which pool the operation draws from and
+// how it is ordered against other tenants' traffic.
+type opClass int
+
+const (
+	// classSafety is a commit-path WAL PUT: the operation a database is
+	// (or soon will be) blocked on via the Safety contract. Dispatched
+	// earliest-deadline-first from the upload pool, exempt from the
+	// per-tenant cap, and counted as a starvation event if it out-waits
+	// its TS deadline in the queue.
+	classSafety opClass = iota
+	// classBulk is checkpoint-path traffic — DB-object PUTs and GC
+	// DELETEs. It is what a dumping or compacting antagonist tenant
+	// floods the pool with, so it is capped per tenant and yields to
+	// Safety traffic (with aging, so it always progresses).
+	classBulk
+	// classFetch is read traffic — GETs and LISTs from recovery, Verify
+	// and followers. Drawn from the separate fetch pool so a recovery
+	// storm cannot consume upload slots, capped per tenant.
+	classFetch
+)
+
+var opClassNames = [3]string{"safety", "bulk", "fetch"}
+
+// fleetScheduler arbitrates two bounded pools of concurrent cloud
+// operations — uploads (PUT/DELETE) and fetches (GET/LIST) — across the
+// tenants of a Fleet. The policy guarantees the property the fleet bench
+// gates on: an antagonist tenant saturating the bulk path cannot starve
+// other tenants' Safety windows.
+//
+//   - Safety-class operations dispatch earliest-deadline-first (the
+//     deadline is enqueue time + the tenant's TS) and are exempt from
+//     the per-tenant cap: commit availability is the contract.
+//   - Bulk operations are FIFO, capped per tenant (an antagonist can
+//     hold at most tenantCap upload slots no matter how many dump parts
+//     it has ready), and yield to Safety — except once a bulk waiter has
+//     aged past bulkAgingAfter, when it dispatches ahead of fetch
+//     traffic so checkpoints always complete.
+//   - Fetch operations are FIFO, capped per tenant, on their own pool.
+//
+// Queues are plain slices scanned at dispatch: the scan is O(waiters),
+// and the waiter population is bounded by the fleet's total worker count
+// (tenants × uploaders), which keeps dispatch far off any hot path.
+type fleetScheduler struct {
+	clk simclock.Clock
+
+	uploadSlots    int
+	fetchSlots     int
+	tenantCap      int
+	bulkAgingAfter time.Duration
+
+	mu           sync.Mutex
+	uploadInUse  int
+	fetchInUse   int
+	perTenantCap map[string]int // capped (bulk+fetch) ops in flight per tenant
+	safetyQ      []*schedWaiter
+	bulkQ        []*schedWaiter
+	fetchQ       []*schedWaiter
+
+	inflightByClass [3]atomic.Int64
+	starved         atomic.Int64
+
+	waitHist [3]*obs.Histogram
+	opsTotal [3]*obs.Counter
+	starvedC *obs.Counter
+}
+
+// schedWaiter is one blocked acquire.
+type schedWaiter struct {
+	tenant   string
+	class    opClass
+	deadline time.Time // Safety only: the TS budget
+	enq      time.Time
+	ch       chan struct{}
+	granted  bool
+	removed  bool
+}
+
+func newFleetScheduler(clk simclock.Clock, uploadSlots, fetchSlots, tenantCap int,
+	bulkAgingAfter time.Duration, reg *obs.Registry) *fleetScheduler {
+	s := &fleetScheduler{
+		clk:            clk,
+		uploadSlots:    uploadSlots,
+		fetchSlots:     fetchSlots,
+		tenantCap:      tenantCap,
+		bulkAgingAfter: bulkAgingAfter,
+		perTenantCap:   make(map[string]int),
+	}
+	if reg != nil {
+		for i, name := range opClassNames {
+			i := i
+			s.waitHist[i] = reg.Histogram(metricFleetSchedWait,
+				"Time cloud operations spent queued in the fleet scheduler before dispatch, by class.",
+				obs.Labels{"class": name}, nil)
+			s.opsTotal[i] = reg.Counter(metricFleetOps,
+				"Cloud operations dispatched through the fleet scheduler, by class.",
+				obs.Labels{"class": name})
+			reg.GaugeFunc(metricFleetInflight,
+				"Cloud operations currently holding a fleet-pool slot, by class.",
+				obs.Labels{"class": name},
+				func() float64 { return float64(s.inflightByClass[i].Load()) })
+		}
+		s.starvedC = reg.Counter(metricFleetStarvation,
+			"Safety-class operations that out-waited their TS deadline in the fleet scheduler queue — each one is a commit window the scheduler failed to protect.", nil)
+	}
+	return s
+}
+
+// starvationCount returns how many Safety-class operations have waited
+// past their deadline so far (the fleet bench's zero-miss gate).
+func (s *fleetScheduler) starvationCount() int64 { return s.starved.Load() }
+
+// acquire blocks until the operation is granted a slot (or ctx ends).
+// Every grant must be paired with a release.
+func (s *fleetScheduler) acquire(ctx context.Context, tenant string, class opClass, deadline time.Time) error {
+	w := &schedWaiter{
+		tenant:   tenant,
+		class:    class,
+		deadline: deadline,
+		enq:      s.clk.Now(),
+		ch:       make(chan struct{}),
+	}
+	s.mu.Lock()
+	switch class {
+	case classSafety:
+		s.safetyQ = append(s.safetyQ, w)
+	case classBulk:
+		s.bulkQ = append(s.bulkQ, w)
+	default:
+		s.fetchQ = append(s.fetchQ, w)
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// Lost the race: the slot was granted as the context died.
+			// Hand it straight back.
+			s.releaseLocked(w.tenant, w.class)
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+		w.removed = true
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+
+	wait := s.clk.Since(w.enq)
+	if h := s.waitHist[class]; h != nil {
+		h.ObserveDuration(wait)
+	}
+	if c := s.opsTotal[class]; c != nil {
+		c.Add(1)
+	}
+	if class == classSafety && !w.deadline.IsZero() && s.clk.Now().After(w.deadline) {
+		s.starved.Add(1)
+		if s.starvedC != nil {
+			s.starvedC.Add(1)
+		}
+	}
+	return nil
+}
+
+// release returns a slot to the pool and dispatches waiters.
+func (s *fleetScheduler) release(tenant string, class opClass) {
+	s.mu.Lock()
+	s.releaseLocked(tenant, class)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+func (s *fleetScheduler) releaseLocked(tenant string, class opClass) {
+	if class == classFetch {
+		s.fetchInUse--
+	} else {
+		s.uploadInUse--
+	}
+	if class != classSafety {
+		if n := s.perTenantCap[tenant] - 1; n > 0 {
+			s.perTenantCap[tenant] = n
+		} else {
+			delete(s.perTenantCap, tenant)
+		}
+	}
+	s.inflightByClass[class].Add(-1)
+}
+
+// dispatchLocked grants slots to eligible waiters until the pools are
+// full or no waiter is eligible. Upload-pool priority per free slot:
+// aged bulk (waited past bulkAgingAfter, under cap) > Safety EDF > bulk.
+// Aged bulk jumping ahead of Safety cannot starve commits because bulk
+// is still per-tenant capped — a handful of slots at most — while
+// Safety has the run of the pool.
+func (s *fleetScheduler) dispatchLocked() {
+	var now time.Time // sampled once, only if aging is checked
+	for s.uploadInUse < s.uploadSlots {
+		if len(s.bulkQ) > 0 && s.bulkAgingAfter > 0 {
+			if now.IsZero() {
+				now = s.clk.Now()
+			}
+			if w := s.pickAgedBulkLocked(now); w != nil {
+				s.grantLocked(w)
+				continue
+			}
+		}
+		if w := s.pickSafetyLocked(); w != nil {
+			s.grantLocked(w)
+			continue
+		}
+		if w := s.pickCappedLocked(&s.bulkQ); w != nil {
+			s.grantLocked(w)
+			continue
+		}
+		break
+	}
+	for s.fetchInUse < s.fetchSlots {
+		w := s.pickCappedLocked(&s.fetchQ)
+		if w == nil {
+			break
+		}
+		s.grantLocked(w)
+	}
+}
+
+// pickAgedBulkLocked removes and returns the oldest bulk waiter that
+// has been queued longer than bulkAgingAfter and is under the tenant
+// cap, or nil.
+func (s *fleetScheduler) pickAgedBulkLocked(now time.Time) *schedWaiter {
+	for i, w := range s.bulkQ {
+		if w.removed || s.perTenantCap[w.tenant] >= s.tenantCap {
+			continue
+		}
+		if now.Sub(w.enq) < s.bulkAgingAfter {
+			// FIFO queue: everything after this waiter is younger.
+			return nil
+		}
+		s.bulkQ = append(s.bulkQ[:i], s.bulkQ[i+1:]...)
+		return w
+	}
+	return nil
+}
+
+// pickSafetyLocked removes and returns the earliest-deadline Safety
+// waiter, or nil.
+func (s *fleetScheduler) pickSafetyLocked() *schedWaiter {
+	best := -1
+	for i, w := range s.safetyQ {
+		if w.removed {
+			continue
+		}
+		if best == -1 || w.deadline.Before(s.safetyQ[best].deadline) {
+			best = i
+		}
+	}
+	if best == -1 {
+		s.safetyQ = s.safetyQ[:0]
+		return nil
+	}
+	w := s.safetyQ[best]
+	s.safetyQ = append(s.safetyQ[:best], s.safetyQ[best+1:]...)
+	return w
+}
+
+// pickCappedLocked removes and returns the first waiter in q whose
+// tenant is under the per-tenant cap, or nil.
+func (s *fleetScheduler) pickCappedLocked(q *[]*schedWaiter) *schedWaiter {
+	for i, w := range *q {
+		if w.removed {
+			continue
+		}
+		if s.perTenantCap[w.tenant] >= s.tenantCap {
+			continue
+		}
+		*q = append((*q)[:i], (*q)[i+1:]...)
+		return w
+	}
+	// Compact away removed waiters so dead entries don't accumulate.
+	kept := (*q)[:0]
+	for _, w := range *q {
+		if !w.removed {
+			kept = append(kept, w)
+		}
+	}
+	*q = kept
+	return nil
+}
+
+func (s *fleetScheduler) grantLocked(w *schedWaiter) {
+	if w.class == classFetch {
+		s.fetchInUse++
+	} else {
+		s.uploadInUse++
+	}
+	if w.class != classSafety {
+		s.perTenantCap[w.tenant]++
+	}
+	s.inflightByClass[w.class].Add(1)
+	w.granted = true
+	close(w.ch)
+}
+
+// schedStore routes one tenant's cloud operations through the fleet
+// scheduler. It wraps the SHARED store (core.New layers the tenant's
+// PrefixStore on top), so the names it sees are fully prefixed; the
+// class is derived from the logical name under the tenant's prefix.
+type schedStore struct {
+	inner         cloud.ObjectStore
+	sched         *fleetScheduler
+	tenant        string
+	prefix        string // the tenant's "/"-terminated prefix ("" = none)
+	safetyTimeout time.Duration
+	clk           simclock.Clock
+}
+
+var _ cloud.ObjectStore = (*schedStore)(nil)
+
+func (s *schedStore) putClass(name string) (opClass, time.Time) {
+	logical := strings.TrimPrefix(name, s.prefix)
+	if strings.HasPrefix(logical, walPrefix) {
+		// The deadline is the Safety contract: if this PUT has not even
+		// DISPATCHED within TS, commits on this tenant are blocking.
+		return classSafety, s.clk.Now().Add(s.safetyTimeout)
+	}
+	return classBulk, time.Time{}
+}
+
+// Put implements cloud.ObjectStore.
+func (s *schedStore) Put(ctx context.Context, name string, data []byte) error {
+	class, deadline := s.putClass(name)
+	if err := s.sched.acquire(ctx, s.tenant, class, deadline); err != nil {
+		return err
+	}
+	defer s.sched.release(s.tenant, class)
+	return s.inner.Put(ctx, name, data)
+}
+
+// Get implements cloud.ObjectStore.
+func (s *schedStore) Get(ctx context.Context, name string) ([]byte, error) {
+	if err := s.sched.acquire(ctx, s.tenant, classFetch, time.Time{}); err != nil {
+		return nil, err
+	}
+	defer s.sched.release(s.tenant, classFetch)
+	return s.inner.Get(ctx, name)
+}
+
+// List implements cloud.ObjectStore.
+func (s *schedStore) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	if err := s.sched.acquire(ctx, s.tenant, classFetch, time.Time{}); err != nil {
+		return nil, err
+	}
+	defer s.sched.release(s.tenant, classFetch)
+	return s.inner.List(ctx, prefix)
+}
+
+// Delete implements cloud.ObjectStore.
+func (s *schedStore) Delete(ctx context.Context, name string) error {
+	if err := s.sched.acquire(ctx, s.tenant, classBulk, time.Time{}); err != nil {
+		return err
+	}
+	defer s.sched.release(s.tenant, classBulk)
+	return s.inner.Delete(ctx, name)
+}

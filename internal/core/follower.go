@@ -116,6 +116,9 @@ func NewFollower(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor
 	if err != nil {
 		return nil, err
 	}
+	// Tail the same per-tenant subtree the primary writes: with a Prefix
+	// set the follower's LIST diffing sees only this tenant's objects.
+	store = cloud.NewPrefixStore(store, params.Prefix)
 	seal, err := sealer.New(sealer.Options{
 		Compress: params.Compress,
 		Encrypt:  params.Encrypt,

@@ -158,11 +158,16 @@ var _ vfs.Observer = (*Ginja)(nil)
 
 // New creates a Ginja instance protecting the database files in localFS,
 // replicating to store, understanding the write pattern via proc.
+// When params.Prefix is set, every object name is rooted under that
+// prefix (many tenants can share one bucket); the rest of the stack —
+// naming, LIST diffing, GC, recovery — operates on the prefix-stripped
+// namespace and never observes foreign objects.
 func New(localFS vfs.FS, store cloud.ObjectStore, proc dbevent.Processor, params Params) (*Ginja, error) {
 	params, err := params.Validate()
 	if err != nil {
 		return nil, err
 	}
+	store = cloud.NewPrefixStore(store, params.Prefix)
 	seal, err := sealer.New(sealer.Options{
 		Compress: params.Compress,
 		Encrypt:  params.Encrypt,

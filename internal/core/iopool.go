@@ -14,6 +14,13 @@ import (
 // unchanged: the helpers only control how many requests are in flight at
 // once, which is what hides per-request cloud latency (the same lever the
 // paper pulls with its five Uploader threads on the WAL commit path).
+//
+// Under fleet mode these per-instance worker counts are an upper bound,
+// not a reservation: each request still acquires a slot from the shared
+// fleetScheduler at the store layer (schedStore), so a tenant that spins
+// up CheckpointUploaders workers for a dump queues at the fleet's bulk
+// class — per-tenant capped and unable to starve other tenants' WAL
+// PUTs — instead of multiplying against the process-wide pool.
 
 // runLimited executes n index-addressed tasks with at most workers
 // goroutines in flight, stopping at the first error. Tasks receive a

@@ -101,6 +101,15 @@ func FuzzListDiff(f *testing.F) {
 	f.Add("6 DB/4_dump_6\n==\n2 DB/4_delta_2.b4-0")
 	f.Add("1 DB/6_delta_1.b1-0.s0.n2\n1 DB/6_delta_1.b1-0.s1\n==\n6 DB/1_dump_6")
 	f.Add("6 DB/1_dump_6\n2 DB/3_delta_2.b1-0\n1 DB/4_delta_1.b3-0")
+	// Fleet-prefixed names: a tracker inside a PrefixStore never sees
+	// these, so reaching the tracker raw they exercise the
+	// unrecognised-name (foreign tenant) rejection path — including a
+	// round that mixes one tenant's valid names with another's prefixed
+	// ones, and a prefix that itself contains "WAL/".
+	f.Add("3 tenants/a/WAL/1_seg_0")
+	f.Add("5 tenants/a/DB/0_dump_5\n==\n3 tenants/b/WAL/2_seg_0")
+	f.Add("3 WAL/1_seg_0\n==\n4 tenants/b/WAL/2_seg_0\n6 DB/1_dump_6")
+	f.Add("2 x/WAL/3_seg_0\n==\n2 WAL/3_seg_0")
 	f.Fuzz(func(t *testing.T, script string) {
 		tr := newListTracker()
 		var cumulative []cloud.ObjectInfo

@@ -73,6 +73,19 @@ const (
 	metricFitBase               = "ginja_put_latency_fit_base_seconds"
 	metricFitPerByte            = "ginja_put_latency_fit_per_byte_seconds"
 	metricWALPutSeconds         = "ginja_wal_put_seconds"
+
+	// Fleet telemetry: tenant census, shared-pool scheduler behaviour
+	// (queue wait by class, live occupancy), and the starvation proof —
+	// Safety-class operations that out-waited their TS deadline in the
+	// scheduler queue. A fleet with a dumping antagonist and zero deadline
+	// misses is a fleet whose fairness policy is working.
+	metricFleetTenants    = "ginja_fleet_tenants"
+	metricFleetSchedWait  = "ginja_fleet_sched_wait_seconds"
+	metricFleetInflight   = "ginja_fleet_inflight_ops"
+	metricFleetStarvation = "ginja_fleet_safety_deadline_misses_total"
+	metricFleetOps        = "ginja_fleet_ops_total"
+	metricFleetAdmitted   = "ginja_fleet_admitted_total"
+	metricFleetEvicted    = "ginja_fleet_evicted_total"
 )
 
 // walPutSizeClasses label the size-bucketed WAL PUT latency histogram:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strings"
 	"time"
 
 	"github.com/ginja-dr/ginja/internal/cloud"
@@ -167,8 +168,18 @@ type Params struct {
 	// Safety timeouts, upload-retry backoff and checkpoint scheduling all
 	// draw from it. nil means the wall clock; deterministic simulation
 	// tests install a *simclock.SimClock to run those paths in virtual
-	// time (see internal/sim).
+	// time (see internal/sim), and Fleet installs a shared tick wheel so
+	// thousands of tenants multiplex their timers onto one goroutine.
 	Clock simclock.Clock
+	// Prefix roots every cloud object name under this key prefix, so many
+	// databases (fleet tenants) can share one bucket without their WAL/DB
+	// namespaces colliding: object naming, LIST diffing, garbage
+	// collection and recovery all operate inside the prefix and never
+	// observe objects outside it. The prefix is validated — "", or
+	// "/"-separated segments of [A-Za-z0-9._-] with no ".." and no leading
+	// or trailing "/" — so one tenant's prefix can never alias another's
+	// objects. "" (the default) keeps today's whole-bucket behaviour.
+	Prefix string
 }
 
 // DefaultParams returns the paper-flavoured defaults (B=100, S=1000).
@@ -280,7 +291,41 @@ func (p Params) Validate() (Params, error) {
 	if p.CostCeilingPerDay < 0 {
 		return p, fmt.Errorf("core: CostCeilingPerDay must be ≥ 0 (0 = default), got %v", p.CostCeilingPerDay)
 	}
+	if err := ValidatePrefix(p.Prefix); err != nil {
+		return p, err
+	}
 	return p, nil
+}
+
+// ValidatePrefix checks a Params.Prefix: "" is valid (no prefixing);
+// otherwise the prefix must be "/"-separated non-empty segments drawn
+// from [A-Za-z0-9._-], with no ".." anywhere and no leading or trailing
+// "/". The restrictions guarantee a prefix can never escape the bucket
+// namespace (path traversal) or splice into another tenant's keys.
+func ValidatePrefix(prefix string) error {
+	if prefix == "" {
+		return nil
+	}
+	if strings.Contains(prefix, "..") {
+		return fmt.Errorf("core: Prefix %q must not contain %q", prefix, "..")
+	}
+	if strings.HasPrefix(prefix, "/") {
+		return fmt.Errorf("core: Prefix %q must not start with /", prefix)
+	}
+	for _, r := range prefix {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '/', r == '-':
+		default:
+			return fmt.Errorf("core: Prefix %q contains %q (allowed: [A-Za-z0-9._/-])", prefix, r)
+		}
+	}
+	for _, seg := range strings.Split(prefix, "/") {
+		if seg == "" {
+			return fmt.Errorf("core: Prefix %q has an empty path segment", prefix)
+		}
+	}
+	return nil
 }
 
 // NoLoss returns the synchronous-replication configuration (S = B = 1,

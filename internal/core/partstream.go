@@ -374,10 +374,11 @@ func (t *streamTracker) sub(n int64) {
 }
 
 // partUploader executes a part plan: read→encode→seal→PUT per part, up to
-// CheckpointUploaders parts in flight. Encode buffers are pooled and
-// bounded at MaxObjectSize; each worker seals with a dedicated
-// sealer.Ctx. Safe for concurrent use by one upload at a time per object
-// (the checkpointer serializes objects; Boot runs alone).
+// CheckpointUploaders parts in flight. Encode buffers come from a
+// process-wide shared pool and are bounded at MaxObjectSize; each worker
+// seals with a dedicated sealer.Ctx (key-dependent, so per instance).
+// Safe for concurrent use by one upload at a time per object (the
+// checkpointer serializes objects; Boot runs alone).
 type partUploader struct {
 	fs      vfs.FS
 	seal    *sealer.Sealer
@@ -391,31 +392,42 @@ type partUploader struct {
 	putHist     *obs.Histogram
 	putInflight *inflight
 
-	bufs sync.Pool // *[]byte encode scratch, capacity ≤ MaxObjectSize
 	ctxs sync.Pool // *sealer.Ctx per-worker seal state
+}
+
+// partBufs is the process-wide encode-scratch pool, shared by every
+// partUploader (every tenant in a fleet): the live buffer count tracks
+// the fleet's CONCURRENT part uploads — bounded by the uploader pools —
+// instead of one retained buffer per database instance. Capacities vary
+// with each instance's MaxObjectSize; getPartBuf tops up undersized
+// pool hits by growing on append, and release drops buffers that exceed
+// the releasing instance's bound.
+var partBufs sync.Pool
+
+func getPartBuf(budget int64) *[]byte {
+	if bp, ok := partBufs.Get().(*[]byte); ok {
+		return bp
+	}
+	b := make([]byte, 0, budget)
+	return &b
 }
 
 func newPartUploader(fsys vfs.FS, seal *sealer.Sealer, params Params, tracker *streamTracker,
 	put func(ctx context.Context, name string, data []byte) error) *partUploader {
 	u := &partUploader{fs: fsys, seal: seal, params: params, clk: params.clock(), put: put, tracker: tracker}
-	budget := partBudget(params.MaxObjectSize)
-	u.bufs.New = func() any {
-		b := make([]byte, 0, budget)
-		return &b
-	}
 	u.ctxs.New = func() any { return seal.NewCtx() }
 	return u
 }
 
-// release returns an encode buffer to the pool unless it grew past the
-// object-size bound (a pathological plan entry) — an oversized buffer
-// retained in the pool would defeat the memory bound.
+// release returns an encode buffer to the shared pool unless it grew
+// past the object-size bound (a pathological plan entry) — an oversized
+// buffer retained in the pool would defeat the memory bound.
 func (u *partUploader) release(bp *[]byte) {
 	if u.params.MaxObjectSize > 0 && int64(cap(*bp)) > u.params.MaxObjectSize {
 		return
 	}
 	*bp = (*bp)[:0]
-	u.bufs.Put(bp)
+	partBufs.Put(bp)
 }
 
 // upload streams every planned part and returns the sealed size of each,
@@ -434,7 +446,7 @@ func (u *partUploader) upload(ctx context.Context, ident DBObjectInfo,
 	var readsLeft atomic.Int64
 	readsLeft.Store(int64(len(parts)))
 	err := runLimited(ctx, u.params.CheckpointUploaders, len(parts), func(ctx context.Context, i int) error {
-		bp := u.bufs.Get().(*[]byte)
+		bp := getPartBuf(partBudget(u.params.MaxObjectSize))
 		payload, err := encodePart(u.fs, parts[i], (*bp)[:0])
 		if err != nil {
 			u.release(bp)

@@ -228,55 +228,54 @@ func (p *pipeline) start(initialFrontier int64) {
 				return 0
 			})
 	}
+	// The last worker leaving a stage closes the downstream channel
+	// (atomic countdown) — no WaitGroup-then-close watcher goroutines.
+	// At one instance the two watchers were noise; across a fleet of
+	// thousands of tenants they were two goroutines per database.
 	if p.params.DisablePipelining {
-		var uploaderWG sync.WaitGroup
+		var uploadersLeft atomic.Int32
+		uploadersLeft.Store(int32(p.params.Uploaders))
 		for i := 0; i < p.params.Uploaders; i++ {
-			uploaderWG.Add(1)
 			p.wg.Add(1)
 			go func() {
 				defer p.wg.Done()
-				defer uploaderWG.Done()
+				defer func() {
+					if uploadersLeft.Add(-1) == 0 {
+						close(p.ackCh)
+					}
+				}()
 				p.uploader()
 			}()
 		}
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			uploaderWG.Wait()
-			close(p.ackCh)
-		}()
 	} else {
 		// Two-stage uploader: seal workers encode+seal batch N+1 while the
 		// PUT workers hold batch N's upload in flight. Acks still flow
 		// through the same ackRing/unlocker, so release order (and the
 		// Safety bound) is exactly as in the sequential path.
-		var sealWG, putWG sync.WaitGroup
+		var sealersLeft, puttersLeft atomic.Int32
+		sealersLeft.Store(int32(p.params.Uploaders))
+		puttersLeft.Store(int32(p.params.Uploaders))
 		for i := 0; i < p.params.Uploaders; i++ {
-			sealWG.Add(1)
-			putWG.Add(1)
 			p.wg.Add(2)
 			go func() {
 				defer p.wg.Done()
-				defer sealWG.Done()
+				defer func() {
+					if sealersLeft.Add(-1) == 0 {
+						close(p.sealedCh)
+					}
+				}()
 				p.sealStage()
 			}()
 			go func() {
 				defer p.wg.Done()
-				defer putWG.Done()
+				defer func() {
+					if puttersLeft.Add(-1) == 0 {
+						close(p.ackCh)
+					}
+				}()
 				p.putStage()
 			}()
 		}
-		p.wg.Add(2)
-		go func() {
-			defer p.wg.Done()
-			sealWG.Wait()
-			close(p.sealedCh)
-		}()
-		go func() {
-			defer p.wg.Done()
-			putWG.Wait()
-			close(p.ackCh)
-		}()
 	}
 	if p.tuner != nil {
 		p.tuner.start()

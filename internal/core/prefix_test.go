@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatePrefix(t *testing.T) {
+	valid := []string{
+		"",
+		"a",
+		"tenants/a",
+		"tenants/acme-prod",
+		"fleet/shard-01/db_7",
+		"v1.2/tenant.name",
+		"A-Z_0.9",
+	}
+	for _, p := range valid {
+		if err := ValidatePrefix(p); err != nil {
+			t.Errorf("ValidatePrefix(%q) = %v, want nil", p, err)
+		}
+	}
+	invalid := []string{
+		"..",                   // traversal
+		"a/../b",               // traversal inside
+		"a..b",                 // ".." anywhere is rejected outright
+		"/a",                   // leading slash escapes the relative namespace
+		"/",                    // leading slash and empty segment
+		"a/",                   // trailing slash → empty segment
+		"a//b",                 // empty segment
+		"a b",                  // space outside the allowed alphabet
+		"a\tb",                 // control character
+		"ténant",               // non-ASCII
+		"a*b",                  // shell metacharacter
+		"WAL/x\x00",            // NUL
+		strings.Repeat("é", 1), // multi-byte rune
+	}
+	for _, p := range invalid {
+		if err := ValidatePrefix(p); err == nil {
+			t.Errorf("ValidatePrefix(%q) = nil, want error", p)
+		}
+	}
+}
+
+func TestParamsValidateRejectsBadPrefix(t *testing.T) {
+	p := DefaultParams()
+	p.Prefix = "../escape"
+	if _, err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted a traversal prefix")
+	}
+	p.Prefix = "tenants/a"
+	q, err := p.Validate()
+	if err != nil {
+		t.Fatalf("Validate rejected a valid prefix: %v", err)
+	}
+	if q.Prefix != "tenants/a" {
+		t.Fatalf("Validate rewrote the prefix to %q", q.Prefix)
+	}
+}

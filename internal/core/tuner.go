@@ -100,6 +100,11 @@ func newTuner(q *commitQueue, params Params, updates func() int64) *tuner {
 	return t
 }
 
+// start arms the periodic re-solve. The tick is an AfterFunc on the
+// instance clock, not a dedicated goroutine — under fleet mode
+// Admit overrides Params.Clock with the fleet's shared tick wheel, so a
+// thousand tenants' tuner ticks multiplex onto one timer heap instead
+// of a thousand runtime timers with a goroutine each.
 func (t *tuner) start() {
 	t.mu.Lock()
 	t.lastTick = t.clk.Now()

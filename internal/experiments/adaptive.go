@@ -340,9 +340,11 @@ func (s *fixedLatencyStore) Put(ctx context.Context, name string, data []byte) e
 // milliseconds comparable to a cross-region 100 ms PUT, so overlapping
 // the two shows up as wall-clock throughput (the overlap is largest when
 // the stages are balanced; at the paper's 40 ms the win shrinks but the
-// mechanism is identical). Each mode takes the best of three trials: on
+// mechanism is identical). Each mode takes the best of five trials: on
 // a loaded machine scheduling noise only ever subtracts throughput, so
-// the per-mode maximum is the stable estimate of what the mode can do.
+// the per-mode maximum is the stable estimate of what the mode can do
+// (single trials swing the serial baseline by more than the gate's
+// margin, so too few trials make the 1.15x gate flake).
 func runPipelinedAblation(commits int) (PipelinedAblation, error) {
 	const rtt = 100 * time.Millisecond
 	res := PipelinedAblation{RTTMs: float64(rtt) / float64(time.Millisecond)}
@@ -364,7 +366,7 @@ func runPipelinedAblation(commits int) (PipelinedAblation, error) {
 		params.Safety = 256
 		params.BatchTimeout = 5 * time.Second
 		params.Compress = true
-		params.Uploaders = 1      // isolate the seal/PUT overlap from pool parallelism
+		params.Uploaders = 1        // isolate the seal/PUT overlap from pool parallelism
 		params.DumpThreshold = 1e12 // no background dumps mid-measurement
 		params.DisablePipelining = disablePipelining
 		g, err := core.New(vfs.NewMemFS(), &fixedLatencyStore{ObjectStore: cloud.NewMemStore(), delay: rtt},
@@ -396,7 +398,7 @@ func runPipelinedAblation(commits int) (PipelinedAblation, error) {
 	}
 	bestOf := func(disablePipelining bool) (float64, error) {
 		var best float64
-		for trial := 0; trial < 3; trial++ {
+		for trial := 0; trial < 5; trial++ {
 			v, err := measure(disablePipelining)
 			if err != nil {
 				return 0, err

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
@@ -16,6 +18,9 @@ import (
 //   - /tracez — JSON: the span ring's recent spans (newest first) and its
 //     slowest-retained spans, for tracing batches, uploads and recoveries
 //     without raising any log level
+//   - /debug/pprof/ — the standard runtime profiles (heap, goroutine,
+//     profile, trace, …), so a fleet operator can answer "which tenant
+//     owns these goroutines/bytes" against a live process
 //
 // status may be nil; it is sampled per request. The handler is a plain
 // mux, so it can be mounted standalone (cmd/ginja -metrics-addr) or under
@@ -68,7 +73,33 @@ func Handler(r *Registry, status func() any) http.Handler {
 			Metrics []MetricSnapshot `json:"metrics"`
 		}{time.Now().UTC(), st, r.Snapshot()})
 	})
+	// The default-mux pprof registrations don't apply to a private mux,
+	// so mount the handlers explicitly. Index serves every named profile
+	// (heap, goroutine, block, mutex, …); the other three need their own
+	// routes because they are not lookup-style profiles.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// RegisterRuntimeMetrics adds process-level gauges to the registry:
+// ginja_goroutines (live goroutine count) and ginja_heap_bytes (heap in
+// use), sampled at export time. One call per registry; fleet deployments
+// use these to verify per-tenant overhead stays flat as tenants scale.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("ginja_goroutines",
+		"Goroutines currently live in the process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("ginja_heap_bytes",
+		"Heap bytes in use (runtime.MemStats.HeapInuse), sampled at export.", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
 }
 
 // tracezSpan is the /tracez wire rendering of a Span: durations in

@@ -156,3 +156,53 @@ func TestMetricsAndStatusz(t *testing.T) {
 		t.Fatalf("/nope = %d, want 404", code)
 	}
 }
+
+// TestPprofAndRuntimeMetrics covers the operator surface a fleet needs:
+// the pprof routes on the private mux and the process-level gauges.
+func TestPprofAndRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d\n%.200s", code, body)
+	}
+	if code, _ := getBody(t, srv, "/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Fatalf("/debug/pprof/goroutine = %d", code)
+	}
+	if code, _ := getBody(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := getBody(t, srv, "/debug/pprof/symbol"); code != 200 {
+		t.Fatalf("/debug/pprof/symbol = %d", code)
+	}
+
+	code, body = getBody(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, name := range []string{"ginja_goroutines", "ginja_heap_bytes"} {
+		if !strings.Contains(body, name+" ") {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// The gauges are sampled live: both must be positive.
+	var goroutines, heap float64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "ginja_goroutines":
+			goroutines = m.Value
+		case "ginja_heap_bytes":
+			heap = m.Value
+		}
+	}
+	if goroutines < 1 {
+		t.Fatalf("ginja_goroutines = %v, want ≥ 1", goroutines)
+	}
+	if heap <= 0 {
+		t.Fatalf("ginja_heap_bytes = %v, want > 0", heap)
+	}
+}

@@ -88,10 +88,24 @@ type Sealer struct {
 
 	block   cipher.Block // non-nil iff a password is configured
 	macPool sync.Pool    // *hmac states keyed with macKey
-	bufPool sync.Pool    // *bytes.Buffer compression scratch
-	zwPool  sync.Pool    // *zlib.Writer at BestSpeed
-	zrPool  sync.Pool    // io.ReadCloser + zlib.Resetter
 }
+
+// Key-independent scratch state is pooled at package level and shared by
+// every Sealer in the process: a fleet of a thousand tenants recycles one
+// set of zlib writers (several hundred KiB each) and buffers across all
+// of them instead of keeping a thousand idle copies warm. Only the HMAC
+// pool stays per-Sealer — its states are bound to that sealer's MAC key.
+var (
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	zwPool  = sync.Pool{New: func() any {
+		zw, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
+		if err != nil {
+			panic(err) // unreachable: BestSpeed is a valid level
+		}
+		return zw
+	}}
+	zrPool sync.Pool // io.ReadCloser + zlib.Resetter
+)
 
 // New builds a Sealer. Encryption without a password is rejected.
 func New(opts Options) (*Sealer, error) {
@@ -117,14 +131,6 @@ func New(opts Options) (*Sealer, error) {
 		s.macKey = pbkdf2SHA256([]byte(seed), []byte("ginja-mac"), 1, keySize)
 	}
 	s.macPool.New = func() any { return hmac.New(sha1.New, s.macKey) }
-	s.bufPool.New = func() any { return new(bytes.Buffer) }
-	s.zwPool.New = func() any {
-		zw, err := zlib.NewWriterLevel(io.Discard, zlib.BestSpeed)
-		if err != nil {
-			panic(err) // unreachable: BestSpeed is a valid level
-		}
-		return zw
-	}
 	return s, nil
 }
 
@@ -161,10 +167,10 @@ func (s *Sealer) Seal(payload []byte) ([]byte, error) {
 	var scratch *bytes.Buffer
 	var zw *zlib.Writer
 	if s.opts.Compress {
-		scratch = s.bufPool.Get().(*bytes.Buffer)
-		defer s.bufPool.Put(scratch)
-		zw = s.zwPool.Get().(*zlib.Writer)
-		defer s.zwPool.Put(zw)
+		scratch = bufPool.Get().(*bytes.Buffer)
+		defer bufPool.Put(scratch)
+		zw = zwPool.Get().(*zlib.Writer)
+		defer zwPool.Put(zw)
 	}
 	mac := s.macPool.Get().(hash.Hash)
 	defer s.macPool.Put(mac)
@@ -298,7 +304,7 @@ func (s *Sealer) Open(sealed []byte) ([]byte, error) {
 func (s *Sealer) decompress(data []byte) ([]byte, error) {
 	br := bytes.NewReader(data)
 	var zr io.ReadCloser
-	if pooled := s.zrPool.Get(); pooled != nil {
+	if pooled := zrPool.Get(); pooled != nil {
 		zr = pooled.(io.ReadCloser)
 		if err := zr.(zlib.Resetter).Reset(br, nil); err != nil {
 			return nil, err
@@ -310,20 +316,20 @@ func (s *Sealer) decompress(data []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
-	buf := s.bufPool.Get().(*bytes.Buffer)
+	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	_, err := buf.ReadFrom(zr)
 	if cerr := zr.Close(); err == nil {
 		err = cerr
 	}
-	s.zrPool.Put(zr)
+	zrPool.Put(zr)
 	if err != nil {
-		s.bufPool.Put(buf)
+		bufPool.Put(buf)
 		return nil, err
 	}
 	out := make([]byte, buf.Len())
 	copy(out, buf.Bytes())
-	s.bufPool.Put(buf)
+	bufPool.Put(buf)
 	return out, nil
 }
 

@@ -1,0 +1,266 @@
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Wheel is a Clock that multiplexes any number of timers onto a single
+// goroutine: one deadline heap, one arming of the inner clock at a time.
+// It exists for fleet deployments — one process protecting thousands of
+// databases — where per-instance Batch/Safety timeouts, tuner ticks and
+// retention-trimmer ticks would otherwise each arm their own runtime
+// timer (and, historically, their own goroutine). A Fleet installs one
+// Wheel as every tenant's Params.Clock, so the whole fleet's timer load
+// is a heap and a goroutine, independent of tenant count.
+//
+// Timestamps (Now/Since/Until) delegate to the inner clock, so a Wheel
+// over a SimClock keeps virtual-time determinism: the wheel's single
+// pending inner timer is fired by the SimClock driver like any other.
+//
+// AfterFunc callbacks run inline on the wheel goroutine (the same
+// contract as SimClock's advancing goroutine): they must be brief and
+// must not block, or they delay every other timer in the process. All of
+// Ginja's internal callbacks (TB/TS expiry, tuner ticks, trimmer ticks)
+// follow that rule.
+type Wheel struct {
+	inner Clock
+
+	mu  sync.Mutex
+	h   wheelHeap
+	seq uint64
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	stopOnce sync.Once
+}
+
+var _ Clock = (*Wheel)(nil)
+
+// NewWheel returns a running Wheel over inner (nil = the wall clock).
+// Call Stop when the wheel is abandoned.
+func NewWheel(inner Clock) *Wheel {
+	if inner == nil {
+		inner = Real()
+	}
+	w := &Wheel{
+		inner: inner,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// Stop terminates the wheel goroutine. Pending timers never fire after
+// Stop returns; timers scheduled after Stop are accepted but dormant.
+func (w *Wheel) Stop() {
+	w.stopOnce.Do(func() { close(w.done) })
+	w.wg.Wait()
+}
+
+// Now returns the inner clock's current time.
+func (w *Wheel) Now() time.Time { return w.inner.Now() }
+
+// Since returns the inner clock's elapsed time since t.
+func (w *Wheel) Since(t time.Time) time.Duration { return w.inner.Since(t) }
+
+// Until returns the inner clock's remaining time until t.
+func (w *Wheel) Until(t time.Time) time.Duration { return w.inner.Until(t) }
+
+// Sleep blocks the calling goroutine for d on the wheel.
+func (w *Wheel) Sleep(d time.Duration) {
+	if d <= 0 {
+		w.inner.Sleep(d)
+		return
+	}
+	<-w.After(d)
+}
+
+// After returns a channel that receives the time once d has elapsed.
+func (w *Wheel) After(d time.Duration) <-chan time.Time {
+	return w.NewTimer(d).C()
+}
+
+// NewTimer returns a Timer multiplexed onto the wheel.
+func (w *Wheel) NewTimer(d time.Duration) Timer {
+	t := &wheelTimer{w: w, ch: make(chan time.Time, 1), idx: -1}
+	w.schedule(t, d)
+	return t
+}
+
+// AfterFunc returns a Timer that invokes f on the wheel goroutine once d
+// has elapsed. f must be brief and non-blocking.
+func (w *Wheel) AfterFunc(d time.Duration, f func()) Timer {
+	t := &wheelTimer{w: w, fn: f, idx: -1}
+	w.schedule(t, d)
+	return t
+}
+
+// PendingTimers returns the number of timers currently scheduled (tests).
+func (w *Wheel) PendingTimers() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.h)
+}
+
+func (w *Wheel) schedule(t *wheelTimer, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	deadline := w.inner.Now().Add(d)
+	w.mu.Lock()
+	t.deadline = deadline
+	w.seq++
+	t.seq = w.seq
+	heap.Push(&w.h, t)
+	w.mu.Unlock()
+	w.poke()
+}
+
+// poke nudges the wheel goroutine to re-examine the heap (the earliest
+// deadline may have changed). Non-blocking: one pending nudge is enough.
+func (w *Wheel) poke() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *Wheel) loop() {
+	defer w.wg.Done()
+	for {
+		// Fire everything due, then find how long until the next deadline.
+		var arm Timer
+		var armCh <-chan time.Time
+		w.mu.Lock()
+		for len(w.h) > 0 {
+			next := w.h[0]
+			d := w.inner.Until(next.deadline)
+			if d > 0 {
+				arm = w.inner.NewTimer(d)
+				armCh = arm.C()
+				break
+			}
+			heap.Pop(&w.h)
+			w.mu.Unlock()
+			w.fire(next)
+			w.mu.Lock()
+		}
+		w.mu.Unlock()
+
+		if armCh == nil {
+			select {
+			case <-w.wake:
+			case <-w.done:
+				return
+			}
+			continue
+		}
+		select {
+		case <-armCh:
+		case <-w.wake:
+			arm.Stop()
+		case <-w.done:
+			arm.Stop()
+			return
+		}
+	}
+}
+
+func (w *Wheel) fire(t *wheelTimer) {
+	if t.fn != nil {
+		t.fn()
+		return
+	}
+	select {
+	case t.ch <- w.inner.Now():
+	default:
+	}
+}
+
+// wheelTimer is one timer multiplexed onto a Wheel.
+type wheelTimer struct {
+	w        *Wheel
+	deadline time.Time
+	seq      uint64 // creation order breaks deadline ties deterministically
+	idx      int    // heap index, -1 when not scheduled
+	fn       func()
+	ch       chan time.Time
+}
+
+func (t *wheelTimer) C() <-chan time.Time {
+	if t.fn != nil {
+		return nil
+	}
+	return t.ch
+}
+
+func (t *wheelTimer) Stop() bool {
+	t.w.mu.Lock()
+	active := t.idx >= 0
+	if active {
+		heap.Remove(&t.w.h, t.idx)
+	}
+	t.w.mu.Unlock()
+	if active {
+		t.w.poke()
+	}
+	return active
+}
+
+func (t *wheelTimer) Reset(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	deadline := t.w.inner.Now().Add(d)
+	t.w.mu.Lock()
+	active := t.idx >= 0
+	if active {
+		heap.Remove(&t.w.h, t.idx)
+	}
+	t.deadline = deadline
+	t.w.seq++
+	t.seq = t.w.seq
+	heap.Push(&t.w.h, t)
+	t.w.mu.Unlock()
+	t.w.poke()
+	return active
+}
+
+// wheelHeap orders timers by (deadline, seq).
+type wheelHeap []*wheelTimer
+
+func (h wheelHeap) Len() int { return len(h) }
+
+func (h wheelHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h wheelHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+
+func (h *wheelHeap) Push(x any) {
+	t := x.(*wheelTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *wheelHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}

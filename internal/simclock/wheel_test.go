@@ -1,0 +1,133 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWheelFiresInDeadlineOrderOnSimClock(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim)
+	defer w.Stop()
+
+	var mu sync.Mutex
+	var order []int
+	record := func(i int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	w.AfterFunc(30*time.Millisecond, record(3))
+	w.AfterFunc(10*time.Millisecond, record(1))
+	w.AfterFunc(20*time.Millisecond, record(2))
+
+	stop := sim.Pump()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timers did not all fire; order so far %v", order)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired out of deadline order: %v", order)
+	}
+}
+
+func TestWheelTimerChannelAndStop(t *testing.T) {
+	w := NewWheel(Real())
+	defer w.Stop()
+
+	tm := w.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wheel timer never fired on the real clock")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired timer reported active")
+	}
+
+	// A stopped timer must not fire.
+	var fired atomic.Bool
+	tm2 := w.AfterFunc(30*time.Millisecond, func() { fired.Store(true) })
+	if !tm2.Stop() {
+		t.Fatal("Stop on a pending timer reported inactive")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired anyway")
+	}
+
+	// Reset re-arms to an earlier deadline than the one the wheel is
+	// currently sleeping toward.
+	var early atomic.Bool
+	w.AfterFunc(10*time.Second, func() {}) // arms a far-future inner timer
+	tm3 := w.AfterFunc(5*time.Second, func() { early.Store(true) })
+	tm3.Reset(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for !early.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Reset to an earlier deadline did not fire")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWheelSleepAndAfter(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim)
+	defer w.Stop()
+	stop := sim.Pump()
+	defer stop()
+
+	start := w.Now()
+	w.Sleep(42 * time.Millisecond)
+	if got := w.Since(start); got < 42*time.Millisecond {
+		t.Fatalf("Sleep advanced virtual time by %v, want >= 42ms", got)
+	}
+
+	ch := w.After(7 * time.Millisecond)
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("After channel never fired under the pump")
+	}
+}
+
+func TestWheelManyTimersOneGoroutine(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim)
+	defer w.Stop()
+
+	const n = 1000
+	var fired atomic.Int32
+	for i := 0; i < n; i++ {
+		w.AfterFunc(time.Duration(i%17+1)*time.Millisecond, func() { fired.Add(1) })
+	}
+	if got := w.PendingTimers(); got != n {
+		t.Fatalf("PendingTimers = %d, want %d", got, n)
+	}
+	stop := sim.Pump()
+	deadline := time.Now().Add(10 * time.Second)
+	for fired.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d timers fired", fired.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+}
